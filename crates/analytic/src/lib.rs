@@ -1,0 +1,289 @@
+//! # bdisk-analytic — closed-form performance models
+//!
+//! The Broadcast Disks paper grounds its design in a handful of analytic
+//! facts; this crate implements them exactly so that the simulator can be
+//! validated against closed forms:
+//!
+//! * **Expected delay of any periodic program.** A request arriving at a
+//!   uniformly random instant waits, for a page whose broadcasts are
+//!   separated by gaps `g_1..g_k` (summing to the period `T`),
+//!   `E[w] = Σ g_j² / (2T)`. This single formula yields all of Table 1.
+//! * **The Bus Stop Paradox** (Section 2.1): for a fixed average broadcast
+//!   rate, variance in the inter-arrival gaps strictly increases expected
+//!   delay — which is why the Multi-disk program (fixed gaps) beats the
+//!   skewed program (clustered copies) at equal bandwidth share.
+//! * **Square-root bandwidth allocation**: the classic result that expected
+//!   delay of an idealized (variance-free) broadcast is minimized when each
+//!   page's share of bandwidth is proportional to the square root of its
+//!   access probability. Used as a theoretical reference point for the
+//!   optimizer.
+//! * **No-cache expected response time** of a multi-disk program under a
+//!   client access distribution — the quantity plotted in Figure 5, exact
+//!   because multi-disk gaps are fixed.
+
+#![warn(missing_docs)]
+
+use bdisk_sched::{BroadcastProgram, PageId};
+
+pub mod table1;
+
+pub use table1::{table1, Table1Row};
+
+/// Expected wait (in broadcast units) for a single page under a program,
+/// assuming the request instant is uniform over the period.
+///
+/// Exact for *any* periodic program, even with uneven gaps:
+/// `E[w] = Σ g_j² / (2T)`.
+///
+/// ```
+/// use bdisk_sched::{skewed_program, flat_program, PageId};
+/// use bdisk_analytic::expected_delay;
+///
+/// // Figure 2(b): A A B C — page A's gaps are 1 and 3.
+/// let skewed = skewed_program(&[2, 1, 1]).unwrap();
+/// assert_eq!(expected_delay(&skewed, PageId(0)), 1.25); // (1² + 3²) / (2·4)
+///
+/// // Flat A B C: every page waits 1.5 on average.
+/// let flat = flat_program(3).unwrap();
+/// assert_eq!(expected_delay(&flat, PageId(0)), 1.5);
+/// ```
+pub fn expected_delay(program: &BroadcastProgram, page: PageId) -> f64 {
+    let t = program.period() as f64;
+    let gaps = program.gaps(page);
+    gaps.iter().map(|g| g * g).sum::<f64>() / (2.0 * t)
+}
+
+/// Expected response time of a cache-less client: the probability-weighted
+/// expected delay over all pages.
+///
+/// `probs[p]` is the access probability of page `p`; pages beyond
+/// `probs.len()` are assumed never accessed. Exact for any program.
+pub fn expected_response_time(program: &BroadcastProgram, probs: &[f64]) -> f64 {
+    assert!(
+        probs.len() <= program.num_pages(),
+        "access range larger than the broadcast ({} > {})",
+        probs.len(),
+        program.num_pages()
+    );
+    probs
+        .iter()
+        .enumerate()
+        .map(|(p, &pr)| pr * expected_delay(program, PageId(p as u32)))
+        .sum()
+}
+
+/// Expected delay for a page broadcast with *fixed* inter-arrival gap `g`:
+/// simply `g / 2` (no variance term).
+pub fn fixed_gap_delay(gap: f64) -> f64 {
+    gap / 2.0
+}
+
+/// The Bus Stop Paradox penalty: expected delay of a page whose broadcasts
+/// per period are spread with the given gaps, minus the delay it would have
+/// if the same number of broadcasts were evenly spaced.
+///
+/// Always `>= 0`, and `0` exactly when the gaps are all equal.
+pub fn bus_stop_penalty(gaps: &[f64]) -> f64 {
+    assert!(!gaps.is_empty());
+    let t: f64 = gaps.iter().sum();
+    let k = gaps.len() as f64;
+    let actual = gaps.iter().map(|g| g * g).sum::<f64>() / (2.0 * t);
+    let even = t / (2.0 * k);
+    actual - even
+}
+
+/// Square-root rule: the bandwidth share for each page that minimizes
+/// expected delay in an idealized variance-free broadcast is proportional
+/// to `sqrt(prob)`.
+///
+/// Returns normalized shares summing to 1. Pages with zero probability get
+/// zero share (they would get an infinitesimal share in the continuous
+/// ideal; callers building real programs must give every page at least one
+/// slot per period).
+pub fn optimal_bandwidth_shares(probs: &[f64]) -> Vec<f64> {
+    let roots: Vec<f64> = probs.iter().map(|&p| p.max(0.0).sqrt()).collect();
+    let total: f64 = roots.iter().sum();
+    if total == 0.0 {
+        return vec![0.0; probs.len()];
+    }
+    roots.iter().map(|r| r / total).collect()
+}
+
+/// Lower bound on expected delay achievable by *any* variance-free
+/// broadcast for the given access probabilities: with optimal square-root
+/// shares, `E[w] = (Σ_p sqrt(prob_p))² / 2` in one-page broadcast units.
+pub fn sqrt_rule_lower_bound(probs: &[f64]) -> f64 {
+    let s: f64 = probs.iter().map(|&p| p.max(0.0).sqrt()).sum();
+    s * s / 2.0
+}
+
+/// Summary statistics of a broadcast program used by reports and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramAnalysis {
+    /// Broadcast period in slots.
+    pub period: usize,
+    /// Number of distinct pages.
+    pub num_pages: usize,
+    /// Unused padding slots per period.
+    pub empty_slots: usize,
+    /// Fraction of bandwidth wasted on padding.
+    pub waste: f64,
+    /// True when every page has fixed inter-arrival times.
+    pub fixed_interarrival: bool,
+    /// Expected delay per page, uniform-instant arrivals.
+    pub per_page_delay: Vec<f64>,
+}
+
+impl ProgramAnalysis {
+    /// Analyzes `program`.
+    pub fn of(program: &BroadcastProgram) -> Self {
+        let per_page_delay: Vec<f64> = (0..program.num_pages())
+            .map(|p| expected_delay(program, PageId(p as u32)))
+            .collect();
+        let fixed_interarrival =
+            (0..program.num_pages()).all(|p| program.gap(PageId(p as u32)).is_some());
+        Self {
+            period: program.period(),
+            num_pages: program.num_pages(),
+            empty_slots: program.empty_slots(),
+            waste: program.waste(),
+            fixed_interarrival,
+            per_page_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_sched::{flat_program, skewed_program, DiskLayout, Slot};
+
+    #[test]
+    fn flat_delay_is_half_period() {
+        let p = flat_program(100).unwrap();
+        for page in (0..100).step_by(7) {
+            assert_eq!(expected_delay(&p, PageId(page)), 50.0);
+        }
+    }
+
+    #[test]
+    fn multi_disk_delay_is_half_gap() {
+        let layout = DiskLayout::new(vec![1, 2, 8], vec![4, 2, 1]).unwrap();
+        let p = BroadcastProgram::generate(&layout).unwrap();
+        assert_eq!(expected_delay(&p, PageId(0)), 2.0); // gap 4
+        assert_eq!(expected_delay(&p, PageId(1)), 4.0); // gap 8
+        assert_eq!(expected_delay(&p, PageId(5)), 8.0); // gap 16
+    }
+
+    #[test]
+    fn skewed_pays_bus_stop_penalty() {
+        // Same bandwidth shares, different spacing: AABC vs ABAC.
+        let skewed = skewed_program(&[2, 1, 1]).unwrap();
+        let multi = BroadcastProgram::from_slots(
+            vec![
+                Slot::Page(PageId(0)),
+                Slot::Page(PageId(1)),
+                Slot::Page(PageId(0)),
+                Slot::Page(PageId(2)),
+            ],
+            None,
+            vec![],
+        )
+        .unwrap();
+        assert!(expected_delay(&skewed, PageId(0)) > expected_delay(&multi, PageId(0)));
+        // B and C identical in both.
+        assert_eq!(
+            expected_delay(&skewed, PageId(1)),
+            expected_delay(&multi, PageId(1))
+        );
+    }
+
+    #[test]
+    fn response_time_weights_by_probability() {
+        let flat = flat_program(3).unwrap();
+        // Uniform: 1.5 regardless.
+        assert!((expected_response_time(&flat, &[1.0 / 3.0; 3]) - 1.5).abs() < 1e-12);
+        // All mass on one page: still 1.5 for a flat disk.
+        assert_eq!(expected_response_time(&flat, &[1.0, 0.0, 0.0]), 1.5);
+    }
+
+    #[test]
+    fn response_time_allows_partial_access_range() {
+        // AccessRange < ServerDBSize: only the first two pages accessed.
+        let flat = flat_program(10).unwrap();
+        let r = expected_response_time(&flat, &[0.5, 0.5]);
+        assert_eq!(r, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "access range larger")]
+    fn response_time_rejects_oversized_range() {
+        let flat = flat_program(2).unwrap();
+        let _ = expected_response_time(&flat, &[0.3, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn bus_stop_penalty_zero_for_even_gaps() {
+        assert_eq!(bus_stop_penalty(&[2.0, 2.0]), 0.0);
+        assert!(bus_stop_penalty(&[1.0, 3.0]) > 0.0);
+        // (1+9)/8 - 4/4 = 1.25 - 1.0
+        assert!((bus_stop_penalty(&[1.0, 3.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_grows_with_variance() {
+        let p1 = bus_stop_penalty(&[1.9, 2.1]);
+        let p2 = bus_stop_penalty(&[1.0, 3.0]);
+        let p3 = bus_stop_penalty(&[0.1, 3.9]);
+        assert!(p1 < p2 && p2 < p3);
+    }
+
+    #[test]
+    fn sqrt_shares_normalize() {
+        let shares = optimal_bandwidth_shares(&[0.64, 0.16, 0.16, 0.04]);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // sqrt(p) ratios: 0.8 : 0.4 : 0.4 : 0.2 → 4:2:2:1.
+        assert!((shares[0] / shares[3] - 4.0).abs() < 1e-9);
+        assert!((shares[1] / shares[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrt_shares_handle_zeros() {
+        let shares = optimal_bandwidth_shares(&[1.0, 0.0]);
+        assert_eq!(shares, vec![1.0, 0.0]);
+        assert_eq!(optimal_bandwidth_shares(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sqrt_rule_bound_below_flat() {
+        // For a skewed distribution the sqrt-rule bound beats a flat disk.
+        let probs = [0.9, 0.05, 0.05];
+        let bound = sqrt_rule_lower_bound(&probs);
+        let flat = flat_program(3).unwrap();
+        assert!(bound < expected_response_time(&flat, &probs));
+        // For uniform access the bound equals the flat disk's performance.
+        let uni = [1.0 / 3.0; 3];
+        let bound_uni = sqrt_rule_lower_bound(&uni);
+        assert!((bound_uni - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analysis_summarizes() {
+        let layout = DiskLayout::new(vec![1, 3], vec![2, 1]).unwrap();
+        let p = BroadcastProgram::generate(&layout).unwrap();
+        let a = ProgramAnalysis::of(&p);
+        assert_eq!(a.period, 6);
+        assert_eq!(a.num_pages, 4);
+        assert_eq!(a.empty_slots, 1);
+        assert!(a.fixed_interarrival);
+        assert_eq!(a.per_page_delay[0], 1.5); // gap 3
+    }
+
+    #[test]
+    fn analysis_flags_uneven_programs() {
+        let p = skewed_program(&[2, 1]).unwrap();
+        let a = ProgramAnalysis::of(&p);
+        assert!(!a.fixed_interarrival);
+    }
+}

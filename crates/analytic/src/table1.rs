@@ -1,0 +1,152 @@
+//! Table 1 of the paper: expected delay for the three example broadcast
+//! programs of Figure 2 over a three-page database.
+//!
+//! The programs are:
+//!
+//! * **(a) Flat**    — `A B C`  (period 3)
+//! * **(b) Skewed**  — `A A B C` (period 4, A's copies clustered)
+//! * **(c) Multi-disk** — `A B A C` (period 4, A's copies evenly spaced)
+//!
+//! Each row of the table evaluates the three programs under one access
+//! probability distribution for pages A, B, C. The published values are
+//!
+//! | P(A), P(B), P(C)        | Flat | Skewed | Multi-disk |
+//! |-------------------------|------|--------|------------|
+//! | 0.333, 0.333, 0.333     | 1.50 | 1.75   | 1.67       |
+//! | 0.50, 0.25, 0.25        | 1.50 | 1.63   | 1.50       |
+//! | 0.75, 0.125, 0.125      | 1.50 | 1.44   | 1.25       |
+//! | 0.90, 0.05, 0.05        | 1.50 | 1.33   | 1.10       |
+//! | 1.0, 0.0, 0.0           | 1.50 | 1.25   | 1.00       |
+//!
+//! and [`table1`] regenerates them from the closed-form delay model.
+
+use bdisk_sched::{flat_program, skewed_program, BroadcastProgram, PageId, Slot};
+
+use crate::expected_response_time;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Access probabilities for pages A, B, C.
+    pub probs: [f64; 3],
+    /// Expected delay under the flat program `A B C`.
+    pub flat: f64,
+    /// Expected delay under the skewed program `A A B C`.
+    pub skewed: f64,
+    /// Expected delay under the multi-disk program `A B A C`.
+    pub multi_disk: f64,
+}
+
+/// The three example programs of Figure 2.
+pub fn figure2_programs() -> (BroadcastProgram, BroadcastProgram, BroadcastProgram) {
+    let flat = flat_program(3).expect("3 pages");
+    let skewed = skewed_program(&[2, 1, 1]).expect("valid copies");
+    let multi = BroadcastProgram::from_slots(
+        vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(2)),
+        ],
+        None,
+        vec![2, 1],
+    )
+    .expect("valid slots");
+    (flat, skewed, multi)
+}
+
+/// The five access-probability distributions used in Table 1.
+pub const TABLE1_DISTRIBUTIONS: [[f64; 3]; 5] = [
+    [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+    [0.50, 0.25, 0.25],
+    [0.75, 0.125, 0.125],
+    [0.90, 0.05, 0.05],
+    [1.0, 0.0, 0.0],
+];
+
+/// Regenerates Table 1 analytically.
+pub fn table1() -> Vec<Table1Row> {
+    let (flat, skewed, multi) = figure2_programs();
+    TABLE1_DISTRIBUTIONS
+        .iter()
+        .map(|&probs| Table1Row {
+            probs,
+            flat: expected_response_time(&flat, &probs),
+            skewed: expected_response_time(&skewed, &probs),
+            multi_disk: expected_response_time(&multi, &probs),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 0.005
+    }
+
+    #[test]
+    fn matches_published_values() {
+        let rows = table1();
+        let expected = [
+            (1.50, 1.75, 1.67),
+            (1.50, 1.63, 1.50),
+            (1.50, 1.44, 1.25),
+            (1.50, 1.33, 1.10),
+            (1.50, 1.25, 1.00),
+        ];
+        for (row, (f, s, m)) in rows.iter().zip(expected) {
+            assert!(close(row.flat, f), "flat {} vs {f} at {:?}", row.flat, row.probs);
+            assert!(close(row.skewed, s), "skewed {} vs {s} at {:?}", row.skewed, row.probs);
+            assert!(
+                close(row.multi_disk, m),
+                "multi {} vs {m} at {:?}",
+                row.multi_disk,
+                row.probs
+            );
+        }
+    }
+
+    #[test]
+    fn point_one_flat_best_at_uniform() {
+        // "for uniform page access probabilities, a flat disk has the best
+        //  expected performance"
+        let row = &table1()[0];
+        assert!(row.flat < row.skewed);
+        assert!(row.flat < row.multi_disk);
+    }
+
+    #[test]
+    fn point_two_nonflat_wins_with_skew() {
+        // "as the access probabilities become increasingly skewed, the
+        //  non-flat programs perform increasingly better"
+        let rows = table1();
+        for row in &rows[2..] {
+            assert!(row.multi_disk < row.flat, "probs {:?}", row.probs);
+            assert!(row.skewed < row.flat, "probs {:?}", row.probs);
+        }
+        // And monotonically so.
+        for w in rows.windows(2) {
+            assert!(w[1].multi_disk <= w[0].multi_disk);
+            assert!(w[1].skewed <= w[0].skewed);
+        }
+    }
+
+    #[test]
+    fn point_three_multi_disk_beats_skewed_everywhere() {
+        // "the Multi-disk program always performs better than the skewed
+        //  program" (Bus Stop Paradox)
+        for row in table1() {
+            assert!(row.multi_disk < row.skewed, "probs {:?}", row.probs);
+        }
+    }
+
+    #[test]
+    fn figure2_program_shapes() {
+        let (flat, skewed, multi) = figure2_programs();
+        assert_eq!(flat.render(), "A B C");
+        assert_eq!(skewed.render(), "A A B C");
+        assert_eq!(multi.render(), "A B A C");
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! Each group compares variants of one design decision; the reported
+//! "time" of each variant is dominated by the simulated run, so these are
+//! primarily regression anchors — the *printed values* (response times)
+//! for each variant come from the assertions and `repro` runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bdisk_bench::{BENCH_REQUESTS, BENCH_SEEDS};
+use bdisk_cache::PolicyKind;
+use bdisk_sched::{random_program, skewed_program, BroadcastProgram, DiskLayout};
+use bdisk_sim::{average_seeds, simulate_program, SimConfig};
+use rand::SeedableRng;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        access_range: 1000,
+        region_size: 50,
+        cache_size: 1,
+        requests: BENCH_REQUESTS,
+        warmup_requests: 300,
+        ..SimConfig::default()
+    }
+}
+
+/// Fixed-spacing multi-disk vs clustered vs random programs at identical
+/// bandwidth allocation (the Bus Stop Paradox, Section 2.1).
+fn ablation_spacing(c: &mut Criterion) {
+    let copies: Vec<u64> = (0..5000).map(|p| if p < 500 { 4 } else { 1 }).collect();
+    let single = DiskLayout::new(vec![5000], vec![1]).unwrap();
+    let multi_layout = DiskLayout::new(vec![500, 4500], vec![4, 1]).unwrap();
+
+    let mut g = c.benchmark_group("spacing");
+    g.sample_size(10);
+    g.bench_function("multi_disk_fixed_gaps", |b| {
+        let program = BroadcastProgram::generate(&multi_layout).unwrap();
+        b.iter(|| {
+            simulate_program(&cfg(), &multi_layout, program.clone(), 3)
+                .unwrap()
+                .mean_response_time
+        });
+    });
+    g.bench_function("skewed_clustered", |b| {
+        let program = skewed_program(&copies).unwrap();
+        b.iter(|| {
+            simulate_program(&cfg(), &single, program.clone(), 3)
+                .unwrap()
+                .mean_response_time
+        });
+    });
+    g.bench_function("random_allocation", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let program = random_program(&copies, &mut rng).unwrap();
+        b.iter(|| {
+            simulate_program(&cfg(), &single, program.clone(), 3)
+                .unwrap()
+                .mean_response_time
+        });
+    });
+    g.finish();
+}
+
+/// LIX estimator constant α: the paper fixes 0.25; how sensitive is it?
+fn ablation_lix_alpha(c: &mut Criterion) {
+    let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+    let mut g = c.benchmark_group("lix_alpha");
+    g.sample_size(10);
+    for alpha in [0.05f64, 0.25, 0.75] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let cfg = SimConfig {
+                cache_size: 500,
+                offset: 500,
+                noise: 0.30,
+                policy: PolicyKind::Lix,
+                alpha,
+                ..cfg()
+            };
+            b.iter(|| {
+                average_seeds(&cfg, &layout, &BENCH_SEEDS)
+                    .unwrap()
+                    .mean_response_time
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Offset: shifting the cached-anyway hottest pages off the fast disk.
+fn ablation_offset(c: &mut Criterion) {
+    let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+    let mut g = c.benchmark_group("offset");
+    g.sample_size(10);
+    for offset in [0usize, 500] {
+        g.bench_with_input(BenchmarkId::from_parameter(offset), &offset, |b, &offset| {
+            let cfg = SimConfig {
+                cache_size: 500,
+                offset,
+                policy: PolicyKind::Pix,
+                ..cfg()
+            };
+            b.iter(|| {
+                average_seeds(&cfg, &layout, &BENCH_SEEDS)
+                    .unwrap()
+                    .mean_response_time
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Chunk-padding waste across Δ: how much bandwidth does the LCM chunking
+/// give up to keep inter-arrival times fixed?
+fn ablation_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("padding_waste");
+    for delta in [1u64, 3, 5, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            let layout = DiskLayout::with_delta(&[500, 2000, 2500], delta).unwrap();
+            b.iter(|| {
+                let program = BroadcastProgram::generate(&layout).unwrap();
+                program.waste()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_spacing,
+    ablation_lix_alpha,
+    ablation_offset,
+    ablation_padding
+);
+criterion_main!(ablations);

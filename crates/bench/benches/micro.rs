@@ -1,0 +1,121 @@
+//! Microbenchmarks of the core operations: program generation, arrival
+//! queries, workload sampling, and cache policy maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdisk_cache::{build_policy, PolicyContext, PolicyKind};
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_workload::{AliasTable, Mapping, RegionZipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_program_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_generation");
+    for delta in [1u64, 3, 7] {
+        g.bench_with_input(BenchmarkId::new("d5", delta), &delta, |b, &delta| {
+            let layout = DiskLayout::with_delta(&[500, 2000, 2500], delta).unwrap();
+            b.iter(|| BroadcastProgram::generate(black_box(&layout)).unwrap());
+        });
+    }
+    g.bench_function("flat_5000", |b| {
+        b.iter(|| bdisk_sched::flat_program(black_box(5000)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_next_arrival(c: &mut Criterion) {
+    let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+    let program = BroadcastProgram::generate(&layout).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let queries: Vec<(PageId, f64)> = (0..1024)
+        .map(|_| {
+            (
+                PageId(rng.random_range(0..5000)),
+                rng.random_range(0.0..1e6),
+            )
+        })
+        .collect();
+    c.bench_function("next_arrival_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(p, t) in &queries {
+                acc += program.next_arrival(black_box(p), black_box(t));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("zipf_build_1000", |b| {
+        b.iter(|| RegionZipf::new(black_box(1000), 50, 0.95));
+    });
+    let zipf = RegionZipf::new(1000, 50, 0.95);
+    g.bench_function("alias_build_1000", |b| {
+        b.iter(|| AliasTable::new(black_box(zipf.probs())));
+    });
+    let table = AliasTable::new(zipf.probs());
+    g.bench_function("alias_sample_1024", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1024 {
+                acc += table.sample(&mut rng);
+            }
+            acc
+        });
+    });
+    let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+    g.bench_function("mapping_build_noise30", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| Mapping::build(black_box(&layout), 500, 0.30, &mut rng));
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+    let ctx = PolicyContext {
+        probs: (0..5000).map(|i| 1.0 / (i + 1) as f64).collect(),
+        page_disk: (0..5000)
+            .map(|p| layout.disk_of(PageId(p as u32)) as u16)
+            .collect(),
+        disk_freqs: layout.freqs().to_vec(),
+        alpha: 0.25,
+    };
+    // A fixed mixed trace: 4096 requests over 1500 pages (some re-use).
+    let mut rng = StdRng::seed_from_u64(3);
+    let trace: Vec<PageId> = (0..4096)
+        .map(|_| PageId(rng.random_range(0..1500)))
+        .collect();
+
+    let mut g = c.benchmark_group("policy_trace_4096");
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut policy = build_policy(kind, 500, &ctx);
+                for (i, &page) in trace.iter().enumerate() {
+                    let now = i as f64;
+                    if policy.contains(page) {
+                        policy.on_hit(page, now);
+                    } else {
+                        black_box(policy.insert(page, now));
+                    }
+                }
+                policy.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_program_generation,
+    bench_next_arrival,
+    bench_workload,
+    bench_policies
+);
+criterion_main!(micro);

@@ -1,0 +1,152 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each benchmark runs a reduced-scale version of the experiment that
+//! regenerates the table or figure (the full-scale rows come from
+//! `cargo run --release -p bdisk-experiments -- all`). This keeps every
+//! experiment's code path exercised by `cargo bench` while bounding total
+//! wall-clock. Reduced scale = a representative subset of the sweep at
+//! [`bdisk_bench::BENCH_REQUESTS`] requests per point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdisk_bench::{BENCH_REQUESTS, BENCH_SEEDS};
+use bdisk_cache::PolicyKind;
+use bdisk_sched::DiskLayout;
+use bdisk_sim::{average_seeds, SimConfig};
+
+/// Reduced Table-4 configuration.
+fn cfg(policy: PolicyKind, cache: usize, offset: usize, noise: f64) -> SimConfig {
+    SimConfig {
+        access_range: 1000,
+        region_size: 50,
+        cache_size: cache,
+        offset,
+        noise,
+        policy,
+        requests: BENCH_REQUESTS,
+        warmup_requests: 500,
+        ..SimConfig::default()
+    }
+}
+
+fn d5(delta: u64) -> DiskLayout {
+    DiskLayout::with_delta(&[500, 2000, 2500], delta).unwrap()
+}
+
+fn run(cfg: &SimConfig, layout: &DiskLayout) -> f64 {
+    average_seeds(cfg, layout, &BENCH_SEEDS)
+        .unwrap()
+        .mean_response_time
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_analytic", |b| {
+        b.iter(|| black_box(bdisk_analytic::table1()));
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    // Representative slice: D4 and D5 at three deltas, no cache.
+    c.bench_function("fig5_point_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sizes in [&[300usize, 1200, 3500][..], &[500, 2000, 2500][..]] {
+                for delta in [1u64, 4, 7] {
+                    let layout = DiskLayout::with_delta(sizes, delta).unwrap();
+                    acc += run(&cfg(PolicyKind::Pix, 1, 0, 0.0), &layout);
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_fig6_7(c: &mut Criterion) {
+    // Noise sensitivity without caching: D3 (fig6) and D5 (fig7) points.
+    c.bench_function("fig6_fig7_noise_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sizes in [&[2500usize, 2500][..], &[500, 2000, 2500][..]] {
+                for noise in [0.15, 0.60] {
+                    let layout = DiskLayout::with_delta(sizes, 3).unwrap();
+                    acc += run(&cfg(PolicyKind::Pix, 1, 0, noise), &layout);
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_fig8_9(c: &mut Criterion) {
+    // P (fig8) vs PIX (fig9) under noise with a 500-page cache.
+    let mut g = c.benchmark_group("fig8_fig9");
+    for (name, policy) in [("fig8_P", PolicyKind::P), ("fig9_PIX", PolicyKind::Pix)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let layout = d5(3);
+                run(&cfg(policy, 500, 500, 0.45), &layout)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_p_vs_pix_curve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for policy in [PolicyKind::P, PolicyKind::Pix] {
+                for noise in [0.0, 0.45] {
+                    acc += run(&cfg(policy, 500, 500, noise), &d5(3));
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_fig11_14(c: &mut Criterion) {
+    // Access-location accounting for idealized and implementable policies.
+    c.bench_function("fig11_fig14_access_locations", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for policy in [PolicyKind::P, PolicyKind::Pix, PolicyKind::Lru, PolicyKind::Lix] {
+                let out = average_seeds(&cfg(policy, 500, 500, 0.30), &d5(3), &BENCH_SEEDS)
+                    .unwrap();
+                acc += out.access_fractions.iter().sum::<f64>();
+            }
+            acc
+        });
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_policies_over_delta");
+    for kind in [PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix, PolicyKind::Pix] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| run(&cfg(kind, 500, 500, 0.30), &d5(3)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_lru_l_lix_noise", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for kind in [PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix] {
+                acc += run(&cfg(kind, 500, 500, 0.60), &d5(3));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig5, bench_fig6_7, bench_fig8_9, bench_fig10,
+              bench_fig11_14, bench_fig13, bench_fig15
+}
+criterion_main!(figures);

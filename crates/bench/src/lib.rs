@@ -1,0 +1,13 @@
+//! Shared setup helpers for the Criterion benchmark harness.
+//!
+//! The real content of this crate lives in `benches/`: one Criterion group
+//! per paper table/figure plus microbenchmarks and ablations. This library
+//! only hosts the configuration shared between them (reduced-scale
+//! experiment settings so `cargo bench` completes in minutes).
+
+/// Scale factor applied to request counts when regenerating figures under
+/// Criterion (the `repro` binary runs the full-scale versions).
+pub const BENCH_REQUESTS: u64 = 2_000;
+
+/// Seeds used by benchmark runs (kept small and fixed for stability).
+pub const BENCH_SEEDS: [u64; 2] = [11, 23];

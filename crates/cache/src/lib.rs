@@ -1,0 +1,282 @@
+//! # bdisk-cache — client cache management for broadcast environments
+//!
+//! Section 3 of the Broadcast Disks paper argues that pushing data over a
+//! shared broadcast *fundamentally changes the role of client caching*: a
+//! client should cache not its hottest pages, but the pages whose local
+//! access probability is high **relative to their broadcast frequency** —
+//! hot pages on fast disks come around soon anyway.
+//!
+//! This crate implements the paper's five policies behind one trait:
+//!
+//! | Policy | Idea | Implementable? |
+//! |--------|------|----------------|
+//! | [`PPolicy`]  (`P`)   | evict lowest access probability | no (needs perfect knowledge) |
+//! | [`PixPolicy`] (`PIX`) | evict lowest probability ÷ broadcast frequency | no |
+//! | [`LruPolicy`] (`LRU`) | evict least recently used | yes |
+//! | [`LixPolicy`] (`LIX`) | per-disk LRU chains + running probability estimate ÷ frequency | yes |
+//! | `L` ([`LixPolicy::l_variant`]) | LIX with frequency ignored | yes |
+//!
+//! plus the extension policies the paper's Section 5.5 points at as
+//! "improvements to LRU": [`LruKPolicy`] (LRU-K \[ONei93\], with an
+//! optional broadcast-frequency-scaled variant) and [`TwoQPolicy`]
+//! (simplified 2Q \[John94\]).
+//!
+//! All policies share the buffer-manager contract of the paper's simulator:
+//! a requested page is always brought into the cache; when the cache is
+//! full a victim is chosen *among the residents* and ejected. They also
+//! support [`CachePolicy::invalidate`] for the volatile-data extension.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod lix;
+pub mod lru;
+pub mod lruk;
+pub mod nocache;
+pub mod pix;
+pub mod twoq;
+
+pub use chain::LruChain;
+pub use lix::LixPolicy;
+pub use lru::LruPolicy;
+pub use lruk::LruKPolicy;
+pub use nocache::NoCachePolicy;
+pub use pix::{PPolicy, PixPolicy, StaticValuePolicy};
+pub use twoq::TwoQPolicy;
+
+use bdisk_sched::PageId;
+
+/// Replacement policy driven by the client loop.
+///
+/// The protocol per request for page `p` at virtual time `now`:
+///
+/// * cache probe: [`CachePolicy::contains`];
+/// * on a hit: [`CachePolicy::on_hit`];
+/// * on a miss (after the page arrives from the broadcast):
+///   [`CachePolicy::insert`], which returns the evicted victim when the
+///   cache was full.
+pub trait CachePolicy {
+    /// True when `page` is cache-resident.
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Records a cache hit on `page` at time `now`.
+    fn on_hit(&mut self, page: PageId, now: f64);
+
+    /// Inserts `page` (just fetched from the broadcast) at time `now`,
+    /// evicting and returning a victim when the cache is full.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `page` is already resident — the client
+    /// loop only inserts after a miss.
+    fn insert(&mut self, page: PageId, now: f64) -> Option<PageId>;
+
+    /// Drops `page` from the cache (server-sent invalidation for updated
+    /// data). Returns `true` when the page was resident. Any history the
+    /// policy keeps for the page is discarded with it.
+    fn invalidate(&mut self, page: PageId) -> bool;
+
+    /// Number of resident pages.
+    fn len(&self) -> usize;
+
+    /// True when no pages are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache capacity in pages (`CacheSize`).
+    fn capacity(&self) -> usize;
+
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Which replacement policy to run (config-level selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Idealized probability-only replacement.
+    P,
+    /// Idealized cost-based replacement (probability ÷ frequency).
+    Pix,
+    /// Classic LRU.
+    Lru,
+    /// LIX without frequency knowledge (isolates the estimator).
+    L,
+    /// Implementable PIX approximation.
+    Lix,
+    /// LRU-2 \[ONei93\] — extension: one of the paper's suggested "improved
+    /// LRU" bases.
+    LruK,
+    /// LRU-2 with broadcast-frequency scaling — extension: the LIX-style
+    /// cost step applied to LRU-K.
+    LruKX,
+    /// Simplified 2Q \[John94\] — extension: the paper's other suggested
+    /// base.
+    TwoQ,
+}
+
+impl PolicyKind {
+    /// The paper's five policies, in order of introduction.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::P,
+        PolicyKind::Pix,
+        PolicyKind::Lru,
+        PolicyKind::L,
+        PolicyKind::Lix,
+    ];
+
+    /// The extension policies built on the paper's Section 5.5 suggestion.
+    pub const EXTENSIONS: [PolicyKind; 3] =
+        [PolicyKind::LruK, PolicyKind::LruKX, PolicyKind::TwoQ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::P => "P",
+            PolicyKind::Pix => "PIX",
+            PolicyKind::Lru => "LRU",
+            PolicyKind::L => "L",
+            PolicyKind::Lix => "LIX",
+            PolicyKind::LruK => "LRU-K",
+            PolicyKind::LruKX => "LRU-K/X",
+            PolicyKind::TwoQ => "2Q",
+        }
+    }
+
+    /// True for the idealized policies that need perfect knowledge of
+    /// access probabilities (not implementable in a real client).
+    pub fn is_idealized(self) -> bool {
+        matches!(self, PolicyKind::P | PolicyKind::Pix)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a policy may need to know about the environment: the true
+/// per-physical-page access probabilities (idealized policies), the disk
+/// of each page, and per-disk broadcast frequencies (cost-based policies).
+#[derive(Debug, Clone)]
+pub struct PolicyContext {
+    /// True access probability of each physical page (index = page id).
+    pub probs: Vec<f64>,
+    /// Disk (0-based) of each physical page.
+    pub page_disk: Vec<u16>,
+    /// Relative broadcast frequency of each disk, fastest first.
+    pub disk_freqs: Vec<u64>,
+    /// EWMA constant for LIX/L probability estimation (paper: 0.25).
+    pub alpha: f64,
+}
+
+impl PolicyContext {
+    /// The per-page broadcast frequency implied by `page_disk` and
+    /// `disk_freqs`.
+    pub fn page_freq(&self, page: PageId) -> f64 {
+        self.disk_freqs[self.page_disk[page.index()] as usize] as f64
+    }
+}
+
+/// Builds a boxed policy of the requested kind with capacity `capacity`.
+///
+/// Capacity 0 disables caching entirely (a [`NoCachePolicy`] is returned
+/// regardless of `kind`), for measuring raw broadcast delay.
+pub fn build_policy(kind: PolicyKind, capacity: usize, ctx: &PolicyContext) -> Box<dyn CachePolicy> {
+    if capacity == 0 {
+        return Box::new(NoCachePolicy::new());
+    }
+    match kind {
+        PolicyKind::P => Box::new(PPolicy::new(capacity, &ctx.probs)),
+        PolicyKind::Pix => {
+            let values: Vec<f64> = ctx
+                .probs
+                .iter()
+                .enumerate()
+                .map(|(p, &pr)| pr / ctx.page_freq(PageId(p as u32)))
+                .collect();
+            Box::new(StaticValuePolicy::new(capacity, &values, "PIX"))
+        }
+        PolicyKind::Lru => Box::new(LruPolicy::new(capacity)),
+        PolicyKind::L => Box::new(LixPolicy::l_variant(
+            capacity,
+            ctx.page_disk.clone(),
+            ctx.disk_freqs.len(),
+            ctx.alpha,
+        )),
+        PolicyKind::Lix => Box::new(LixPolicy::new(
+            capacity,
+            ctx.page_disk.clone(),
+            ctx.disk_freqs.iter().map(|&f| f as f64).collect(),
+            ctx.alpha,
+        )),
+        PolicyKind::LruK => Box::new(LruKPolicy::new(capacity, 2)),
+        PolicyKind::LruKX => {
+            let freqs: Vec<f64> = (0..ctx.page_disk.len())
+                .map(|p| ctx.page_freq(PageId(p as u32)))
+                .collect();
+            Box::new(LruKPolicy::with_frequencies(capacity, 2, freqs))
+        }
+        PolicyKind::TwoQ => Box::new(TwoQPolicy::new(capacity)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PolicyContext {
+        PolicyContext {
+            probs: vec![0.4, 0.3, 0.2, 0.1],
+            page_disk: vec![0, 0, 1, 1],
+            disk_freqs: vec![2, 1],
+            alpha: 0.25,
+        }
+    }
+
+    #[test]
+    fn build_all_policies() {
+        for kind in PolicyKind::ALL {
+            let p = build_policy(kind, 2, &ctx());
+            assert_eq!(p.capacity(), 2);
+            assert_eq!(p.len(), 0);
+            assert!(p.is_empty());
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert!(PolicyKind::P.is_idealized());
+        assert!(PolicyKind::Pix.is_idealized());
+        assert!(!PolicyKind::Lru.is_idealized());
+        assert!(!PolicyKind::Lix.is_idealized());
+        assert_eq!(PolicyKind::Lix.to_string(), "LIX");
+    }
+
+    #[test]
+    fn page_freq_lookup() {
+        let c = ctx();
+        assert_eq!(c.page_freq(PageId(0)), 2.0);
+        assert_eq!(c.page_freq(PageId(3)), 1.0);
+    }
+
+    #[test]
+    fn generic_policy_protocol() {
+        // The same driver loop must work for every policy.
+        for kind in PolicyKind::ALL {
+            let mut p = build_policy(kind, 2, &ctx());
+            assert!(!p.contains(PageId(0)));
+            assert_eq!(p.insert(PageId(0), 1.0), None);
+            assert_eq!(p.insert(PageId(1), 2.0), None);
+            assert_eq!(p.len(), 2);
+            p.on_hit(PageId(0), 3.0);
+            // Third insert must evict exactly one of the residents.
+            let victim = p.insert(PageId(2), 4.0).expect("cache full");
+            assert!(victim == PageId(0) || victim == PageId(1), "{kind}: {victim}");
+            assert_eq!(p.len(), 2);
+            assert!(p.contains(PageId(2)));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Classic LRU replacement — the implementable baseline of Experiment 5.
+//!
+//! "LRU maintains the cache as a single linked-list of pages. When a page
+//! in the cache is accessed, it is moved to the top of the list. On a cache
+//! miss, the page at the end of the chain is chosen for replacement."
+
+use bdisk_sched::PageId;
+
+use crate::chain::LruChain;
+use crate::CachePolicy;
+
+/// Least-recently-used replacement over a single chain.
+#[derive(Debug, Clone, Default)]
+pub struct LruPolicy {
+    chain: LruChain,
+    capacity: usize,
+}
+
+impl LruPolicy {
+    /// Creates an LRU cache holding `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            chain: LruChain::new(),
+            capacity,
+        }
+    }
+
+    /// Pages from most to least recently used (for tests/inspection).
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.chain.iter()
+    }
+}
+
+impl CachePolicy for LruPolicy {
+    fn contains(&self, page: PageId) -> bool {
+        self.chain.contains(page)
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: f64) {
+        let present = self.chain.move_to_front(page);
+        debug_assert!(present, "hit on non-resident page {page}");
+    }
+
+    fn insert(&mut self, page: PageId, _now: f64) -> Option<PageId> {
+        assert!(!self.contains(page), "page {page} already resident");
+        let victim = if self.chain.len() == self.capacity {
+            self.chain.pop_back()
+        } else {
+            None
+        };
+        self.chain.push_front(page);
+        victim
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.chain.remove(page)
+    }
+
+    fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruPolicy::new(3);
+        lru.insert(PageId(1), 0.0);
+        lru.insert(PageId(2), 1.0);
+        lru.insert(PageId(3), 2.0);
+        lru.on_hit(PageId(1), 3.0); // 1 becomes MRU; LRU order: 1,3,2
+        assert_eq!(lru.insert(PageId(4), 4.0), Some(PageId(2)));
+        assert_eq!(lru.insert(PageId(5), 5.0), Some(PageId(3)));
+        assert!(lru.contains(PageId(1)));
+    }
+
+    #[test]
+    fn sequential_scan_cycles_everything() {
+        // The classic LRU pathology: a scan larger than the cache evicts
+        // every page in order.
+        let mut lru = LruPolicy::new(3);
+        let mut victims = Vec::new();
+        for round in 0..2 {
+            for page in 0..4u32 {
+                if lru.contains(PageId(page)) {
+                    lru.on_hit(PageId(page), 0.0);
+                } else if let Some(v) = lru.insert(PageId(page), round as f64) {
+                    victims.push(v.0);
+                }
+            }
+        }
+        assert_eq!(victims, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn hits_protect_pages() {
+        let mut lru = LruPolicy::new(2);
+        lru.insert(PageId(10), 0.0);
+        lru.insert(PageId(20), 1.0);
+        for t in 2..10 {
+            lru.on_hit(PageId(10), t as f64);
+        }
+        // 20 is LRU despite being inserted later.
+        assert_eq!(lru.insert(PageId(30), 10.0), Some(PageId(20)));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruPolicy::new(1);
+        assert_eq!(lru.insert(PageId(1), 0.0), None);
+        assert_eq!(lru.insert(PageId(2), 1.0), Some(PageId(1)));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruPolicy::new(0);
+    }
+
+    #[test]
+    fn iteration_order_is_recency() {
+        let mut lru = LruPolicy::new(3);
+        lru.insert(PageId(1), 0.0);
+        lru.insert(PageId(2), 1.0);
+        lru.insert(PageId(3), 2.0);
+        lru.on_hit(PageId(2), 3.0);
+        let order: Vec<u32> = lru.iter().map(|p| p.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,74 @@
+//! A pass-through "cache" of capacity zero.
+//!
+//! Every request misses and nothing is retained. Used to measure raw
+//! broadcast delay (e.g. the Table 1 cross-check), where even the paper's
+//! `CacheSize = 1` would retain the page just fetched.
+
+use bdisk_sched::PageId;
+
+use crate::CachePolicy;
+
+/// The no-op policy: capacity 0, never holds a page.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCachePolicy;
+
+impl NoCachePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl CachePolicy for NoCachePolicy {
+    fn contains(&self, _page: PageId) -> bool {
+        false
+    }
+
+    fn on_hit(&mut self, _page: PageId, _now: f64) {
+        unreachable!("a no-cache policy never hits");
+    }
+
+    fn insert(&mut self, _page: PageId, _now: f64) -> Option<PageId> {
+        None
+    }
+
+    fn invalidate(&mut self, _page: PageId) -> bool {
+        false
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn capacity(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_contains_never_evicts() {
+        let mut p = NoCachePolicy::new();
+        assert!(!p.contains(PageId(0)));
+        assert_eq!(p.insert(PageId(0), 1.0), None);
+        assert!(!p.contains(PageId(0)));
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.capacity(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    #[should_panic(expected = "never hits")]
+    fn hit_is_a_bug() {
+        let mut p = NoCachePolicy::new();
+        p.on_hit(PageId(0), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The idealized policies `P` and `PIX` (Sections 3 and 5.3–5.4).
+//!
+//! Both evict the resident page with the smallest *static* value:
+//!
+//! * `P` uses the page's access probability — the classical "keep the
+//!   hottest pages" ideal that LRU approximates;
+//! * `PIX` uses probability ÷ broadcast frequency — the paper's cost-based
+//!   ideal ("it can be shown that under certain assumptions, an optimal
+//!   replacement strategy is one that replaces the cache-resident page
+//!   having the lowest ratio between its probability of access and its
+//!   frequency of broadcast").
+//!
+//! Neither is implementable in a real client: they require perfect
+//! knowledge of access probabilities and a global comparison across the
+//! cache. In the simulator the probabilities are known exactly, and the
+//! global min is kept in an ordered set over precomputed value *ranks*
+//! (values are static, so ranking them once avoids comparing floats at
+//! every eviction and gives deterministic tie-breaks).
+
+use std::collections::BTreeSet;
+
+use bdisk_sched::PageId;
+
+use crate::CachePolicy;
+
+/// Evicts the resident page with the smallest fixed per-page value.
+///
+/// `P` and `PIX` are the two instantiations; the value vector is the only
+/// difference.
+#[derive(Debug, Clone)]
+pub struct StaticValuePolicy {
+    capacity: usize,
+    /// Rank of each page's value (0 = smallest value = first to evict);
+    /// ties broken by page id for determinism.
+    rank: Vec<u32>,
+    /// Resident pages ordered by rank.
+    resident: BTreeSet<u32>,
+    /// Inverse of `rank`: rank → page.
+    page_of_rank: Vec<u32>,
+    name: &'static str,
+}
+
+impl StaticValuePolicy {
+    /// Creates the policy for pages `0..values.len()`, evicting the
+    /// smallest `values[page]` first.
+    pub fn new(capacity: usize, values: &[f64], name: &'static str) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let mut order: Vec<u32> = (0..values.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            values[a as usize]
+                .partial_cmp(&values[b as usize])
+                .expect("values must not be NaN")
+                .then(a.cmp(&b))
+        });
+        let mut rank = vec![0u32; values.len()];
+        for (r, &p) in order.iter().enumerate() {
+            rank[p as usize] = r as u32;
+        }
+        Self {
+            capacity,
+            rank,
+            resident: BTreeSet::new(),
+            page_of_rank: order,
+            name,
+        }
+    }
+}
+
+impl CachePolicy for StaticValuePolicy {
+    fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&self.rank[page.index()])
+    }
+
+    fn on_hit(&mut self, _page: PageId, _now: f64) {
+        // Values are static: hits carry no information.
+    }
+
+    fn insert(&mut self, page: PageId, _now: f64) -> Option<PageId> {
+        assert!(!self.contains(page), "page {page} already resident");
+        let victim = if self.resident.len() == self.capacity {
+            let &lowest = self.resident.iter().next().expect("cache is full");
+            self.resident.remove(&lowest);
+            Some(PageId(self.page_of_rank[lowest as usize]))
+        } else {
+            None
+        };
+        self.resident.insert(self.rank[page.index()]);
+        victim
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.resident.remove(&self.rank[page.index()])
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The idealized `P` policy: evict the lowest access probability.
+#[derive(Debug, Clone)]
+pub struct PPolicy(StaticValuePolicy);
+
+impl PPolicy {
+    /// Creates a `P` policy with perfect knowledge of `probs`.
+    pub fn new(capacity: usize, probs: &[f64]) -> Self {
+        Self(StaticValuePolicy::new(capacity, probs, "P"))
+    }
+}
+
+impl CachePolicy for PPolicy {
+    fn contains(&self, page: PageId) -> bool {
+        self.0.contains(page)
+    }
+    fn on_hit(&mut self, page: PageId, now: f64) {
+        self.0.on_hit(page, now)
+    }
+    fn insert(&mut self, page: PageId, now: f64) -> Option<PageId> {
+        self.0.insert(page, now)
+    }
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.0.invalidate(page)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+    fn name(&self) -> &'static str {
+        "P"
+    }
+}
+
+/// The idealized `PIX` policy: evict the lowest probability ÷ frequency.
+#[derive(Debug, Clone)]
+pub struct PixPolicy(StaticValuePolicy);
+
+impl PixPolicy {
+    /// Creates a `PIX` policy from per-page probabilities and broadcast
+    /// frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a frequency is zero.
+    pub fn new(capacity: usize, probs: &[f64], freqs: &[f64]) -> Self {
+        assert_eq!(probs.len(), freqs.len(), "probs and freqs must align");
+        let values: Vec<f64> = probs
+            .iter()
+            .zip(freqs)
+            .map(|(&p, &x)| {
+                assert!(x > 0.0, "broadcast frequency must be positive");
+                p / x
+            })
+            .collect();
+        Self(StaticValuePolicy::new(capacity, &values, "PIX"))
+    }
+}
+
+impl CachePolicy for PixPolicy {
+    fn contains(&self, page: PageId) -> bool {
+        self.0.contains(page)
+    }
+    fn on_hit(&mut self, page: PageId, now: f64) {
+        self.0.on_hit(page, now)
+    }
+    fn insert(&mut self, page: PageId, now: f64) -> Option<PageId> {
+        self.0.insert(page, now)
+    }
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.0.invalidate(page)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+    fn name(&self) -> &'static str {
+        "PIX"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_evicts_lowest_probability() {
+        let mut p = PPolicy::new(2, &[0.5, 0.3, 0.2]);
+        p.insert(PageId(1), 0.0);
+        p.insert(PageId(2), 1.0);
+        // Inserting the hot page evicts page 2 (prob 0.2 < 0.3).
+        assert_eq!(p.insert(PageId(0), 2.0), Some(PageId(2)));
+        assert!(p.contains(PageId(0)));
+        assert!(p.contains(PageId(1)));
+    }
+
+    #[test]
+    fn p_keeps_hottest_in_steady_state() {
+        let probs = [0.4, 0.3, 0.2, 0.1];
+        let mut p = PPolicy::new(2, &probs);
+        for page in [3, 2, 1, 0, 3, 2, 1, 0u32] {
+            if !p.contains(PageId(page)) {
+                p.insert(PageId(page), 0.0);
+            }
+        }
+        // Steady state: the two hottest pages are resident.
+        assert!(p.contains(PageId(0)));
+        assert!(p.contains(PageId(1)));
+        assert!(!p.contains(PageId(2)));
+        assert!(!p.contains(PageId(3)));
+    }
+
+    #[test]
+    fn pix_weighs_frequency() {
+        // The paper's Section 3 example: page 0 accessed 1% and broadcast
+        // "1%" (frequent); page 1 accessed 0.5% but broadcast 0.1%
+        // (rare). PIX prefers keeping page 1.
+        let probs = [0.01, 0.005];
+        let freqs = [10.0, 1.0];
+        let mut pix = PixPolicy::new(1, &probs, &freqs);
+        pix.insert(PageId(0), 0.0);
+        // pix(0) = 0.001 < pix(1) = 0.005 → page 0 is the victim.
+        assert_eq!(pix.insert(PageId(1), 1.0), Some(PageId(0)));
+        assert!(pix.contains(PageId(1)));
+    }
+
+    #[test]
+    fn p_vs_pix_disagree_exactly_as_in_section_3() {
+        // Same scenario, P policy: page 0 has the higher probability so P
+        // keeps page 0 and evicts page 1 instead.
+        let probs = [0.01, 0.005];
+        let mut p = PPolicy::new(1, &probs);
+        p.insert(PageId(1), 0.0);
+        assert_eq!(p.insert(PageId(0), 1.0), Some(PageId(1)));
+        assert!(p.contains(PageId(0)));
+    }
+
+    #[test]
+    fn capacity_one_always_replaces() {
+        let mut p = PPolicy::new(1, &[0.6, 0.4]);
+        assert_eq!(p.insert(PageId(0), 0.0), None);
+        assert_eq!(p.insert(PageId(1), 1.0), Some(PageId(0)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_page_id() {
+        // Equal values: lowest page id evicted first.
+        let mut p = StaticValuePolicy::new(2, &[0.1, 0.1, 0.1], "T");
+        p.insert(PageId(2), 0.0);
+        p.insert(PageId(0), 1.0);
+        assert_eq!(p.insert(PageId(1), 2.0), Some(PageId(0)));
+    }
+
+    #[test]
+    fn hit_does_not_change_order() {
+        let mut p = PPolicy::new(2, &[0.5, 0.3, 0.2]);
+        p.insert(PageId(1), 0.0);
+        p.insert(PageId(2), 1.0);
+        // Many hits on the cold page don't save it from eviction.
+        for t in 0..10 {
+            p.on_hit(PageId(2), t as f64);
+        }
+        assert_eq!(p.insert(PageId(0), 99.0), Some(PageId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut p = PPolicy::new(2, &[0.5, 0.5]);
+        p.insert(PageId(0), 0.0);
+        p.insert(PageId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn pix_rejects_mismatched_inputs() {
+        let _ = PixPolicy::new(1, &[0.5], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_probability_pages_evicted_first() {
+        let probs = [0.0, 0.5, 0.0, 0.5];
+        let mut p = PPolicy::new(3, &probs);
+        p.insert(PageId(1), 0.0);
+        p.insert(PageId(0), 1.0);
+        p.insert(PageId(3), 2.0);
+        assert_eq!(p.insert(PageId(2), 3.0), Some(PageId(0)));
+    }
+}

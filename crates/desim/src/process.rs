@@ -1,0 +1,250 @@
+//! Process-oriented layer over the event kernel.
+//!
+//! CSIM models are written as *processes*: sequential code that holds state
+//! and sleeps on the simulated clock. Rust has no built-in coroutines on
+//! stable, so a process here is a state machine: the executor calls
+//! [`Process::resume`] every time the process wakes, and the process answers
+//! with the [`Action`] describing when it wants to run next.
+//!
+//! This is all the structure the Broadcast Disks model needs — the client is
+//! a single loop of `request → wait-for-broadcast → think`, and the server
+//! is implicit in the schedule arithmetic — but the executor is general: any
+//! number of processes may run, and they interleave deterministically.
+
+use crate::time::{Duration, Time};
+use crate::Simulation;
+
+/// What a process wants to do next after being resumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Sleep for a relative delay, then resume.
+    Sleep(Duration),
+    /// Sleep until an absolute instant, then resume.
+    Until(Time),
+    /// Resume again immediately (at the same virtual time, after any other
+    /// events already scheduled for this instant).
+    Yield,
+    /// The process is finished and will never be resumed again.
+    Done,
+}
+
+/// A simulation process: resumed by the executor at each wake-up.
+pub trait Process {
+    /// Runs one step of the process at virtual time `now` and reports when
+    /// to resume next.
+    fn resume(&mut self, now: Time) -> Action;
+}
+
+impl<F: FnMut(Time) -> Action> Process for F {
+    fn resume(&mut self, now: Time) -> Action {
+        self(now)
+    }
+}
+
+/// Identifier of a spawned process within an executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+/// Drives a set of [`Process`]es over a shared virtual clock.
+pub struct ProcessExecutor<P: Process> {
+    sim: Simulation<usize>,
+    procs: Vec<P>,
+    done: Vec<bool>,
+    live: usize,
+}
+
+impl<P: Process> Default for ProcessExecutor<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Process> ProcessExecutor<P> {
+    /// Creates an executor with no processes.
+    pub fn new() -> Self {
+        Self {
+            sim: Simulation::new(),
+            procs: Vec::new(),
+            done: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Number of processes that have not finished.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Adds a process that first wakes at time `start`.
+    pub fn spawn_at(&mut self, start: Time, proc_: P) -> ProcessId {
+        let id = self.procs.len();
+        self.procs.push(proc_);
+        self.done.push(false);
+        self.live += 1;
+        self.sim.schedule_at(start, id);
+        ProcessId(id)
+    }
+
+    /// Runs until every process is done or the clock passes `deadline`.
+    ///
+    /// Returns the number of wake-ups executed.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut wakeups = 0;
+        while let Some(next) = self.sim.queue_peek() {
+            if next > deadline {
+                break;
+            }
+            let id = self.sim.next_event().expect("peeked event must pop");
+            if self.done[id] {
+                continue;
+            }
+            wakeups += 1;
+            match self.procs[id].resume(self.sim.now()) {
+                Action::Sleep(d) => self.sim.schedule_in(d, id),
+                Action::Until(t) => self.sim.schedule_at(t.max(self.sim.now()), id),
+                Action::Yield => self.sim.schedule_at(self.sim.now(), id),
+                Action::Done => {
+                    self.done[id] = true;
+                    self.live -= 1;
+                }
+            }
+        }
+        wakeups
+    }
+
+    /// Runs until every process finishes.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(Time::new(f64::MAX))
+    }
+
+    /// Consumes the executor, returning every process's final state in
+    /// spawn order (finished or not).
+    pub fn into_states(self) -> Vec<P> {
+        self.procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ticker {
+        period: f64,
+        remaining: u32,
+        fired_at: Vec<f64>,
+    }
+
+    impl Process for Ticker {
+        fn resume(&mut self, now: Time) -> Action {
+            self.fired_at.push(now.as_f64());
+            if self.remaining == 0 {
+                return Action::Done;
+            }
+            self.remaining -= 1;
+            Action::Sleep(Duration::from(self.period))
+        }
+    }
+
+    #[test]
+    fn single_process_ticks() {
+        let mut ex = ProcessExecutor::new();
+        ex.spawn_at(
+            Time::ZERO,
+            Ticker {
+                period: 2.0,
+                remaining: 3,
+                fired_at: Vec::new(),
+            },
+        );
+        ex.run_to_completion();
+        let states = ex.into_states();
+        let t = &states[0];
+        assert_eq!(t.fired_at, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn processes_interleave_by_time() {
+        // Two tickers with different periods: wake-ups must interleave in
+        // global time order.
+        let mut ex = ProcessExecutor::new();
+        ex.spawn_at(
+            Time::ZERO,
+            Ticker {
+                period: 3.0,
+                remaining: 2,
+                fired_at: Vec::new(),
+            },
+        );
+        ex.spawn_at(
+            Time::from(1.0),
+            Ticker {
+                period: 3.0,
+                remaining: 2,
+                fired_at: Vec::new(),
+            },
+        );
+        ex.run_to_completion();
+        let states = ex.into_states();
+        assert_eq!(states[0].fired_at, vec![0.0, 3.0, 6.0]);
+        assert_eq!(states[1].fired_at, vec![1.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut ex = ProcessExecutor::new();
+        ex.spawn_at(
+            Time::ZERO,
+            Ticker {
+                period: 1.0,
+                remaining: 1000,
+                fired_at: Vec::new(),
+            },
+        );
+        let wakeups = ex.run_until(Time::from(10.0));
+        assert_eq!(wakeups, 11); // t = 0..=10
+        assert_eq!(ex.live(), 1);
+    }
+
+    #[test]
+    fn closure_process_works() {
+        let mut count = 0;
+        {
+            let mut ex = ProcessExecutor::new();
+            ex.spawn_at(Time::ZERO, |_now: Time| {
+                count += 1;
+                if count < 4 {
+                    Action::Sleep(Duration::from(1.0))
+                } else {
+                    Action::Done
+                }
+            });
+            ex.run_to_completion();
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn yield_resumes_same_time() {
+        let mut times = Vec::new();
+        let mut n = 0;
+        {
+            let mut ex = ProcessExecutor::new();
+            ex.spawn_at(Time::from(5.0), |now: Time| {
+                times.push(now.as_f64());
+                n += 1;
+                if n < 3 {
+                    Action::Yield
+                } else {
+                    Action::Done
+                }
+            });
+            ex.run_to_completion();
+        }
+        assert_eq!(times, vec![5.0, 5.0, 5.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Priority event queue with deterministic tie-breaking.
+//!
+//! `std::collections::BinaryHeap` is a max-heap and makes no ordering
+//! promise for equal keys. Simulations need (a) a *min*-heap on time and
+//! (b) FIFO order among simultaneous events so that runs are reproducible
+//! bit-for-bit. We get both by keying entries on `(time, sequence)` and
+//! wrapping them in `Reverse`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A min-ordered event queue: pops the earliest event; events scheduled at
+/// the same instant pop in insertion order.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `event` to fire at time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest `(time, event)` pair.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from(3.0), 'c');
+        q.push(Time::from(1.0), 'a');
+        q.push(Time::from(2.0), 'b');
+        assert_eq!(q.pop(), Some((Time::from(1.0), 'a')));
+        assert_eq!(q.pop(), Some((Time::from(2.0), 'b')));
+        assert_eq!(q.pop(), Some((Time::from(3.0), 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from(7.0);
+        for i in 0..1000 {
+            q.push(t, i);
+        }
+        for i in 0..1000 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from(10.0), "late");
+        q.push(Time::from(1.0), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(Time::from(5.0), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from(4.0), ());
+        assert_eq!(q.peek_time(), Some(Time::from(4.0)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! Statistics collectors for steady-state measurement.
+//!
+//! The paper reports steady-state client response times: warm-up effects are
+//! discarded and the run continues "for 15,000 or more client page requests
+//! (until steady state)" (Section 5). These collectors support exactly that
+//! methodology:
+//!
+//! * [`RunningStats`] — numerically stable running mean/variance (Welford).
+//! * [`Histogram`] — bounded integer histogram with percentile queries, for
+//!   response-time distributions.
+//! * [`BatchMeans`] — the classic batch-means method for steady-state
+//!   confidence intervals from a single long run.
+//! * [`Counter`] — a labelled tally, used for the access-location breakdowns
+//!   of Figures 11 and 14.
+
+/// Numerically stable running mean and variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observation must be finite");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another collector into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Bounded integer histogram with percentile queries.
+///
+/// Observations are clamped into `[0, limit)` with one bucket per unit; a
+/// final overflow bucket counts anything at or beyond the limit. Response
+/// times in broadcast units are small integers plus a fractional phase, so a
+/// unit-resolution histogram loses almost nothing.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    n: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, limit)` in unit buckets.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "histogram needs at least one bucket");
+        Self {
+            buckets: vec![0; limit],
+            overflow: 0,
+            n: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x >= 0.0, "histogram observations must be non-negative");
+        self.n += 1;
+        self.sum += x;
+        let idx = x as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of all recorded observations (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Observations at or above the bucket limit.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of the bucket containing the `q`-quantile (`0 < q <= 1`).
+    ///
+    /// Returns `None` when empty. Overflow observations report the limit.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.n == 0 {
+            return None;
+        }
+        let target = ((q * self.n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(i as f64);
+            }
+        }
+        Some(self.buckets.len() as f64)
+    }
+
+    /// Bucket counts (excluding overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Steady-state confidence interval via non-overlapping batch means.
+///
+/// Observations are grouped into consecutive batches of fixed size; the
+/// batch means are approximately independent for large batches, so a
+/// Student-t interval over them is a defensible CI for a single long run.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_n: u64,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates a collector with the given batch size.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            current_sum: 0.0,
+            current_n: 0,
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_n += 1;
+        if self.current_n == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_n = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (`None` before the first batch).
+    pub fn mean(&self) -> Option<f64> {
+        if self.batch_means.is_empty() {
+            return None;
+        }
+        Some(self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64)
+    }
+
+    /// Approximate 95% confidence half-width over batch means.
+    ///
+    /// Uses t ≈ 1.96 + 2.4/df, a serviceable approximation of the two-sided
+    /// 97.5% Student-t quantile for df ≥ 5. Returns `None` with fewer than
+    /// two batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        let df = (k - 1) as f64;
+        let t = 1.96 + 2.4 / df;
+        Some(t * (var / k as f64).sqrt())
+    }
+}
+
+/// A labelled tally with share-of-total queries.
+///
+/// Used for the "where did each page access come from" breakdowns (cache,
+/// disk 1, disk 2, disk 3) of Figures 11 and 14.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    counts: Vec<u64>,
+}
+
+impl Counter {
+    /// Creates a counter with `labels` buckets.
+    pub fn new(labels: usize) -> Self {
+        Self {
+            counts: vec![0; labels],
+        }
+    }
+
+    /// Increments bucket `label`.
+    pub fn bump(&mut self, label: usize) {
+        self.counts[label] += 1;
+    }
+
+    /// Raw count for `label`.
+    pub fn count(&self, label: usize) -> u64 {
+        self.counts[label]
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of the total in `label` (0 when empty).
+    pub fn fraction(&self, label: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[label] as f64 / total as f64
+        }
+    }
+
+    /// All fractions, in label order.
+    pub fn fractions(&self) -> Vec<f64> {
+        (0..self.counts.len()).map(|i| self.fraction(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut whole = RunningStats::new();
+        for i in 0..100 {
+            let x = (i as f64).sin() * 10.0;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.record(3.0);
+        let before = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), before);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = Histogram::new(100);
+        for x in 0..100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 49.5).abs() < 1e-12);
+        assert_eq!(h.quantile(0.5), Some(49.0));
+        assert_eq!(h.quantile(1.0), Some(99.0));
+        assert_eq!(h.quantile(0.01), Some(0.0));
+    }
+
+    #[test]
+    fn histogram_overflow() {
+        let mut h = Histogram::new(10);
+        h.record(5.0);
+        h.record(500.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn batch_means_ci_shrinks_with_data() {
+        let mut bm = BatchMeans::new(10);
+        // Deterministic pseudo-noise around 100.
+        let mut x = 7u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (x >> 33) as f64 / (1u64 << 31) as f64; // [0,1)
+            bm.record(100.0 + noise);
+        }
+        assert_eq!(bm.batches(), 100);
+        let mean = bm.mean().unwrap();
+        assert!((mean - 100.5).abs() < 0.1, "mean={mean}");
+        let hw = bm.half_width_95().unwrap();
+        assert!(hw < 0.1, "hw={hw}");
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..15 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.mean(), Some(1.0));
+        assert_eq!(bm.half_width_95(), None);
+    }
+
+    #[test]
+    fn counter_fractions() {
+        let mut c = Counter::new(4);
+        c.bump(0);
+        c.bump(0);
+        c.bump(1);
+        c.bump(3);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.fraction(0), 0.5);
+        assert_eq!(c.fraction(2), 0.0);
+        assert_eq!(c.fractions(), vec![0.5, 0.25, 0.0, 0.25]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Virtual time.
+//!
+//! The paper measures everything in **broadcast units**: the time required
+//! to broadcast a single page (Section 4.1). `Time` is an absolute instant
+//! on that axis and `Duration` a span. Both wrap `f64` (think times such as
+//! 2.0 are fractional multiples of a page slot) but enforce the invariants a
+//! simulation clock needs: values are finite and totally ordered.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant in broadcast units.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+/// A span of time in broadcast units.
+pub type Duration = Time;
+
+impl Time {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time value, panicking on non-finite input.
+    pub fn new(units: f64) -> Self {
+        assert!(units.is_finite(), "time must be finite, got {units}");
+        Time(units)
+    }
+
+    /// Raw value in broadcast units.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The integer broadcast slot that contains this instant
+    /// (slot `k` covers `[k, k+1)`).
+    pub fn slot(self) -> u64 {
+        assert!(self.0 >= 0.0, "slot() requires non-negative time");
+        self.0 as u64
+    }
+
+    /// Largest of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Time {
+    fn from(v: f64) -> Self {
+        Time::new(v)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v as f64)
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finite by construction, so partial_cmp never fails.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Time is finite by construction")
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: f64) -> Time {
+        Time::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    fn div(self, rhs: f64) -> Time {
+        Time::new(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bu", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::from(1.0);
+        let b = Time::from(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from(3.0) + Time::from(4.5);
+        assert_eq!(t, Time::from(7.5));
+        assert_eq!(t - Time::from(0.5), Time::from(7.0));
+        assert_eq!(t * 2.0, Time::from(15.0));
+        assert_eq!(t / 3.0, Time::from(2.5));
+    }
+
+    #[test]
+    fn slot_floors() {
+        assert_eq!(Time::from(0.0).slot(), 0);
+        assert_eq!(Time::from(0.999).slot(), 0);
+        assert_eq!(Time::from(17.2).slot(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be finite")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be finite")]
+    fn infinity_rejected() {
+        let _ = Time::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from(1.23456)), "1.235");
+        assert_eq!(format!("{:?}", Time::from(2.0)), "2bu");
+    }
+}

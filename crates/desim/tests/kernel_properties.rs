@@ -1,0 +1,65 @@
+//! Property tests over the simulation kernel's invariants.
+
+use bdesim::{EventQueue, RunningStats, Simulation, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within ties.
+    #[test]
+    fn queue_pops_sorted_stable(times in proptest::collection::vec(0u32..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from(t as f64), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((at, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(at >= lt, "time went backwards");
+                if at == lt {
+                    prop_assert!(seq > lseq, "FIFO violated within a tie");
+                }
+            }
+            last = Some((at, seq));
+        }
+    }
+
+    /// The simulation clock is monotone for any schedule of relative and
+    /// absolute events.
+    #[test]
+    fn clock_is_monotone(delays in proptest::collection::vec(0.0f64..50.0, 1..100)) {
+        let mut sim = Simulation::new();
+        for &d in &delays {
+            sim.schedule_in(Time::new(d), ());
+        }
+        let mut prev = Time::ZERO;
+        while let Some(()) = sim.next_event() {
+            prop_assert!(sim.now() >= prev);
+            prev = sim.now();
+        }
+        prop_assert_eq!(sim.processed(), delays.len() as u64);
+    }
+
+    /// Welford merge is order-independent and equals single-stream stats.
+    #[test]
+    fn stats_merge_is_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let k = split.min(xs.len());
+        let mut whole = RunningStats::new();
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < k { a.record(x) } else { b.record(x) }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), whole.count());
+        prop_assert!((ab.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((ab.variance() - whole.variance()).abs() < 1e-4);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+    }
+}

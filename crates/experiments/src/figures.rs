@@ -1,0 +1,344 @@
+//! The simulation-driven figures: 5, 6, 7, 8, 9, 10, 11, 13, 14, 15.
+//!
+//! Each function regenerates the rows/series of one paper figure at the
+//! requested scale and writes both an aligned table to stdout and a CSV
+//! under `results/`.
+
+use bdisk_cache::PolicyKind;
+use bdisk_sim::{SimConfig, sweep};
+
+use crate::common::{
+    base_config, caching_config, layout, print_table, run_point, threads, write_csv, Scale,
+    DELTAS, NOISES,
+};
+
+/// One sweep point: a layout name, Δ, and a config.
+struct Point {
+    config_name: &'static str,
+    delta: u64,
+    cfg: SimConfig,
+}
+
+/// Runs a batch of points in parallel, returning mean response times.
+fn run_points(points: Vec<Point>, scale: Scale) -> Vec<f64> {
+    sweep(points, threads(), |p| {
+        let l = layout(p.config_name, p.delta);
+        run_point(&p.cfg, &l, scale).mean_response_time
+    })
+}
+
+/// Figure 5: client performance vs Δ, no cache, no noise, configs D1–D5.
+pub fn fig5(scale: Scale) {
+    let configs = ["D1", "D2", "D3", "D4", "D5"];
+    let mut points = Vec::new();
+    for &name in &configs {
+        for &delta in &DELTAS {
+            points.push(Point {
+                config_name: name,
+                delta,
+                cfg: base_config(scale),
+            });
+        }
+    }
+    let results = run_points(points, scale);
+
+    let xs: Vec<String> = DELTAS.iter().map(|d| d.to_string()).collect();
+    let series: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let sizes = crate::common::disk_config(name);
+            let label = format!("{name}{sizes:?}");
+            (
+                label,
+                results[i * DELTAS.len()..(i + 1) * DELTAS.len()].to_vec(),
+            )
+        })
+        .collect();
+    // Short labels for the printed table.
+    let short: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (
+                name.to_string(),
+                results[i * DELTAS.len()..(i + 1) * DELTAS.len()].to_vec(),
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 5: response time vs Delta (CacheSize=1, Noise=0%)",
+        "Delta",
+        &xs,
+        &short,
+    );
+    write_csv("fig5.csv", "delta", &xs, &series);
+}
+
+/// Shared driver for the noise-sensitivity figures (6, 7, 8, 9):
+/// x = Δ, one series per noise level, fixed disk config and policy/cache.
+fn noise_vs_delta(
+    title: &str,
+    csv: &str,
+    config_name: &'static str,
+    make_cfg: impl Fn(f64) -> SimConfig,
+    scale: Scale,
+) {
+    let mut points = Vec::new();
+    for &noise in &NOISES {
+        for &delta in &DELTAS {
+            points.push(Point {
+                config_name,
+                delta,
+                cfg: make_cfg(noise),
+            });
+        }
+    }
+    let results = run_points(points, scale);
+
+    let xs: Vec<String> = DELTAS.iter().map(|d| d.to_string()).collect();
+    let series: Vec<(String, Vec<f64>)> = NOISES
+        .iter()
+        .enumerate()
+        .map(|(i, noise)| {
+            (
+                format!("{}%", (noise * 100.0) as u32),
+                results[i * DELTAS.len()..(i + 1) * DELTAS.len()].to_vec(),
+            )
+        })
+        .collect();
+    print_table(title, "Delta", &xs, &series);
+    write_csv(csv, "delta", &xs, &series);
+}
+
+/// Figure 6: noise sensitivity of D3 ⟨2500,2500⟩, no cache.
+pub fn fig6(scale: Scale) {
+    noise_vs_delta(
+        "Figure 6: noise sensitivity, D3 <2500,2500>, CacheSize=1",
+        "fig6.csv",
+        "D3",
+        |noise| SimConfig {
+            noise,
+            ..base_config(scale)
+        },
+        scale,
+    );
+}
+
+/// Figure 7: noise sensitivity of D5 ⟨500,2000,2500⟩, no cache.
+pub fn fig7(scale: Scale) {
+    noise_vs_delta(
+        "Figure 7: noise sensitivity, D5 <500,2000,2500>, CacheSize=1",
+        "fig7.csv",
+        "D5",
+        |noise| SimConfig {
+            noise,
+            ..base_config(scale)
+        },
+        scale,
+    );
+}
+
+/// Figure 8: noise sensitivity of D5 with a 500-page cache under `P`.
+pub fn fig8(scale: Scale) {
+    noise_vs_delta(
+        "Figure 8: noise sensitivity, D5, CacheSize=500, policy P",
+        "fig8.csv",
+        "D5",
+        |noise| caching_config(scale, PolicyKind::P, noise),
+        scale,
+    );
+}
+
+/// Figure 9: noise sensitivity of D5 with a 500-page cache under `PIX`.
+pub fn fig9(scale: Scale) {
+    noise_vs_delta(
+        "Figure 9: noise sensitivity, D5, CacheSize=500, policy PIX",
+        "fig9.csv",
+        "D5",
+        |noise| caching_config(scale, PolicyKind::Pix, noise),
+        scale,
+    );
+}
+
+/// Figure 10: P vs PIX with varying noise at Δ ∈ {3, 5}, flat baseline.
+pub fn fig10(scale: Scale) {
+    let mut points = Vec::new();
+    // Series: P Δ3, P Δ5, PIX Δ3, PIX Δ5, flat (Δ0).
+    let series_spec: Vec<(&str, PolicyKind, u64)> = vec![
+        ("P d3", PolicyKind::P, 3),
+        ("P d5", PolicyKind::P, 5),
+        ("PIX d3", PolicyKind::Pix, 3),
+        ("PIX d5", PolicyKind::Pix, 5),
+        ("flat", PolicyKind::P, 0),
+    ];
+    for &(_, policy, delta) in &series_spec {
+        for &noise in &NOISES {
+            points.push(Point {
+                config_name: "D5",
+                delta,
+                cfg: caching_config(scale, policy, noise),
+            });
+        }
+    }
+    let results = run_points(points, scale);
+
+    let xs: Vec<String> = NOISES
+        .iter()
+        .map(|n| format!("{}%", (n * 100.0) as u32))
+        .collect();
+    let series: Vec<(String, Vec<f64>)> = series_spec
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            (
+                name.to_string(),
+                results[i * NOISES.len()..(i + 1) * NOISES.len()].to_vec(),
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 10: P vs PIX with varying noise (D5, CacheSize=500)",
+        "Noise",
+        &xs,
+        &series,
+    );
+    write_csv("fig10.csv", "noise", &xs, &series);
+}
+
+/// Shared driver for the access-location figures (11 and 14): percentage
+/// of requests satisfied by the cache and by each disk.
+fn access_locations(
+    title: &str,
+    csv: &str,
+    policies: &[PolicyKind],
+    scale: Scale,
+) {
+    let points: Vec<PolicyKind> = policies.to_vec();
+    let rows = sweep(points, threads(), |&policy| {
+        let l = layout("D5", 3);
+        let cfg = caching_config(scale, policy, 0.30);
+        run_point(&cfg, &l, scale).access_fractions
+    });
+
+    println!("\n=== {title} ===");
+    println!(
+        "{:>8}{:>10}{:>10}{:>10}{:>10}",
+        "policy", "cache", "disk1", "disk2", "disk3"
+    );
+    for (policy, fr) in policies.iter().zip(&rows) {
+        println!(
+            "{:>8}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
+            policy.name(),
+            fr[0] * 100.0,
+            fr[1] * 100.0,
+            fr[2] * 100.0,
+            fr[3] * 100.0
+        );
+    }
+    let xs: Vec<String> = policies.iter().map(|p| p.name().to_string()).collect();
+    let series: Vec<(String, Vec<f64>)> = ["cache", "disk1", "disk2", "disk3"]
+        .iter()
+        .enumerate()
+        .map(|(j, name)| (name.to_string(), rows.iter().map(|r| r[j]).collect()))
+        .collect();
+    write_csv(csv, "policy", &xs, &series);
+}
+
+/// Figure 11: access locations for P vs PIX (D5, Noise 30%, Δ = 3).
+pub fn fig11(scale: Scale) {
+    access_locations(
+        "Figure 11: access locations, P vs PIX (D5, CacheSize=500, Noise=30%, Delta=3)",
+        "fig11.csv",
+        &[PolicyKind::P, PolicyKind::Pix],
+        scale,
+    );
+}
+
+/// Figure 13: LRU vs L vs LIX vs PIX over Δ (D5, Noise 30%).
+pub fn fig13(scale: Scale) {
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::L,
+        PolicyKind::Lix,
+        PolicyKind::Pix,
+    ];
+    let mut points = Vec::new();
+    for &policy in &policies {
+        for &delta in &DELTAS {
+            points.push(Point {
+                config_name: "D5",
+                delta,
+                cfg: caching_config(scale, policy, 0.30),
+            });
+        }
+    }
+    let results = run_points(points, scale);
+
+    let xs: Vec<String> = DELTAS.iter().map(|d| d.to_string()).collect();
+    let series: Vec<(String, Vec<f64>)> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.name().to_string(),
+                results[i * DELTAS.len()..(i + 1) * DELTAS.len()].to_vec(),
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 13: sensitivity to Delta (D5, CacheSize=500, Noise=30%)",
+        "Delta",
+        &xs,
+        &series,
+    );
+    write_csv("fig13.csv", "delta", &xs, &series);
+}
+
+/// Figure 14: access locations for LRU, L, LIX (D5, Δ = 3, Noise 30%).
+pub fn fig14(scale: Scale) {
+    access_locations(
+        "Figure 14: page access locations (D5, CacheSize=500, Noise=30%, Delta=3)",
+        "fig14.csv",
+        &[PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix],
+        scale,
+    );
+}
+
+/// Figure 15: LRU vs L vs LIX over noise at Δ = 3.
+pub fn fig15(scale: Scale) {
+    let policies = [PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix];
+    let mut points = Vec::new();
+    for &policy in &policies {
+        for &noise in &NOISES {
+            points.push(Point {
+                config_name: "D5",
+                delta: 3,
+                cfg: caching_config(scale, policy, noise),
+            });
+        }
+    }
+    let results = run_points(points, scale);
+
+    let xs: Vec<String> = NOISES
+        .iter()
+        .map(|n| format!("{}%", (n * 100.0) as u32))
+        .collect();
+    let series: Vec<(String, Vec<f64>)> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.name().to_string(),
+                results[i * NOISES.len()..(i + 1) * NOISES.len()].to_vec(),
+            )
+        })
+        .collect();
+    print_table(
+        "Figure 15: noise sensitivity (D5, CacheSize=500, Delta=3)",
+        "Noise",
+        &xs,
+        &series,
+    );
+    write_csv("fig15.csv", "noise", &xs, &series);
+}

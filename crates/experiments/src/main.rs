@@ -1,0 +1,97 @@
+//! `repro` — regenerates every table and figure of the Broadcast Disks
+//! paper (Acharya, Alonso, Franklin, Zdonik, SIGMOD 1995).
+//!
+//! ```text
+//! repro [--quick] <experiment> [...]
+//!
+//! experiments:
+//!   table1   expected delay of the Figure 2 example programs
+//!   fig3     broadcast program generation worked example
+//!   fig5     response vs Delta, configs D1..D5, no cache
+//!   fig6     noise sensitivity, D3, no cache
+//!   fig7     noise sensitivity, D5, no cache
+//!   fig8     noise sensitivity, D5, CacheSize=500, policy P
+//!   fig9     noise sensitivity, D5, CacheSize=500, policy PIX
+//!   fig10    P vs PIX over noise at Delta 3 and 5
+//!   fig11    access locations, P vs PIX
+//!   fig12    LIX page replacement worked example
+//!   fig13    LRU/L/LIX/PIX vs Delta
+//!   fig14    access locations, LRU/L/LIX
+//!   fig15    LRU/L/LIX vs noise
+//!   prefetch PT prefetching vs demand caching (extension)
+//!   policies full policy shoot-out incl. LRU-K and 2Q (extension)
+//!   design   automated broadcast-program designer (extension)
+//!   updates  volatile data / invalidation vs stale reads (extension)
+//!   index    (1,m) air indexing access/tuning tradeoff (extension)
+//!   all      everything above, in paper order
+//! ```
+//!
+//! `--quick` cuts request counts and seeds for a fast smoke run; the
+//! default is paper fidelity (15 000 measured requests, 3 seeds per point).
+//! CSVs are written to `results/`.
+
+mod common;
+mod extensions;
+mod figures;
+mod table1;
+mod worked_examples;
+
+use common::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let experiments: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if experiments.is_empty() {
+        eprintln!("usage: repro [--quick] <table1|fig3|fig5|...|fig15|all>");
+        eprintln!("run `repro all` to regenerate every table and figure");
+        std::process::exit(2);
+    }
+
+    let start = std::time::Instant::now();
+    for exp in &experiments {
+        run_one(exp, scale);
+    }
+    eprintln!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn run_one(exp: &str, scale: Scale) {
+    match exp {
+        "table1" => table1::run(scale),
+        "fig3" => worked_examples::figure3(),
+        "fig5" => figures::fig5(scale),
+        "fig6" => figures::fig6(scale),
+        "fig7" => figures::fig7(scale),
+        "fig8" => figures::fig8(scale),
+        "fig9" => figures::fig9(scale),
+        "fig10" => figures::fig10(scale),
+        "fig11" => figures::fig11(scale),
+        "fig12" => worked_examples::figure12(),
+        "fig13" => figures::fig13(scale),
+        "fig14" => figures::fig14(scale),
+        "fig15" => figures::fig15(scale),
+        "prefetch" => extensions::prefetch(scale),
+        "policies" => extensions::policies(scale),
+        "design" => extensions::design(scale),
+        "updates" => extensions::updates(scale),
+        "index" => extensions::index(scale),
+        "all" => {
+            for e in [
+                "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates", "index",
+            ] {
+                run_one(e, scale);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Broadcast program generators.
+//!
+//! [`multi_disk_program`] is the paper's Section 2.2 algorithm verbatim:
+//!
+//! 1. pages are already ordered hottest → coldest (by `PageId`);
+//! 2. the [`DiskLayout`] partitions them into disks;
+//! 3. each disk has an integer relative frequency;
+//! 4. `max_chunks` = LCM of the frequencies; disk `i` splits into
+//!    `num_chunks(i) = max_chunks / rel_freq(i)` chunks;
+//! 5. the program interleaves one chunk of every disk per *minor cycle*:
+//!
+//! ```text
+//! for minor in 0..max_chunks:
+//!     for disk i in 1..=num_disks:
+//!         broadcast chunk C(i, minor mod num_chunks(i))
+//! ```
+//!
+//! When a disk's size does not divide evenly into its chunk count, chunks
+//! are padded to a fixed size with [`Slot::Empty`] so that *inter-arrival
+//! times stay fixed* — the property that defeats the Bus Stop Paradox. The
+//! paper notes such unused slots would carry indexes or updates in practice.
+//!
+//! The baseline generators ([`flat_program`], [`skewed_program`],
+//! [`random_program`]) reproduce programs (a) and (b) of Figure 2 and the
+//! randomized bandwidth-allocation strawman of Section 2.1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::disk::DiskLayout;
+use crate::error::SchedError;
+use crate::lcm;
+use crate::program::{BroadcastProgram, PageId, Slot};
+
+/// Generates the multi-disk broadcast program for `layout`
+/// (Section 2.2 algorithm). Prefer [`BroadcastProgram::generate`].
+pub fn multi_disk_program(layout: &DiskLayout) -> Result<BroadcastProgram, SchedError> {
+    let n = layout.num_disks();
+    let freqs = layout.freqs();
+
+    // Step 4: chunk counts from the LCM of the relative frequencies.
+    let max_chunks = freqs.iter().copied().fold(1u64, lcm);
+    let num_chunks: Vec<u64> = freqs.iter().map(|&f| max_chunks / f).collect();
+    // Fixed chunk size per disk, padding the last chunk(s) with empty slots.
+    let chunk_size: Vec<usize> = (0..n)
+        .map(|i| layout.sizes()[i].div_ceil(num_chunks[i] as usize))
+        .collect();
+
+    let minor_len: usize = chunk_size.iter().sum();
+    let period = max_chunks as usize * minor_len;
+    let mut slots = Vec::with_capacity(period);
+
+    // Step 5: interleave.
+    for minor in 0..max_chunks {
+        for disk in 0..n {
+            let chunk = (minor % num_chunks[disk]) as usize;
+            let range = layout.page_range(disk);
+            let chunk_start = range.start + chunk * chunk_size[disk];
+            for off in 0..chunk_size[disk] {
+                let page = chunk_start + off;
+                if page < range.end {
+                    slots.push(Slot::Page(PageId(page as u32)));
+                } else {
+                    slots.push(Slot::Empty);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(slots.len(), period);
+
+    let disk_of = |p: PageId| layout.disk_of(p) as u16;
+    BroadcastProgram::from_slots(slots, Some(&disk_of), freqs.to_vec())
+}
+
+/// A flat broadcast: every page exactly once per cycle, in page order
+/// (program (a) of Figure 2; also what Δ = 0 produces for any layout).
+pub fn flat_program(num_pages: usize) -> Result<BroadcastProgram, SchedError> {
+    if num_pages == 0 {
+        return Err(SchedError::EmptyProgram);
+    }
+    let slots = (0..num_pages)
+        .map(|p| Slot::Page(PageId(p as u32)))
+        .collect();
+    BroadcastProgram::from_slots(slots, None, vec![1])
+}
+
+/// A skewed broadcast: page `p` appears `copies[p]` times, with all of its
+/// copies *clustered back-to-back* (program (b) of Figure 2). Demonstrates
+/// the Bus Stop Paradox: same bandwidth shares as the multi-disk program,
+/// strictly worse expected delay whenever any `copies[p] > 1`.
+pub fn skewed_program(copies: &[u64]) -> Result<BroadcastProgram, SchedError> {
+    if copies.is_empty() || copies.iter().all(|&c| c == 0) {
+        return Err(SchedError::EmptyProgram);
+    }
+    assert!(
+        copies.iter().all(|&c| c > 0),
+        "every page needs at least one copy"
+    );
+    let mut slots = Vec::new();
+    for (p, &c) in copies.iter().enumerate() {
+        for _ in 0..c {
+            slots.push(Slot::Page(PageId(p as u32)));
+        }
+    }
+    BroadcastProgram::from_slots(slots, None, vec![1])
+}
+
+/// A random broadcast: page `p` appears `copies[p]` times per period at
+/// uniformly shuffled positions. This is the "generate the broadcast
+/// randomly according to bandwidth allocations" strawman of Section 2.1 —
+/// its average inter-arrival times match the multi-disk program but the
+/// variance costs expected delay.
+pub fn random_program<R: Rng>(copies: &[u64], rng: &mut R) -> Result<BroadcastProgram, SchedError> {
+    let program = skewed_program(copies)?;
+    let mut slots = program.slots().to_vec();
+    slots.shuffle(rng);
+    BroadcastProgram::from_slots(slots, None, vec![1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 3 worked example: disks of 1, 2, 8 pages at 4:2:1.
+    fn figure3() -> BroadcastProgram {
+        let layout = DiskLayout::new(vec![1, 2, 8], vec![4, 2, 1]).unwrap();
+        multi_disk_program(&layout).unwrap()
+    }
+
+    #[test]
+    fn figure3_period_and_structure() {
+        let p = figure3();
+        // max_chunks = lcm(4,2,1) = 4; chunks = 1,2,4; chunk sizes 1,1,2;
+        // minor cycle = 4 slots; period = 16.
+        assert_eq!(p.period(), 16);
+        assert_eq!(p.empty_slots(), 0);
+        // First minor cycle: C1,1 C2,1 C3,1 = pages 0 | 1 | 3 4.
+        let r = p.render();
+        assert_eq!(r, "A B D E A C F G A B H I A C J K");
+    }
+
+    #[test]
+    fn figure3_frequencies() {
+        let p = figure3();
+        assert_eq!(p.frequency(PageId(0)), 4);
+        assert_eq!(p.frequency(PageId(1)), 2);
+        assert_eq!(p.frequency(PageId(2)), 2);
+        for page in 3..11 {
+            assert_eq!(p.frequency(PageId(page)), 1, "page {page}");
+        }
+    }
+
+    #[test]
+    fn figure3_fixed_interarrival() {
+        let p = figure3();
+        for page in 0..11u32 {
+            assert!(
+                p.gap(PageId(page)).is_some(),
+                "page {page} not evenly spaced"
+            );
+        }
+        assert_eq!(p.gap(PageId(0)), Some(4.0));
+        assert_eq!(p.gap(PageId(1)), Some(8.0));
+        assert_eq!(p.gap(PageId(3)), Some(16.0));
+    }
+
+    #[test]
+    fn all_pages_present_exactly_freq_times() {
+        let layout = DiskLayout::new(vec![3, 5, 9], vec![6, 3, 1]).unwrap();
+        let p = multi_disk_program(&layout).unwrap();
+        for page in 0..17u32 {
+            let expected = layout.freq_of(PageId(page));
+            assert_eq!(p.frequency(PageId(page)), expected, "page {page}");
+        }
+    }
+
+    #[test]
+    fn padding_when_sizes_do_not_divide() {
+        // Disk 2 has 3 pages split into 2 chunks → chunk size 2, one pad.
+        let layout = DiskLayout::new(vec![1, 3], vec![2, 1]).unwrap();
+        let p = multi_disk_program(&layout).unwrap();
+        // max_chunks=2; chunk sizes: disk1=1, disk2=2; minor len 3; period 6.
+        assert_eq!(p.period(), 6);
+        assert_eq!(p.empty_slots(), 1);
+        assert_eq!(p.render(), "A B C A D -");
+        // Even with padding, inter-arrivals stay fixed.
+        for page in 0..4u32 {
+            assert!(p.gap(PageId(page)).is_some(), "page {page}");
+        }
+    }
+
+    #[test]
+    fn d5_delta3_shape() {
+        // D5 = <500, 2000, 2500> at Δ=3 → freqs 7,4,1 (used heavily in §5).
+        let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+        let p = multi_disk_program(&layout).unwrap();
+        assert_eq!(p.disk_frequencies(), &[7, 4, 1]);
+        // lcm(7,4,1)=28; chunks 4,7,28; chunk sizes 125, 286, 90;
+        // minor len 501; period 28*501.
+        assert_eq!(p.period(), 28 * 501);
+        assert_eq!(p.frequency(PageId(0)), 7);
+        assert_eq!(p.frequency(PageId(500)), 4);
+        assert_eq!(p.frequency(PageId(4999)), 1);
+        // Waste stays small, as the paper argues.
+        assert!(p.waste() < 0.01, "waste = {}", p.waste());
+    }
+
+    #[test]
+    fn flat_program_is_identity_cycle() {
+        let p = flat_program(5).unwrap();
+        assert_eq!(p.period(), 5);
+        assert_eq!(p.render(), "A B C D E");
+        for page in 0..5u32 {
+            assert_eq!(p.gap(PageId(page)), Some(5.0));
+        }
+    }
+
+    #[test]
+    fn flat_equals_delta_zero() {
+        let layout = DiskLayout::with_delta(&[2, 3], 0).unwrap();
+        let multi = multi_disk_program(&layout).unwrap();
+        let flat = flat_program(5).unwrap();
+        assert_eq!(multi.period(), flat.period());
+        for page in 0..5u32 {
+            assert_eq!(
+                multi.frequency(PageId(page)),
+                flat.frequency(PageId(page))
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_clusters_copies() {
+        let p = skewed_program(&[2, 1, 1]).unwrap();
+        assert_eq!(p.render(), "A A B C");
+        assert_eq!(p.gap(PageId(0)), None);
+    }
+
+    #[test]
+    fn random_preserves_copy_counts() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let p = random_program(&[3, 2, 1, 1], &mut rng).unwrap();
+        assert_eq!(p.period(), 7);
+        assert_eq!(p.frequency(PageId(0)), 3);
+        assert_eq!(p.frequency(PageId(1)), 2);
+        assert_eq!(p.frequency(PageId(3)), 1);
+    }
+
+    #[test]
+    fn generators_reject_empty() {
+        assert!(flat_program(0).is_err());
+        assert!(skewed_program(&[]).is_err());
+    }
+
+    #[test]
+    fn two_disk_example_from_section_2_2() {
+        // "given two disks, disk 1 broadcast three times for every two of
+        //  disk 2": rel_freq 3 and 2 → max_chunks 6, chunks 2 and 3.
+        let layout = DiskLayout::new(vec![2, 3], vec![3, 2]).unwrap();
+        let p = multi_disk_program(&layout).unwrap();
+        // chunk sizes: disk1 2/2=1, disk2 3/3=1; minor len 2; period 12.
+        assert_eq!(p.period(), 12);
+        assert_eq!(p.frequency(PageId(0)), 3);
+        assert_eq!(p.frequency(PageId(2)), 2);
+        for page in 0..5u32 {
+            assert!(p.gap(PageId(page)).is_some());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Automated broadcast-program design.
+//!
+//! The paper leaves "the automatic determination of these parameters for a
+//! given access probability distribution" as an open optimization problem
+//! (Section 2.2) and asks for "concrete design principles for deciding how
+//! many disks to use, what the best relative spinning speeds should be, and
+//! how to segment the client access range" (Section 7). This module is that
+//! extension: a direct search over the paper's own knob space —
+//! number of disks, Δ, and partition boundaries — minimizing the *analytic*
+//! no-cache expected delay
+//!
+//! ```text
+//! E[delay] = Σ_p  prob(p) · period / (2 · rel_freq(disk(p)))
+//! ```
+//!
+//! which is exact for multi-disk programs because their per-page
+//! inter-arrival times are fixed. The period accounts for chunk padding, so
+//! configurations that waste many slots are penalized automatically.
+
+use crate::disk::DiskLayout;
+use crate::error::SchedError;
+use crate::lcm;
+
+/// Search-space bounds for [`optimize_layout`].
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Largest number of disks to consider (the paper anticipates 2–5).
+    pub max_disks: usize,
+    /// Largest Δ to consider (the paper sweeps 0–7).
+    pub max_delta: u64,
+    /// Cap on candidate partition boundaries; when the page count exceeds
+    /// this, boundaries are restricted to evenly spaced positions.
+    pub max_candidates: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            max_disks: 3,
+            max_delta: 7,
+            max_candidates: 48,
+        }
+    }
+}
+
+/// Result of a layout search.
+#[derive(Debug, Clone)]
+pub struct OptimizedLayout {
+    /// The best layout found.
+    pub layout: DiskLayout,
+    /// The Δ that produced its frequencies.
+    pub delta: u64,
+    /// Its analytic expected delay, in broadcast units.
+    pub expected_delay: f64,
+}
+
+/// Finds the layout (disk count, Δ, partition boundaries) minimizing the
+/// analytic no-cache expected delay for the given per-page access
+/// probabilities.
+///
+/// `probs[p]` is the access probability of page `p` *in broadcast order*
+/// (hottest first — the precondition of the Section 2.2 algorithm; pass a
+/// sorted distribution). Probabilities need not sum to one; they are used
+/// as weights.
+pub fn optimize_layout(
+    probs: &[f64],
+    cfg: &OptimizerConfig,
+) -> Result<OptimizedLayout, SchedError> {
+    if probs.is_empty() {
+        return Err(SchedError::EmptyProgram);
+    }
+    let n = probs.len();
+
+    // Prefix sums of probability mass for O(1) range mass.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &p in probs {
+        prefix.push(prefix.last().unwrap() + p);
+    }
+    let total_mass: f64 = prefix[n];
+
+    // Candidate boundaries (positions where one disk may end), excluding 0
+    // and n, thinned to at most max_candidates.
+    let interior = n.saturating_sub(1);
+    let candidates: Vec<usize> = if interior <= cfg.max_candidates {
+        (1..n).collect()
+    } else {
+        (1..=cfg.max_candidates)
+            .map(|i| 1 + (i - 1) * (interior - 1) / (cfg.max_candidates - 1))
+            .collect()
+    };
+
+    // Flat broadcast is the K = 1 baseline.
+    let mut best = OptimizedLayout {
+        layout: DiskLayout::new(vec![n], vec![1])?,
+        delta: 0,
+        expected_delay: total_mass * n as f64 / 2.0,
+    };
+
+    let max_disks = cfg.max_disks.min(n);
+    for k in 2..=max_disks {
+        for delta in 1..=cfg.max_delta {
+            // rel_freq(i) = (k − i)·Δ + 1, disks 1..=k.
+            let freqs: Vec<u64> = (1..=k as u64).map(|i| (k as u64 - i) * delta + 1).collect();
+            let max_chunks = freqs.iter().copied().fold(1u64, lcm);
+            let num_chunks: Vec<u64> = freqs.iter().map(|&f| max_chunks / f).collect();
+
+            let mut bounds = vec![0usize; k + 1];
+            bounds[k] = n;
+            search_boundaries(
+                &candidates,
+                &prefix,
+                &freqs,
+                &num_chunks,
+                max_chunks,
+                &mut bounds,
+                1,
+                0,
+                delta,
+                &mut best,
+            );
+        }
+    }
+    Ok(best)
+}
+
+/// Recursively chooses `bounds[level..k]` from `candidates`, evaluating the
+/// full configuration at the leaves.
+#[allow(clippy::too_many_arguments)]
+fn search_boundaries(
+    candidates: &[usize],
+    prefix: &[f64],
+    freqs: &[u64],
+    num_chunks: &[u64],
+    max_chunks: u64,
+    bounds: &mut Vec<usize>,
+    level: usize,
+    min_candidate_idx: usize,
+    delta: u64,
+    best: &mut OptimizedLayout,
+) {
+    let k = freqs.len();
+    if level == k {
+        if let Some(delay) = evaluate(prefix, freqs, num_chunks, max_chunks, bounds) {
+            if delay < best.expected_delay {
+                let sizes: Vec<usize> = (0..k).map(|i| bounds[i + 1] - bounds[i]).collect();
+                if let Ok(layout) = DiskLayout::new(sizes, freqs.to_vec()) {
+                    *best = OptimizedLayout {
+                        layout,
+                        delta,
+                        expected_delay: delay,
+                    };
+                }
+            }
+        }
+        return;
+    }
+    for (ci, &c) in candidates.iter().enumerate().skip(min_candidate_idx) {
+        if c <= bounds[level - 1] {
+            continue;
+        }
+        if c >= bounds[k] {
+            break;
+        }
+        bounds[level] = c;
+        search_boundaries(
+            candidates,
+            prefix,
+            freqs,
+            num_chunks,
+            max_chunks,
+            bounds,
+            level + 1,
+            ci + 1,
+            delta,
+            best,
+        );
+    }
+}
+
+/// Analytic expected delay of a fully specified configuration, or `None`
+/// when a disk would be empty.
+fn evaluate(
+    prefix: &[f64],
+    freqs: &[u64],
+    num_chunks: &[u64],
+    max_chunks: u64,
+    bounds: &[usize],
+) -> Option<f64> {
+    let k = freqs.len();
+    // Period from padded chunk sizes, exactly as the generator computes it.
+    let mut minor_len = 0usize;
+    for i in 0..k {
+        let size = bounds[i + 1] - bounds[i];
+        if size == 0 {
+            return None;
+        }
+        minor_len += size.div_ceil(num_chunks[i] as usize);
+    }
+    let period = max_chunks as usize * minor_len;
+
+    let mut delay = 0.0;
+    for i in 0..k {
+        let mass = prefix[bounds[i + 1]] - prefix[bounds[i]];
+        delay += mass * period as f64 / (2.0 * freqs[i] as f64);
+    }
+    Some(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_probs(n: usize, theta: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = (1..=n).map(|i| (1.0 / i as f64).powf(theta)).collect();
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|p| *p /= s);
+        v
+    }
+
+    #[test]
+    fn uniform_access_prefers_flat() {
+        // Fundamental constraint (Table 1, point 1): with uniform access a
+        // flat disk is optimal.
+        let probs = vec![0.1; 10];
+        let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
+        assert_eq!(best.layout.num_disks(), 1);
+        assert_eq!(best.delta, 0);
+        assert!((best.expected_delay - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_access_prefers_multi_disk() {
+        let probs = zipf_probs(100, 0.95);
+        let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
+        assert!(best.layout.num_disks() >= 2, "layout = {:?}", best.layout);
+        // Must beat flat (expected 50).
+        assert!(best.expected_delay < 50.0, "delay = {}", best.expected_delay);
+        // Fast disk should be smaller than slow disk.
+        let sizes = best.layout.sizes();
+        assert!(sizes[0] < sizes[sizes.len() - 1], "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn extreme_skew_shrinks_fast_disk() {
+        // One page takes 90% of accesses.
+        let mut probs = vec![0.1 / 99.0; 100];
+        probs[0] = 0.9;
+        let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
+        assert!(best.layout.num_disks() >= 2);
+        assert!(best.layout.sizes()[0] <= 10, "sizes = {:?}", best.layout.sizes());
+        assert!(best.expected_delay < 25.0);
+    }
+
+    #[test]
+    fn objective_matches_generated_program() {
+        // The optimizer's analytic objective must equal the true expected
+        // delay of the generated program.
+        let probs = zipf_probs(60, 0.95);
+        let cfg = OptimizerConfig {
+            max_disks: 3,
+            max_delta: 4,
+            max_candidates: 20,
+        };
+        let best = optimize_layout(&probs, &cfg).unwrap();
+        let program = crate::BroadcastProgram::generate(&best.layout).unwrap();
+        let mut expect = 0.0;
+        for (p, &pr) in probs.iter().enumerate() {
+            let gap = program
+                .gap(crate::PageId(p as u32))
+                .expect("multi-disk programs have fixed gaps");
+            expect += pr * gap / 2.0;
+        }
+        assert!(
+            (expect - best.expected_delay).abs() < 1e-6,
+            "analytic {} vs program {}",
+            best.expected_delay,
+            expect
+        );
+    }
+
+    #[test]
+    fn empty_probs_rejected() {
+        assert!(optimize_layout(&[], &OptimizerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn candidate_thinning_still_works() {
+        let probs = zipf_probs(500, 0.95);
+        let cfg = OptimizerConfig {
+            max_disks: 2,
+            max_delta: 3,
+            max_candidates: 8,
+        };
+        let best = optimize_layout(&probs, &cfg).unwrap();
+        assert!(best.expected_delay <= 250.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The broadcast program: a periodic sequence of page-broadcast slots.
+//!
+//! A program is the server's entire output: slot `k` (covering virtual time
+//! `[k, k+1)` in broadcast units) carries one page, or nothing when the
+//! chunk-splitting step of the generation algorithm could not divide a disk
+//! evenly (the paper's "unused slots"). The sequence repeats forever with
+//! period [`BroadcastProgram::period`].
+//!
+//! Beyond the slot vector, the program pre-computes per-page broadcast
+//! positions so the client model can answer *"when does page p next go by?"*
+//! in `O(log f)` where `f` is the page's per-period frequency.
+
+use crate::disk::DiskLayout;
+use crate::error::SchedError;
+use crate::generate;
+
+/// Identifier of a page in broadcast order (0 = the page the server
+/// believes is hottest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One broadcast slot: a page transmission or an unused slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The slot broadcasts this page.
+    Page(PageId),
+    /// The slot is unused (chunk padding); real deployments would carry
+    /// indexes, invalidations, or extra copies of hot pages here.
+    Empty,
+}
+
+/// A periodic broadcast program.
+#[derive(Debug, Clone)]
+pub struct BroadcastProgram {
+    slots: Vec<Slot>,
+    /// Sorted slot offsets (within one period) at which each page starts.
+    page_slots: Vec<Vec<u32>>,
+    /// Disk index per page (0 when the program was built from raw slots).
+    page_disk: Vec<u16>,
+    /// Relative frequency of each disk (empty for raw-slot programs).
+    disk_freqs: Vec<u64>,
+    /// Number of empty (padding) slots per period.
+    empty_slots: usize,
+}
+
+impl BroadcastProgram {
+    /// Generates a multi-disk program from `layout` using the Section 2.2
+    /// algorithm. See [`crate::generate`] for the construction.
+    pub fn generate(layout: &DiskLayout) -> Result<Self, SchedError> {
+        generate::multi_disk_program(layout)
+    }
+
+    /// Builds a program from an explicit slot sequence.
+    ///
+    /// Used for the baseline programs (flat, skewed, random) and by tests.
+    /// Page ids must be dense: every page in `0..=max` must appear at least
+    /// once. `disk_of` labels each page with a disk index for access-location
+    /// accounting; pass `None` to place everything on disk 0.
+    pub fn from_slots(
+        slots: Vec<Slot>,
+        disk_of: Option<&dyn Fn(PageId) -> u16>,
+        disk_freqs: Vec<u64>,
+    ) -> Result<Self, SchedError> {
+        let num_pages = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Page(p) => Some(p.index() + 1),
+                Slot::Empty => None,
+            })
+            .max()
+            .ok_or(SchedError::EmptyProgram)?;
+
+        let mut page_slots = vec![Vec::new(); num_pages];
+        let mut empty_slots = 0;
+        for (i, s) in slots.iter().enumerate() {
+            match s {
+                Slot::Page(p) => page_slots[p.index()].push(i as u32),
+                Slot::Empty => empty_slots += 1,
+            }
+        }
+        for (p, ps) in page_slots.iter().enumerate() {
+            if ps.is_empty() {
+                // Dense page-id requirement: a "page" that is never
+                // broadcast cannot be retrieved and indicates a bug in the
+                // caller's slot construction.
+                panic!("page p{p} never appears in the program");
+            }
+        }
+        let page_disk = match disk_of {
+            Some(f) => (0..num_pages).map(|p| f(PageId(p as u32))).collect(),
+            None => vec![0; num_pages],
+        };
+        Ok(Self {
+            slots,
+            page_slots,
+            page_disk,
+            disk_freqs,
+            empty_slots,
+        })
+    }
+
+    /// The broadcast period, in slots (= broadcast units).
+    pub fn period(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot sequence for one period.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Number of distinct pages broadcast.
+    pub fn num_pages(&self) -> usize {
+        self.page_slots.len()
+    }
+
+    /// Number of unused (padding) slots per period.
+    pub fn empty_slots(&self) -> usize {
+        self.empty_slots
+    }
+
+    /// Fraction of bandwidth wasted on padding.
+    pub fn waste(&self) -> f64 {
+        self.empty_slots as f64 / self.period() as f64
+    }
+
+    /// Relative frequency of each disk, fastest first (empty for programs
+    /// built from raw slots without a layout).
+    pub fn disk_frequencies(&self) -> &[u64] {
+        &self.disk_freqs
+    }
+
+    /// Number of disks this program distinguishes (at least 1).
+    pub fn num_disks(&self) -> usize {
+        self.disk_freqs.len().max(
+            self.page_disk.iter().map(|&d| d as usize + 1).max().unwrap_or(1),
+        )
+    }
+
+    /// The disk (0-based) that broadcasts `page`.
+    pub fn disk_of(&self, page: PageId) -> usize {
+        self.page_disk[page.index()] as usize
+    }
+
+    /// Broadcasts of `page` per period.
+    pub fn frequency(&self, page: PageId) -> u64 {
+        self.page_slots[page.index()].len() as u64
+    }
+
+    /// Fraction of the total bandwidth given to `page`.
+    pub fn bandwidth_share(&self, page: PageId) -> f64 {
+        self.frequency(page) as f64 / self.period() as f64
+    }
+
+    /// The fixed inter-arrival gap of `page` in broadcast units, or `None`
+    /// if the page's broadcasts are *not* evenly spaced (e.g. in a skewed
+    /// program).
+    pub fn gap(&self, page: PageId) -> Option<f64> {
+        let starts = &self.page_slots[page.index()];
+        if starts.len() == 1 {
+            return Some(self.period() as f64);
+        }
+        let expect = self.period() as f64 / starts.len() as f64;
+        for w in starts.windows(2) {
+            if (w[1] - w[0]) as f64 != expect {
+                return None;
+            }
+        }
+        // Wrap-around gap.
+        let wrap = (self.period() as u32 - starts[starts.len() - 1] + starts[0]) as f64;
+        (wrap == expect).then_some(expect)
+    }
+
+    /// All inter-arrival gaps of `page` within one period (including the
+    /// wrap-around gap). Used by the analytic expected-delay model.
+    pub fn gaps(&self, page: PageId) -> Vec<f64> {
+        let starts = &self.page_slots[page.index()];
+        let mut gaps = Vec::with_capacity(starts.len());
+        for w in starts.windows(2) {
+            gaps.push((w[1] - w[0]) as f64);
+        }
+        gaps.push((self.period() as u32 - starts[starts.len() - 1] + starts[0]) as f64);
+        gaps
+    }
+
+    /// Slot offsets (within one period) at which `page` is broadcast.
+    pub fn page_starts(&self, page: PageId) -> &[u32] {
+        &self.page_slots[page.index()]
+    }
+
+    /// The absolute time (slot start) at which `page` is next broadcast at
+    /// or after time `t` (in broadcast units).
+    ///
+    /// A client that missed its cache waits from `t` until this instant;
+    /// the paper's response time for the request is the difference.
+    pub fn next_arrival(&self, page: PageId, t: f64) -> f64 {
+        debug_assert!(t >= 0.0);
+        let period = self.period() as f64;
+        let starts = &self.page_slots[page.index()];
+        let cycle = (t / period).floor();
+        let phase = t - cycle * period;
+        // First broadcast at offset >= phase, else wrap to next cycle.
+        let idx = starts.partition_point(|&s| (s as f64) < phase);
+        if idx < starts.len() {
+            cycle * period + starts[idx] as f64
+        } else {
+            (cycle + 1.0) * period + starts[0] as f64
+        }
+    }
+
+    /// Renders the program as a compact string, e.g. `"A B A C"` with
+    /// letters for the first 26 pages and `p<N>` beyond; `-` marks padding.
+    /// Intended for examples, docs, and the Figure 3 demo.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.period() * 2);
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match s {
+                Slot::Page(p) if p.0 < 26 => out.push((b'A' + p.0 as u8) as char),
+                Slot::Page(p) => out.push_str(&format!("p{}", p.0)),
+                Slot::Empty => out.push('-'),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abac() -> BroadcastProgram {
+        // Program (c) of Figure 2: the Multi-disk broadcast A B A C.
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(2)),
+        ];
+        BroadcastProgram::from_slots(slots, None, vec![]).unwrap()
+    }
+
+    fn aabc() -> BroadcastProgram {
+        // Program (b) of Figure 2: the skewed broadcast A A B C.
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(2)),
+        ];
+        BroadcastProgram::from_slots(slots, None, vec![]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = abac();
+        assert_eq!(p.period(), 4);
+        assert_eq!(p.num_pages(), 3);
+        assert_eq!(p.frequency(PageId(0)), 2);
+        assert_eq!(p.frequency(PageId(1)), 1);
+        assert_eq!(p.empty_slots(), 0);
+        assert_eq!(p.waste(), 0.0);
+        assert_eq!(p.bandwidth_share(PageId(0)), 0.5);
+    }
+
+    #[test]
+    fn gap_detects_even_spacing() {
+        let p = abac();
+        assert_eq!(p.gap(PageId(0)), Some(2.0)); // evenly spaced
+        assert_eq!(p.gap(PageId(1)), Some(4.0)); // single copy
+        let s = aabc();
+        assert_eq!(s.gap(PageId(0)), None); // clustered → uneven
+        assert_eq!(s.gaps(PageId(0)), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn gaps_sum_to_period_times_freq_share() {
+        let p = aabc();
+        for page in 0..3 {
+            let g: f64 = p.gaps(PageId(page)).iter().sum();
+            assert_eq!(g, p.period() as f64);
+        }
+    }
+
+    #[test]
+    fn next_arrival_within_cycle() {
+        let p = abac(); // A at 0 and 2
+        assert_eq!(p.next_arrival(PageId(0), 0.0), 0.0);
+        assert_eq!(p.next_arrival(PageId(0), 0.5), 2.0);
+        assert_eq!(p.next_arrival(PageId(0), 2.0), 2.0);
+        assert_eq!(p.next_arrival(PageId(0), 2.1), 4.0); // wraps to next cycle
+        assert_eq!(p.next_arrival(PageId(2), 3.5), 7.0); // C at offset 3
+    }
+
+    #[test]
+    fn next_arrival_deep_in_time() {
+        let p = abac();
+        // t = 1000.25, period 4 → phase 0.25 → next A at offset 2.
+        assert_eq!(p.next_arrival(PageId(0), 1000.25), 1002.0);
+        // Exactly on a broadcast instant counts as catching it.
+        assert_eq!(p.next_arrival(PageId(1), 1001.0), 1001.0);
+    }
+
+    #[test]
+    fn next_arrival_never_in_past() {
+        let p = aabc();
+        for page in 0..3u32 {
+            let mut t = 0.0;
+            while t < 30.0 {
+                let a = p.next_arrival(PageId(page), t);
+                assert!(a >= t, "arrival {a} before request {t} for page {page}");
+                assert!(a - t <= p.period() as f64, "waited more than a period");
+                t += 0.37;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slots_counted() {
+        let slots = vec![Slot::Page(PageId(0)), Slot::Empty, Slot::Page(PageId(0)), Slot::Empty];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.empty_slots(), 2);
+        assert_eq!(p.waste(), 0.5);
+        assert_eq!(p.num_pages(), 1);
+    }
+
+    #[test]
+    fn from_slots_rejects_all_empty() {
+        let r = BroadcastProgram::from_slots(vec![Slot::Empty, Slot::Empty], None, vec![]);
+        assert_eq!(r.unwrap_err(), SchedError::EmptyProgram);
+    }
+
+    #[test]
+    #[should_panic(expected = "never appears")]
+    fn from_slots_rejects_sparse_pages() {
+        // Page 1 missing while page 2 present.
+        let slots = vec![Slot::Page(PageId(0)), Slot::Page(PageId(2))];
+        let _ = BroadcastProgram::from_slots(slots, None, vec![]);
+    }
+
+    #[test]
+    fn render_small_program() {
+        assert_eq!(abac().render(), "A B A C");
+        let slots = vec![Slot::Page(PageId(0)), Slot::Empty];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.render(), "A -");
+    }
+
+    #[test]
+    fn disk_labels_from_closure() {
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(2)),
+        ];
+        let f = |p: PageId| if p.0 == 0 { 0u16 } else { 1u16 };
+        let p = BroadcastProgram::from_slots(slots, Some(&f), vec![2, 1]).unwrap();
+        assert_eq!(p.disk_of(PageId(0)), 0);
+        assert_eq!(p.disk_of(PageId(2)), 1);
+        assert_eq!(p.disk_frequencies(), &[2, 1]);
+        assert_eq!(p.num_disks(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Simulation parameters (Tables 2, 3 and 4 of the paper).
+
+use bdisk_cache::PolicyKind;
+use bdisk_sched::{DiskLayout, SchedError};
+
+/// All client- and server-side parameters of one simulation run.
+///
+/// Defaults are the paper's Table 4 settings (the disk layout itself is
+/// passed separately so sweeps can share one config across layouts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Pages the client actually accesses (`AccessRange`, paper: 1000).
+    pub access_range: usize,
+    /// Pages per uniform-probability region (`RegionSize`, paper: 50).
+    pub region_size: usize,
+    /// Zipf skew parameter (θ, paper: 0.95).
+    pub theta: f64,
+    /// Broadcast units between the completion of one request and the next
+    /// (`ThinkTime`, paper: 2.0).
+    pub think_time: f64,
+    /// Extra uniform-random think time in `[0, think_jitter)` added to each
+    /// think. The paper uses a fixed think time; a jitter of ~1 broadcast
+    /// unit removes phase-lattice artifacts when the broadcast period is
+    /// tiny (e.g. the 3-page Table 1 programs).
+    pub think_jitter: f64,
+    /// Client cache capacity in pages (`CacheSize`; the paper's "no
+    /// caching" setting is 1 — the client still holds the page it just
+    /// fetched; 0 disables retention entirely).
+    pub cache_size: usize,
+    /// Pages shifted from the fastest disk to the tail of the slowest
+    /// (`Offset`; the paper uses `CacheSize` when caching is on).
+    pub offset: usize,
+    /// Per-page probability of a mapping swap (`Noise`, 0.0–1.0).
+    pub noise: f64,
+    /// Cache replacement policy.
+    pub policy: PolicyKind,
+    /// Requests measured after warm-up (paper: 15 000 or more).
+    pub requests: u64,
+    /// Requests discarded after the cache fills before measurement starts.
+    pub warmup_requests: u64,
+    /// EWMA constant for LIX/L (paper: 0.25).
+    pub alpha: f64,
+    /// Batch size for the batch-means confidence interval.
+    pub batch_size: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            access_range: 1000,
+            region_size: 50,
+            theta: 0.95,
+            think_time: 2.0,
+            think_jitter: 0.0,
+            cache_size: 1,
+            offset: 0,
+            noise: 0.0,
+            policy: PolicyKind::Pix,
+            requests: 15_000,
+            warmup_requests: 3_000,
+            alpha: 0.25,
+            batch_size: 500,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration against a disk layout.
+    pub fn validate(&self, layout: &DiskLayout) -> Result<(), SimError> {
+        let db = layout.total_pages();
+        if self.access_range == 0 || self.access_range > db {
+            return Err(SimError::BadAccessRange {
+                access_range: self.access_range,
+                db_size: db,
+            });
+        }
+        if self.region_size == 0 {
+            return Err(SimError::BadParameter("region_size must be positive"));
+        }
+        if self.offset >= db {
+            return Err(SimError::BadParameter("offset must be smaller than the database"));
+        }
+        if self.cache_size > self.access_range {
+            // The client only ever touches access_range distinct pages, so
+            // a larger cache could never fill and warm-up would not end.
+            return Err(SimError::BadParameter(
+                "cache_size must not exceed access_range",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.noise) {
+            return Err(SimError::BadParameter("noise must be within [0, 1]"));
+        }
+        if self.think_time < 0.0 || !self.think_time.is_finite() {
+            return Err(SimError::BadParameter("think_time must be non-negative"));
+        }
+        if self.think_jitter < 0.0 || !self.think_jitter.is_finite() {
+            return Err(SimError::BadParameter("think_jitter must be non-negative"));
+        }
+        if self.requests == 0 {
+            return Err(SimError::BadParameter("requests must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(SimError::BadParameter("batch_size must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `AccessRange` must be positive and no larger than `ServerDBSize`.
+    BadAccessRange {
+        /// Offending access range.
+        access_range: usize,
+        /// Total pages in the broadcast.
+        db_size: usize,
+    },
+    /// A parameter failed validation.
+    BadParameter(&'static str),
+    /// Broadcast program generation failed.
+    Sched(SchedError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadAccessRange { access_range, db_size } => write!(
+                f,
+                "access range {access_range} must be in 1..={db_size} (ServerDBSize)"
+            ),
+            SimError::BadParameter(msg) => f.write_str(msg),
+            SimError::Sched(e) => write!(f, "schedule generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for SimError {
+    fn from(e: SchedError) -> Self {
+        SimError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> DiskLayout {
+        DiskLayout::with_delta(&[50, 200, 250], 2).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_table4() {
+        let c = SimConfig::default();
+        assert_eq!(c.access_range, 1000);
+        assert_eq!(c.region_size, 50);
+        assert_eq!(c.theta, 0.95);
+        assert_eq!(c.think_time, 2.0);
+        assert_eq!(c.alpha, 0.25);
+        assert!(c.requests >= 15_000);
+    }
+
+    #[test]
+    fn default_validates_against_paper_layout() {
+        let layout = DiskLayout::with_delta(&[500, 2000, 2500], 3).unwrap();
+        SimConfig::default().validate(&layout).unwrap();
+    }
+
+    #[test]
+    fn rejects_access_range_beyond_db() {
+        let cfg = SimConfig {
+            access_range: 1000,
+            ..SimConfig::default()
+        };
+        let err = cfg.validate(&layout()).unwrap_err();
+        assert!(matches!(err, SimError::BadAccessRange { db_size: 500, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let base = SimConfig {
+            access_range: 100,
+            ..SimConfig::default()
+        };
+        for (name, cfg) in [
+            ("offset", SimConfig { offset: 500, ..base.clone() }),
+            ("jitter", SimConfig { think_jitter: -0.5, ..base.clone() }),
+            ("noise", SimConfig { noise: 1.5, ..base.clone() }),
+            ("think", SimConfig { think_time: -1.0, ..base.clone() }),
+            ("requests", SimConfig { requests: 0, ..base.clone() }),
+            ("region", SimConfig { region_size: 0, ..base.clone() }),
+            ("batch", SimConfig { batch_size: 0, ..base.clone() }),
+        ] {
+            assert!(cfg.validate(&layout()).is_err(), "{name} should fail");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SimError::BadAccessRange {
+            access_range: 9,
+            db_size: 5,
+        };
+        assert!(e.to_string().contains("ServerDBSize"));
+        let e: SimError = SchedError::NoDisks.into();
+        assert!(e.to_string().contains("schedule generation failed"));
+    }
+
+    #[test]
+    fn configs_compare_for_sweep_dedup() {
+        let a = SimConfig::default();
+        let mut b = SimConfig::default();
+        assert_eq!(a, b);
+        b.noise = 0.3;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,372 @@
+//! The client process: the heart of the Section 4.1 execution model.
+//!
+//! "The client runs a continuous loop that randomly requests a page
+//! according to a specified distribution. […] If the requested page is not
+//! cache-resident, then the client waits for the page to arrive on the
+//! broadcast and then brings the requested page into its cache. […] Once
+//! the requested page is cache resident, the client waits ThinkTime
+//! broadcast units of time and then makes the next request."
+//!
+//! Measurement follows Section 5's methodology: "the cache warm-up effects
+//! were eliminated by beginning our measurements only after the cache was
+//! full, and then running the experiment for 15,000 or more client page
+//! requests".
+
+use bdesim::{Action, Process, ProcessExecutor, Time};
+use bdisk_cache::{build_policy, CachePolicy, PolicyContext};
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::{AccessLocation, Measurements, SimOutcome};
+
+/// What the client is doing between wake-ups.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// About to issue the next request.
+    Request,
+    /// Waiting on the broadcast for a missed page.
+    Receive { page: PageId, requested_at: f64 },
+    /// Finished measuring.
+    Finished,
+}
+
+/// The simulated client (one per run; the server is implicit in the
+/// broadcast program's arithmetic).
+pub struct ClientModel {
+    program: BroadcastProgram,
+    generator: AccessGenerator,
+    policy: Box<dyn CachePolicy>,
+    rng: StdRng,
+    think_time: f64,
+    think_jitter: f64,
+    phase: Phase,
+    /// Requests still to discard once the cache is full.
+    warmup_left: u64,
+    /// True once measurement has begun.
+    measuring: bool,
+    measured_target: u64,
+    measurements: Measurements,
+    end_time: f64,
+}
+
+impl ClientModel {
+    /// Builds the client for `cfg` against a generated broadcast program,
+    /// deriving the Offset/Noise mapping from the config.
+    pub fn new(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: BroadcastProgram,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate(layout)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
+        Self::with_mapping(cfg, layout, program, mapping, rng)
+    }
+
+    /// Builds the client with an explicit logical→physical mapping (used by
+    /// the multi-client population model, where each client has its own
+    /// interest region).
+    pub fn with_mapping(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: BroadcastProgram,
+        mapping: Mapping,
+        rng: StdRng,
+    ) -> Result<Self, SimError> {
+        let zipf = RegionZipf::new(cfg.access_range, cfg.region_size, cfg.theta);
+        Self::with_workload(cfg, layout, program, zipf.probs(), mapping, rng)
+    }
+
+    /// Builds the client with an explicit logical-page probability vector
+    /// instead of the region-Zipf distribution (used by the Table 1
+    /// simulation cross-check and custom workloads).
+    pub fn with_workload(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: BroadcastProgram,
+        logical_probs: &[f64],
+        mapping: Mapping,
+        rng: StdRng,
+    ) -> Result<Self, SimError> {
+        cfg.validate(layout)?;
+
+        let ctx = PolicyContext {
+            probs: mapping.physical_probs(logical_probs),
+            page_disk: (0..layout.total_pages())
+                .map(|p| layout.disk_of(PageId(p as u32)) as u16)
+                .collect(),
+            disk_freqs: layout.freqs().to_vec(),
+            alpha: cfg.alpha,
+        };
+        let policy = build_policy(cfg.policy, cfg.cache_size, &ctx);
+        let generator = AccessGenerator::from_probs(logical_probs, mapping);
+        let measurements = Measurements::new(
+            layout.num_disks(),
+            cfg.batch_size,
+            program.period() + 1,
+        );
+
+        Ok(Self {
+            program,
+            generator,
+            policy,
+            rng,
+            think_time: cfg.think_time,
+            think_jitter: cfg.think_jitter,
+            phase: Phase::Request,
+            warmup_left: cfg.warmup_requests,
+            measuring: false,
+            measured_target: cfg.requests,
+            measurements,
+            end_time: 0.0,
+        })
+    }
+
+    /// Consumes the client, producing the run's outcome.
+    pub fn into_outcome(self) -> SimOutcome {
+        self.measurements.finish(self.end_time)
+    }
+
+    /// The post-request sleep: fixed think time plus optional jitter.
+    fn think(&mut self) -> Action {
+        let jitter = if self.think_jitter > 0.0 {
+            use rand::Rng;
+            self.rng.random::<f64>() * self.think_jitter
+        } else {
+            0.0
+        };
+        Action::Sleep(Time::new(self.think_time + jitter))
+    }
+
+    /// Handles one completed request; returns `true` when the run is done.
+    fn complete_request(&mut self, response: f64, loc: AccessLocation, now: f64) -> bool {
+        if self.measuring {
+            self.measurements.record(response, loc);
+            if self.measurements.stats.count() >= self.measured_target {
+                self.end_time = now;
+                return true;
+            }
+        } else {
+            // Warm-up: wait for the cache to fill, then discard a further
+            // warmup_left requests so the policies reach steady state.
+            let cache_full = self.policy.len() >= self.policy.capacity();
+            if cache_full {
+                if self.warmup_left == 0 {
+                    self.measuring = true;
+                } else {
+                    self.warmup_left -= 1;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Process for ClientModel {
+    fn resume(&mut self, now: Time) -> Action {
+        let t = now.as_f64();
+        match self.phase {
+            Phase::Request => {
+                let page = self.generator.next_request(&mut self.rng);
+                if self.policy.contains(page) {
+                    self.policy.on_hit(page, t);
+                    if self.complete_request(0.0, AccessLocation::Cache, t) {
+                        self.phase = Phase::Finished;
+                        return Action::Done;
+                    }
+                    self.think()
+                } else {
+                    let arrival = self.program.next_arrival(page, t);
+                    self.phase = Phase::Receive {
+                        page,
+                        requested_at: t,
+                    };
+                    Action::Until(Time::new(arrival))
+                }
+            }
+            Phase::Receive { page, requested_at } => {
+                self.policy.insert(page, t);
+                let disk = self.program.disk_of(page);
+                self.phase = Phase::Request;
+                if self.complete_request(t - requested_at, AccessLocation::Disk(disk), t) {
+                    self.phase = Phase::Finished;
+                    return Action::Done;
+                }
+                self.think()
+            }
+            Phase::Finished => Action::Done,
+        }
+    }
+}
+
+/// Runs one full simulation: generates the program for `layout`, drives the
+/// client to completion, returns the steady-state outcome.
+pub fn simulate(cfg: &SimConfig, layout: &DiskLayout, seed: u64) -> Result<SimOutcome, SimError> {
+    let program = BroadcastProgram::generate(layout)?;
+    simulate_program(cfg, layout, program, seed)
+}
+
+/// Like [`simulate`] but with a caller-supplied broadcast program (used for
+/// the skewed/random baselines and to reuse a generated program across
+/// seeds).
+pub fn simulate_program(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    program: BroadcastProgram,
+    seed: u64,
+) -> Result<SimOutcome, SimError> {
+    let client = ClientModel::new(cfg, layout, program, seed)?;
+    let mut executor = ProcessExecutor::new();
+    executor.spawn_at(Time::ZERO, client);
+    executor.run_to_completion();
+    let mut states = executor.into_states();
+    Ok(states.remove(0).into_outcome())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_cache::PolicyKind;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 1,
+            offset: 0,
+            noise: 0.0,
+            policy: PolicyKind::Pix,
+            requests: 4_000,
+            warmup_requests: 200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn flat_disk_response_is_half_db() {
+        // Experiment 1 sanity: Δ=0, no cache → response ≈ ServerDBSize/2.
+        let layout = DiskLayout::with_delta(&[100, 150, 250], 0).unwrap();
+        let out = simulate(&small_cfg(), &layout, 1).unwrap();
+        assert!(
+            (out.mean_response_time - 250.0).abs() < 15.0,
+            "mean {}",
+            out.mean_response_time
+        );
+        assert_eq!(out.measured_requests, 4_000);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_expectation() {
+        // No cache, no noise: the simulator must agree with the closed
+        // form within a few percent.
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        let zipf = RegionZipf::new(100, 5, 0.95);
+        let analytic = bdisk_analytic::expected_response_time(&program, zipf.probs());
+        let out = simulate(&small_cfg(), &layout, 42).unwrap();
+        let rel = (out.mean_response_time - analytic).abs() / analytic;
+        assert!(
+            rel < 0.05,
+            "sim {} vs analytic {analytic} ({}%)",
+            out.mean_response_time,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let a = simulate(&small_cfg(), &layout, 9).unwrap();
+        let b = simulate(&small_cfg(), &layout, 9).unwrap();
+        assert_eq!(a.mean_response_time, b.mean_response_time);
+        assert_eq!(a.hit_rate, b.hit_rate);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let a = simulate(&small_cfg(), &layout, 1).unwrap();
+        let b = simulate(&small_cfg(), &layout, 2).unwrap();
+        assert_ne!(a.mean_response_time, b.mean_response_time);
+    }
+
+    #[test]
+    fn caching_improves_response_time() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let no_cache = simulate(&small_cfg(), &layout, 5).unwrap();
+        let cached_cfg = SimConfig {
+            cache_size: 50,
+            offset: 50,
+            ..small_cfg()
+        };
+        let cached = simulate(&cached_cfg, &layout, 5).unwrap();
+        assert!(
+            cached.mean_response_time < no_cache.mean_response_time,
+            "cached {} vs uncached {}",
+            cached.mean_response_time,
+            no_cache.mean_response_time
+        );
+        assert!(cached.hit_rate > 0.3, "hit rate {}", cached.hit_rate);
+    }
+
+    #[test]
+    fn access_fractions_sum_to_one() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let cfg = SimConfig {
+            cache_size: 25,
+            offset: 25,
+            noise: 0.3,
+            ..small_cfg()
+        };
+        let out = simulate(&cfg, &layout, 3).unwrap();
+        let sum: f64 = out.access_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(out.access_fractions.len(), 4); // cache + 3 disks
+        assert_eq!(out.access_fractions[0], out.hit_rate);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let layout = DiskLayout::with_delta(&[50, 450], 3).unwrap();
+        let out = simulate(&small_cfg(), &layout, 8).unwrap();
+        assert!(out.p50 <= out.p95);
+        assert!(out.p95 <= out.max_response_time + 1.0);
+        assert!(out.max_response_time <= layout.total_pages() as f64 * 4.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let layout = DiskLayout::with_delta(&[10, 40], 1).unwrap();
+        let cfg = SimConfig {
+            access_range: 100, // > 50 pages
+            ..SimConfig::default()
+        };
+        assert!(simulate(&cfg, &layout, 0).is_err());
+    }
+
+    #[test]
+    fn skewed_program_runs_and_pays_penalty() {
+        // Drive the simulator with a skewed baseline program and confirm
+        // the Bus Stop Paradox shows up end to end.
+        let layout = DiskLayout::new(vec![500], vec![1]).unwrap();
+        let copies: Vec<u64> = (0..500).map(|p| if p < 50 { 4 } else { 1 }).collect();
+        let skewed = bdisk_sched::skewed_program(&copies).unwrap();
+        let multi_layout = DiskLayout::new(vec![50, 450], vec![4, 1]).unwrap();
+        let multi = BroadcastProgram::generate(&multi_layout).unwrap();
+
+        let cfg = small_cfg();
+        let skew_out = simulate_program(&cfg, &layout, skewed, 77).unwrap();
+        let multi_out = simulate_program(&cfg, &multi_layout, multi, 77).unwrap();
+        assert!(
+            multi_out.mean_response_time < skew_out.mean_response_time,
+            "multi {} vs skewed {}",
+            multi_out.mean_response_time,
+            skew_out.mean_response_time
+        );
+    }
+}

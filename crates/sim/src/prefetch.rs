@@ -1,0 +1,284 @@
+//! Opportunistic prefetching from the broadcast — the paper's first
+//! future-work item (Section 7): "The client cache manager would use the
+//! broadcast as a way to opportunistically increase the temperature of its
+//! cache."
+//!
+//! The prefetcher implemented here uses the **PT metric** explored in the
+//! authors' follow-up work on broadcast-disk prefetching: at the moment a
+//! page `x` goes by on the broadcast, compute
+//!
+//! ```text
+//! pt(x, t) = p(x) · (time until x is next broadcast after t)
+//! ```
+//!
+//! For the passing page this is `p(x) · gap(x)` (its next copy is a full
+//! gap away); for a cached page it *shrinks* as the page's next broadcast
+//! approaches. If the passing page's `pt` exceeds the smallest `pt` among
+//! residents, they swap. Intuitively, `pt` is the expected response-time
+//! cost that caching the page saves right now; two equally hot pages on
+//! the same disk "tag-team" the single cache slot, each resident during
+//! the half-cycle when it would be expensive to miss.
+//!
+//! Because a demand fetch is also a broadcast passage, the same rule
+//! decides whether a demand-fetched page is worth caching — the prefetch
+//! client subsumes demand caching.
+//!
+//! Unlike the demand client (which skips between events), this client must
+//! observe *every* slot, so the simulation walks the broadcast slot by
+//! slot; use smaller request counts than the demand experiments.
+
+use std::collections::HashMap;
+
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId, Slot};
+use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::{AccessLocation, Measurements, SimOutcome};
+
+/// Runs the prefetching client: identical workload and mapping to
+/// [`crate::simulate`], but the cache is managed by PT prefetching instead
+/// of a demand replacement policy (`cfg.policy` is ignored).
+pub fn simulate_prefetch(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    seed: u64,
+) -> Result<SimOutcome, SimError> {
+    cfg.validate(layout)?;
+    if cfg.cache_size == 0 {
+        return Err(SimError::BadParameter(
+            "prefetching needs a cache (cache_size >= 1)",
+        ));
+    }
+    let program = BroadcastProgram::generate(layout)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = RegionZipf::new(cfg.access_range, cfg.region_size, cfg.theta);
+    let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
+    let probs = mapping.physical_probs(zipf.probs());
+    let generator = AccessGenerator::from_probs(zipf.probs(), mapping);
+
+    let mut cache: HashMap<PageId, ()> = HashMap::with_capacity(cfg.cache_size);
+    let mut measurements = Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
+
+    // Request state.
+    let mut next_request: f64 = 0.0;
+    let mut pending: Option<(PageId, f64)> = None; // (page, requested_at)
+    let mut measuring = false;
+    let mut warmup_left = cfg.warmup_requests;
+    let mut measured: u64 = 0;
+    let mut end_time = 0.0;
+
+    let period = program.period();
+    let mut slot_idx: usize = 0;
+    // Hard stop so a mis-configured run cannot spin forever.
+    let max_slots = (cfg.requests + cfg.warmup_requests + 10)
+        * ((cfg.think_time + cfg.think_jitter).ceil() as u64 + period as u64 + 2);
+
+    let complete =
+        |response: f64,
+         loc: AccessLocation,
+         now: f64,
+         cache_len: usize,
+         measuring: &mut bool,
+         warmup_left: &mut u64,
+         measurements: &mut Measurements,
+         measured: &mut u64,
+         end_time: &mut f64| {
+            if *measuring {
+                measurements.record(response, loc);
+                *measured += 1;
+                if *measured >= cfg.requests {
+                    *end_time = now;
+                    return true;
+                }
+            } else if cache_len >= cfg.cache_size {
+                if *warmup_left == 0 {
+                    *measuring = true;
+                } else {
+                    *warmup_left -= 1;
+                }
+            }
+            false
+        };
+
+    'sim: for tick in 0..max_slots {
+        let t = tick as f64;
+        // 1. Issue any requests that fire before the next slot boundary,
+        //    unless one is already waiting on the broadcast.
+        while pending.is_none() && next_request < t + 1.0 {
+            let tr = next_request;
+            let page = generator.next_request(&mut rng);
+            if cache.contains_key(&page) {
+                if complete(
+                    0.0,
+                    AccessLocation::Cache,
+                    tr,
+                    cache.len(),
+                    &mut measuring,
+                    &mut warmup_left,
+                    &mut measurements,
+                    &mut measured,
+                    &mut end_time,
+                ) {
+                    break 'sim;
+                }
+                next_request = tr + cfg.think_time + jitter(&mut rng, cfg.think_jitter);
+            } else {
+                pending = Some((page, tr));
+            }
+        }
+
+        // 2. The page broadcast in this slot.
+        let Slot::Page(x) = program.slots()[slot_idx] else {
+            slot_idx = (slot_idx + 1) % period;
+            continue;
+        };
+        slot_idx = (slot_idx + 1) % period;
+
+        // 2a. Deliver a pending demand request.
+        if let Some((want, requested_at)) = pending {
+            if want == x && requested_at <= t {
+                let disk = program.disk_of(x);
+                pending = None;
+                if complete(
+                    t - requested_at,
+                    AccessLocation::Disk(disk),
+                    t,
+                    cache.len(),
+                    &mut measuring,
+                    &mut warmup_left,
+                    &mut measurements,
+                    &mut measured,
+                    &mut end_time,
+                ) {
+                    break 'sim;
+                }
+                next_request = t + cfg.think_time + jitter(&mut rng, cfg.think_jitter);
+            }
+        }
+
+        // 2b. The PT prefetch decision for the passing page.
+        if !cache.contains_key(&x) {
+            let pt_x = probs[x.index()] * gap_of(&program, x);
+            if pt_x > 0.0 {
+                if cache.len() < cfg.cache_size {
+                    cache.insert(x, ());
+                } else {
+                    // Evict the resident with the smallest current pt.
+                    let (victim, pt_min) = cache
+                        .keys()
+                        .map(|&r| {
+                            let pt = probs[r.index()] * (program.next_arrival(r, t + 1.0) - t);
+                            (r, pt)
+                        })
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite pt").then(a.0.cmp(&b.0)))
+                        .expect("cache is full");
+                    if pt_x > pt_min {
+                        cache.remove(&victim);
+                        cache.insert(x, ());
+                    }
+                }
+            }
+        }
+    }
+
+    if pending.is_some() && measured < cfg.requests {
+        return Err(SimError::BadParameter(
+            "prefetch simulation hit its slot budget before finishing",
+        ));
+    }
+    Ok(measurements.finish(end_time))
+}
+
+fn jitter<R: Rng>(rng: &mut R, amount: f64) -> f64 {
+    if amount > 0.0 {
+        rng.random::<f64>() * amount
+    } else {
+        0.0
+    }
+}
+
+fn gap_of(program: &BroadcastProgram, page: PageId) -> f64 {
+    program
+        .gap(page)
+        .unwrap_or(program.period() as f64 / program.frequency(page) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::simulate;
+    use bdisk_cache::PolicyKind;
+
+    fn cfg(cache: usize, noise: f64, requests: u64) -> SimConfig {
+        SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: cache,
+            offset: 0,
+            noise,
+            policy: PolicyKind::Pix,
+            requests,
+            warmup_requests: 300,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn prefetch_beats_demand_pix() {
+        // The tag-team effect: with the same cache size, PT prefetching
+        // must not lose to demand PIX caching, and typically wins clearly.
+        let layout = DiskLayout::with_delta(&[50, 200, 250], 3).unwrap();
+        let c = cfg(50, 0.0, 2_000);
+        let demand = simulate(&c, &layout, 5).unwrap();
+        let prefetch = simulate_prefetch(&c, &layout, 5).unwrap();
+        assert!(
+            prefetch.mean_response_time < demand.mean_response_time,
+            "prefetch {} vs demand {}",
+            prefetch.mean_response_time,
+            demand.mean_response_time
+        );
+    }
+
+    #[test]
+    fn prefetch_hit_rate_exceeds_demand() {
+        let layout = DiskLayout::with_delta(&[50, 200, 250], 2).unwrap();
+        let c = cfg(25, 0.3, 2_000);
+        let demand = simulate(&c, &layout, 9).unwrap();
+        let prefetch = simulate_prefetch(&c, &layout, 9).unwrap();
+        assert!(
+            prefetch.hit_rate >= demand.hit_rate - 0.02,
+            "prefetch hit {} vs demand {}",
+            prefetch.hit_rate,
+            demand.hit_rate
+        );
+    }
+
+    #[test]
+    fn prefetch_is_deterministic() {
+        let layout = DiskLayout::with_delta(&[50, 200, 250], 2).unwrap();
+        let c = cfg(25, 0.15, 1_000);
+        let a = simulate_prefetch(&c, &layout, 3).unwrap();
+        let b = simulate_prefetch(&c, &layout, 3).unwrap();
+        assert_eq!(a.mean_response_time, b.mean_response_time);
+        assert_eq!(a.hit_rate, b.hit_rate);
+    }
+
+    #[test]
+    fn rejects_zero_cache() {
+        let layout = DiskLayout::with_delta(&[50, 200, 250], 2).unwrap();
+        let c = cfg(0, 0.0, 100);
+        assert!(simulate_prefetch(&c, &layout, 1).is_err());
+    }
+
+    #[test]
+    fn outcome_fields_consistent() {
+        let layout = DiskLayout::with_delta(&[50, 200, 250], 3).unwrap();
+        let out = simulate_prefetch(&cfg(25, 0.0, 1_000), &layout, 7).unwrap();
+        assert_eq!(out.measured_requests, 1_000);
+        let sum: f64 = out.access_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(out.hit_rate > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Multi-seed averaging and parallel parameter sweeps.
+//!
+//! Every figure in the paper is a sweep over one knob (Δ or Noise) for a
+//! handful of configurations. The runner executes the grid, averaging each
+//! point over several seeds, using scoped threads (`crossbeam`) so sweeps
+//! scale with the host's cores while staying deterministic per point.
+
+use bdisk_sched::{BroadcastProgram, DiskLayout};
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::SimOutcome;
+use crate::model::simulate_program;
+
+/// Seed-averaged result of one sweep point.
+#[derive(Debug, Clone)]
+pub struct AveragedOutcome {
+    /// Mean of the per-seed mean response times.
+    pub mean_response_time: f64,
+    /// Min and max of the per-seed means (spread indicator).
+    pub spread: (f64, f64),
+    /// Mean hit rate.
+    pub hit_rate: f64,
+    /// Mean access fractions (cache, disk 1, …).
+    pub access_fractions: Vec<f64>,
+    /// Individual per-seed outcomes.
+    pub per_seed: Vec<SimOutcome>,
+}
+
+/// Runs `cfg` over every seed and averages.
+///
+/// The broadcast program is generated once and shared across seeds (it is
+/// deterministic given the layout); the mapping, workload, and policy state
+/// are re-derived per seed inside the model.
+pub fn average_seeds(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    seeds: &[u64],
+) -> Result<AveragedOutcome, SimError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let program = BroadcastProgram::generate(layout)?;
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        per_seed.push(simulate_program(cfg, layout, program.clone(), seed)?);
+    }
+    Ok(combine(per_seed))
+}
+
+fn combine(per_seed: Vec<SimOutcome>) -> AveragedOutcome {
+    let n = per_seed.len() as f64;
+    let mean_response_time = per_seed.iter().map(|o| o.mean_response_time).sum::<f64>() / n;
+    let lo = per_seed
+        .iter()
+        .map(|o| o.mean_response_time)
+        .fold(f64::INFINITY, f64::min);
+    let hi = per_seed
+        .iter()
+        .map(|o| o.mean_response_time)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let hit_rate = per_seed.iter().map(|o| o.hit_rate).sum::<f64>() / n;
+    let buckets = per_seed[0].access_fractions.len();
+    let access_fractions = (0..buckets)
+        .map(|i| per_seed.iter().map(|o| o.access_fractions[i]).sum::<f64>() / n)
+        .collect();
+    AveragedOutcome {
+        mean_response_time,
+        spread: (lo, hi),
+        hit_rate,
+        access_fractions,
+        per_seed,
+    }
+}
+
+/// Runs `f` over `items` on scoped worker threads, preserving input order
+/// in the output. `f` must be deterministic per item for reproducible
+/// sweeps.
+pub fn sweep<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let items = &items;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("receiver alive");
+            });
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_cache::PolicyKind;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 10,
+            offset: 10,
+            policy: PolicyKind::Lix,
+            requests: 1_000,
+            warmup_requests: 100,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn averaging_reduces_to_single_seed() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let avg = average_seeds(&cfg(), &layout, &[7]).unwrap();
+        assert_eq!(avg.per_seed.len(), 1);
+        assert_eq!(avg.mean_response_time, avg.per_seed[0].mean_response_time);
+        assert_eq!(avg.spread.0, avg.spread.1);
+    }
+
+    #[test]
+    fn averaging_multiple_seeds() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let avg = average_seeds(&cfg(), &layout, &[1, 2, 3]).unwrap();
+        assert_eq!(avg.per_seed.len(), 3);
+        assert!(avg.spread.0 <= avg.mean_response_time);
+        assert!(avg.mean_response_time <= avg.spread.1);
+        let sum: f64 = avg.access_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = sweep(items, 4, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_single_thread() {
+        let out = sweep(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_empty() {
+        let out: Vec<i32> = sweep(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_of_simulations_is_deterministic() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let deltas: Vec<u64> = vec![0, 1, 2, 3];
+        let run = |threads: usize| {
+            let layouts: Vec<DiskLayout> = deltas
+                .iter()
+                .map(|&d| DiskLayout::with_delta(&[50, 150, 300], d).unwrap())
+                .collect();
+            let _ = &layout;
+            sweep(layouts, threads, |l| {
+                average_seeds(&cfg(), l, &[5]).unwrap().mean_response_time
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

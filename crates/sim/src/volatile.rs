@@ -1,0 +1,413 @@
+//! Volatile data: broadcast content that changes from cycle to cycle.
+//!
+//! The paper restricts itself to read-only data but asks (Section 7):
+//! *"How would our results have to change if we allowed the broadcast data
+//! to change from cycle to cycle? What kinds of changes would be allowed
+//! in order to keep the scheme manageable…?"* — and notes earlier that
+//! periodicity "may be important for providing correct semantics for
+//! updates (e.g., as was done in Datacycle)" and that unused slots "can be
+//! used to broadcast additional information such as indexes, updates, or
+//! invalidations" (Section 2.2).
+//!
+//! This module implements the Datacycle-style discipline those remarks
+//! sketch:
+//!
+//! * updates are applied **between major cycles** — within a cycle the
+//!   broadcast is a consistent snapshot;
+//! * at each cycle boundary the server announces the set of pages updated
+//!   during the previous cycle. The announcement rides in the program's
+//!   padding slots; we track how often it would overflow them.
+//! * clients follow one of two [`StalenessStrategy`]s:
+//!   [`StalenessStrategy::Invalidate`] drops updated pages from the cache
+//!   (subsequent reads refetch from the broadcast);
+//!   [`StalenessStrategy::ServeStale`] keeps serving cached copies and we
+//!   *measure* how stale the client's reads get.
+
+use std::collections::HashMap;
+
+use bdisk_cache::{build_policy, PolicyContext};
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::{AccessLocation, Measurements};
+
+/// How a client reacts to server update announcements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessStrategy {
+    /// Drop updated pages from the cache at the cycle boundary; the next
+    /// read misses and refetches the fresh copy.
+    Invalidate,
+    /// Ignore announcements; cached copies may serve stale data.
+    ServeStale,
+}
+
+/// Parameters of the update workload.
+#[derive(Debug, Clone)]
+pub struct VolatileConfig {
+    /// Expected number of pages updated per major cycle.
+    pub updates_per_cycle: f64,
+    /// Skew of the update distribution: 0 = uniform over all physical
+    /// pages; larger values concentrate updates on read-hot pages with
+    /// weight ∝ prob(page)^skew — volatile data such as stock quotes is
+    /// usually update-hot exactly where it is read-hot.
+    pub update_skew: f64,
+    /// Client reaction to updates.
+    pub strategy: StalenessStrategy,
+}
+
+impl Default for VolatileConfig {
+    fn default() -> Self {
+        Self {
+            updates_per_cycle: 50.0,
+            update_skew: 0.0,
+            strategy: StalenessStrategy::Invalidate,
+        }
+    }
+}
+
+/// Results of a volatile-data run.
+#[derive(Debug, Clone)]
+pub struct VolatileOutcome {
+    /// The standard response-time/hit-rate metrics.
+    pub base: crate::metrics::SimOutcome,
+    /// Measured reads that returned a stale version (ServeStale only).
+    pub stale_reads: u64,
+    /// Stale reads as a fraction of measured requests.
+    pub stale_read_rate: f64,
+    /// Total invalidations announced over the measured run.
+    pub invalidations_sent: u64,
+    /// Cycle boundaries whose announcement did not fit in the program's
+    /// empty (padding) slots, assuming one page id per padding slot.
+    pub overflow_cycles: u64,
+    /// Cache drops actually performed (Invalidate only).
+    pub cache_drops: u64,
+}
+
+/// Runs the volatile-data client.
+pub fn simulate_volatile(
+    cfg: &SimConfig,
+    vcfg: &VolatileConfig,
+    layout: &DiskLayout,
+    seed: u64,
+) -> Result<VolatileOutcome, SimError> {
+    cfg.validate(layout)?;
+    if vcfg.updates_per_cycle < 0.0 || !vcfg.updates_per_cycle.is_finite() {
+        return Err(SimError::BadParameter("updates_per_cycle must be non-negative"));
+    }
+    if vcfg.update_skew < 0.0 || !vcfg.update_skew.is_finite() {
+        return Err(SimError::BadParameter("update_skew must be non-negative"));
+    }
+
+    let program = BroadcastProgram::generate(layout)?;
+    let period = program.period() as f64;
+    let db = layout.total_pages();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = RegionZipf::new(cfg.access_range, cfg.region_size, cfg.theta);
+    let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
+    let probs = mapping.physical_probs(zipf.probs());
+    let generator = AccessGenerator::from_probs(zipf.probs(), mapping);
+
+    let ctx = PolicyContext {
+        probs: probs.clone(),
+        page_disk: (0..db)
+            .map(|p| layout.disk_of(PageId(p as u32)) as u16)
+            .collect(),
+        disk_freqs: layout.freqs().to_vec(),
+        alpha: cfg.alpha,
+    };
+    let mut policy = build_policy(cfg.policy, cfg.cache_size, &ctx);
+
+    // Update-target sampler over physical pages: uniform at skew 0,
+    // read-probability-proportional (to the `skew` power) otherwise.
+    let update_weights: Vec<f64> = if vcfg.update_skew == 0.0 {
+        vec![1.0; db]
+    } else {
+        let w: Vec<f64> = probs.iter().map(|&p| p.powf(vcfg.update_skew)).collect();
+        if w.iter().sum::<f64>() > 0.0 {
+            w
+        } else {
+            vec![1.0; db]
+        }
+    };
+    let update_table = bdisk_workload::AliasTable::new(&update_weights);
+
+    // Version bookkeeping.
+    let mut current_version: Vec<u64> = vec![0; db];
+    let mut cached_version: HashMap<PageId, u64> = HashMap::new();
+
+    let mut measurements = Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
+    let mut stale_reads = 0u64;
+    let mut invalidations_sent = 0u64;
+    let mut overflow_cycles = 0u64;
+    let mut cache_drops = 0u64;
+
+    let mut measuring = false;
+    let mut warmup_left = cfg.warmup_requests;
+    let mut warmup_seen = 0u64;
+    // Under heavy churn the cache may never refill to capacity after each
+    // invalidation wave, so the "wait for a full cache" discipline gets a
+    // hard cap — steady state is reached by then anyway.
+    let warmup_cap = 4 * cfg.warmup_requests.max(1_000);
+    let mut measured = 0u64;
+    let mut t = 0.0f64;
+    let mut cycles_done = 0u64;
+
+    while measured < cfg.requests {
+        // 1. Apply updates for every cycle boundary the clock has passed.
+        let cycle_now = (t / period) as u64;
+        while cycles_done < cycle_now {
+            cycles_done += 1;
+            // Poisson-ish count: sample each expected update independently
+            // (deterministic given the seed).
+            let count = sample_count(&mut rng, vcfg.updates_per_cycle);
+            if measuring {
+                invalidations_sent += count;
+                if count as usize > program.empty_slots() {
+                    overflow_cycles += 1;
+                }
+            }
+            for _ in 0..count {
+                let page = PageId(update_table.sample(&mut rng) as u32);
+                current_version[page.index()] += 1;
+                if vcfg.strategy == StalenessStrategy::Invalidate && policy.invalidate(page) {
+                    cached_version.remove(&page);
+                    if measuring {
+                        cache_drops += 1;
+                    }
+                }
+            }
+        }
+
+        // 2. One client request.
+        let page = generator.next_request(&mut rng);
+        let (response, loc) = if policy.contains(page) {
+            policy.on_hit(page, t);
+            if vcfg.strategy == StalenessStrategy::ServeStale {
+                let cached = cached_version.get(&page).copied().unwrap_or(0);
+                if cached < current_version[page.index()] && measuring {
+                    stale_reads += 1;
+                }
+            }
+            (0.0, AccessLocation::Cache)
+        } else {
+            let arrival = program.next_arrival(page, t);
+            let response = arrival - t;
+            t = arrival;
+            if let Some(victim) = policy.insert(page, t) {
+                cached_version.remove(&victim);
+            }
+            cached_version.insert(page, current_version[page.index()]);
+            (response, AccessLocation::Disk(program.disk_of(page)))
+        };
+
+        // 3. Measurement bookkeeping (same discipline as the demand model).
+        if measuring {
+            measurements.record(response, loc);
+            measured += 1;
+        } else {
+            warmup_seen += 1;
+            if policy.len() >= policy.capacity() || warmup_seen >= warmup_cap {
+                if warmup_left == 0 {
+                    measuring = true;
+                } else {
+                    warmup_left -= 1;
+                }
+            }
+        }
+
+        t += cfg.think_time
+            + if cfg.think_jitter > 0.0 {
+                rng.random::<f64>() * cfg.think_jitter
+            } else {
+                0.0
+            };
+    }
+
+    let base = measurements.finish(t);
+    let stale_read_rate = stale_reads as f64 / base.measured_requests.max(1) as f64;
+    Ok(VolatileOutcome {
+        base,
+        stale_reads,
+        stale_read_rate,
+        invalidations_sent,
+        overflow_cycles,
+        cache_drops,
+    })
+}
+
+/// Samples an update count with the given mean: the integer part plus a
+/// Bernoulli for the fraction (cheap, deterministic, mean-exact).
+fn sample_count<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    let whole = mean.floor() as u64;
+    let frac = mean - mean.floor();
+    whole + u64::from(rng.random::<f64>() < frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_cache::PolicyKind;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 40,
+            offset: 40,
+            noise: 0.0,
+            policy: PolicyKind::Pix,
+            requests: 3_000,
+            warmup_requests: 500,
+            ..SimConfig::default()
+        }
+    }
+
+    fn layout() -> DiskLayout {
+        DiskLayout::with_delta(&[50, 200, 250], 3).unwrap()
+    }
+
+    #[test]
+    fn zero_update_rate_matches_static_model() {
+        let vcfg = VolatileConfig {
+            updates_per_cycle: 0.0,
+            ..VolatileConfig::default()
+        };
+        let out = simulate_volatile(&cfg(), &vcfg, &layout(), 7).unwrap();
+        assert_eq!(out.stale_reads, 0);
+        assert_eq!(out.invalidations_sent, 0);
+        assert_eq!(out.cache_drops, 0);
+        // And the response time is in the same ballpark as the static run.
+        let static_out = crate::model::simulate(&cfg(), &layout(), 7).unwrap();
+        let rel = (out.base.mean_response_time - static_out.mean_response_time).abs()
+            / static_out.mean_response_time;
+        assert!(rel < 0.25, "volatile {} vs static {}", out.base.mean_response_time,
+            static_out.mean_response_time);
+    }
+
+    #[test]
+    fn invalidation_costs_response_time() {
+        let calm = simulate_volatile(
+            &cfg(),
+            &VolatileConfig {
+                updates_per_cycle: 0.0,
+                ..VolatileConfig::default()
+            },
+            &layout(),
+            5,
+        )
+        .unwrap();
+        let churn = simulate_volatile(
+            &cfg(),
+            &VolatileConfig {
+                updates_per_cycle: 40.0,
+                update_skew: 0.5,
+                strategy: StalenessStrategy::Invalidate,
+            },
+            &layout(),
+            5,
+        )
+        .unwrap();
+        assert!(churn.cache_drops > 0);
+        assert!(
+            churn.base.mean_response_time > calm.base.mean_response_time,
+            "updates must cost: {} vs {}",
+            churn.base.mean_response_time,
+            calm.base.mean_response_time
+        );
+        assert_eq!(churn.stale_reads, 0, "invalidation never serves stale data");
+    }
+
+    #[test]
+    fn serving_stale_is_fast_but_stale()
+    {
+        let vcfg_inval = VolatileConfig {
+            updates_per_cycle: 40.0,
+            update_skew: 0.5,
+            strategy: StalenessStrategy::Invalidate,
+        };
+        let vcfg_stale = VolatileConfig {
+            strategy: StalenessStrategy::ServeStale,
+            ..vcfg_inval.clone()
+        };
+        let inval = simulate_volatile(&cfg(), &vcfg_inval, &layout(), 9).unwrap();
+        let stale = simulate_volatile(&cfg(), &vcfg_stale, &layout(), 9).unwrap();
+        // The freshness/latency tradeoff in one assertion pair:
+        assert!(stale.base.mean_response_time <= inval.base.mean_response_time * 1.05);
+        assert!(stale.stale_reads > 0, "heavy churn must surface stale reads");
+        assert!(stale.stale_read_rate > 0.0 && stale.stale_read_rate < 1.0);
+    }
+
+    #[test]
+    fn update_skew_concentrates_damage() {
+        // Updates aimed at the (server-)hot pages hurt more than uniform
+        // updates at the same rate, because hot pages are the cached ones.
+        let uniform = simulate_volatile(
+            &cfg(),
+            &VolatileConfig {
+                updates_per_cycle: 30.0,
+                update_skew: 0.0,
+                strategy: StalenessStrategy::Invalidate,
+            },
+            &layout(),
+            13,
+        )
+        .unwrap();
+        let skewed = simulate_volatile(
+            &cfg(),
+            &VolatileConfig {
+                updates_per_cycle: 30.0,
+                update_skew: 1.0,
+                strategy: StalenessStrategy::Invalidate,
+            },
+            &layout(),
+            13,
+        )
+        .unwrap();
+        assert!(
+            skewed.cache_drops > uniform.cache_drops,
+            "skewed updates should hit the cache more: {} vs {}",
+            skewed.cache_drops,
+            uniform.cache_drops
+        );
+    }
+
+    #[test]
+    fn overflow_detection() {
+        // A tiny program with few padding slots and a huge update rate
+        // must overflow its announcement capacity.
+        let l = DiskLayout::new(vec![1, 3], vec![2, 1]).unwrap(); // 1 pad slot
+        let c = SimConfig {
+            access_range: 4,
+            region_size: 1,
+            cache_size: 2,
+            offset: 0,
+            requests: 500,
+            warmup_requests: 10,
+            ..SimConfig::default()
+        };
+        let out = simulate_volatile(
+            &c,
+            &VolatileConfig {
+                updates_per_cycle: 3.0,
+                ..VolatileConfig::default()
+            },
+            &l,
+            3,
+        )
+        .unwrap();
+        assert!(out.overflow_cycles > 0);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        let v = VolatileConfig {
+            updates_per_cycle: -1.0,
+            ..VolatileConfig::default()
+        };
+        assert!(simulate_volatile(&cfg(), &v, &layout(), 0).is_err());
+    }
+}

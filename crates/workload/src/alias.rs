@@ -1,0 +1,181 @@
+//! Walker's alias method: O(1) sampling from a discrete distribution.
+//!
+//! The simulator draws tens of millions of page requests per experiment
+//! sweep; linear or binary-search sampling would dominate the run time.
+//! The alias method preprocesses the distribution into two tables in O(n)
+//! and then samples with one uniform draw and one comparison.
+
+use rand::Rng;
+
+/// Preprocessed discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance threshold per bucket, scaled so 1.0 = always accept.
+    accept: Vec<f64>,
+    /// Alias target per bucket.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from (unnormalized, non-negative) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be non-negative, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scale to mean 1 and split into under/over-full buckets.
+        let mut accept: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &a) in accept.iter().enumerate() {
+            if a < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Large bucket donates what the small bucket lacks.
+            accept[l as usize] -= 1.0 - accept[s as usize];
+            if accept[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets are exactly full modulo float error.
+        for &i in small.iter().chain(large.iter()) {
+            accept[i as usize] = 1.0;
+        }
+
+        Self { accept, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// True if the table has no outcomes (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.accept.is_empty()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.len());
+        if rng.random::<f64>() < self.accept[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freq = empirical(&[8.0, 1.0, 1.0], 200_000);
+        assert!((freq[0] - 0.8).abs() < 0.01, "{}", freq[0]);
+        assert!((freq[1] - 0.1).abs() < 0.01, "{}", freq[1]);
+    }
+
+    #[test]
+    fn unnormalized_weights_ok() {
+        let a = empirical(&[0.2, 0.8], 100_000);
+        let b = empirical(&[2.0, 8.0], 100_000);
+        assert!((a[0] - b[0]).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50_000 {
+            assert_ne!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let table = AliasTable::new(&[5.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_like_large_table() {
+        let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / i as f64).collect();
+        let table = AliasTable::new(&weights);
+        assert_eq!(table.len(), 1000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut first = 0u64;
+        let draws = 200_000;
+        for _ in 0..draws {
+            if table.sample(&mut rng) == 0 {
+                first += 1;
+            }
+        }
+        let h1000: f64 = (1..=1000).map(|i| 1.0 / i as f64).sum();
+        let expect = 1.0 / h1000;
+        let got = first as f64 / draws as f64;
+        assert!((got - expect).abs() < 0.01, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_rejected() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

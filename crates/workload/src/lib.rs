@@ -1,0 +1,100 @@
+//! # bdisk-workload — client access distributions and page mappings
+//!
+//! Implements the workload side of the paper's simulation model
+//! (Section 4):
+//!
+//! * [`RegionZipf`] — the client access distribution: pages `0..AccessRange`
+//!   are grouped into regions of `RegionSize` pages; region `j` (1-based)
+//!   gets probability weight `(1/j)^θ` and pages within a region are
+//!   uniform. The paper uses θ = 0.95, `AccessRange` = 1000,
+//!   `RegionSize` = 50.
+//! * [`AliasTable`] — Walker's alias method for O(1) sampling from the
+//!   distribution (the substrate that keeps multi-million-request runs
+//!   cheap).
+//! * [`Mapping`] — the logical→physical page mapping of Section 4.2: the
+//!   identity, rotated by `Offset` (pushing the hottest pages to the end of
+//!   the slowest disk), then perturbed by `Noise` (each page may swap its
+//!   mapping with a page on a uniformly chosen disk). `Offset` models
+//!   cache-aware program design; `Noise` models disagreement between the
+//!   server's broadcast and this client's needs.
+//! * [`AccessGenerator`] — glues the pieces into a request stream of
+//!   physical pages.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod mapping;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use mapping::Mapping;
+pub use zipf::RegionZipf;
+
+use bdisk_sched::PageId;
+use rand::Rng;
+
+/// A client request stream: samples logical pages from the access
+/// distribution and maps them to the physical pages the server broadcasts.
+#[derive(Debug, Clone)]
+pub struct AccessGenerator {
+    alias: AliasTable,
+    mapping: Mapping,
+}
+
+impl AccessGenerator {
+    /// Builds a generator from a logical-page distribution and a mapping.
+    pub fn new(distribution: &RegionZipf, mapping: Mapping) -> Self {
+        Self::from_probs(distribution.probs(), mapping)
+    }
+
+    /// Builds a generator from an explicit logical-page probability vector.
+    pub fn from_probs(probs: &[f64], mapping: Mapping) -> Self {
+        Self {
+            alias: AliasTable::new(probs),
+            mapping,
+        }
+    }
+
+    /// Draws the physical page for the client's next request.
+    pub fn next_request<R: Rng>(&self, rng: &mut R) -> PageId {
+        let logical = self.alias.sample(rng);
+        self.mapping.to_physical(logical)
+    }
+
+    /// The mapping in use.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generator_produces_mapped_pages() {
+        let zipf = RegionZipf::new(10, 5, 0.95);
+        let mapping = Mapping::identity(20);
+        let g = AccessGenerator::new(&zipf, mapping);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let p = g.next_request(&mut rng);
+            assert!(p.index() < 10, "only logical pages 0..10 are accessed");
+        }
+    }
+
+    #[test]
+    fn generator_respects_offset_mapping() {
+        let zipf = RegionZipf::new(4, 2, 0.95);
+        // Offset 2 in a 6-page database: logical 0 → physical 4.
+        let mapping = Mapping::with_offset(6, 2);
+        let g = AccessGenerator::new(&zipf, mapping);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let p = g.next_request(&mut rng);
+            // logical 0..4 → physical (i+6-2) mod 6 = {4, 5, 0, 1}.
+            assert!(matches!(p.index(), 4 | 5 | 0 | 1), "got {p}");
+        }
+    }
+}

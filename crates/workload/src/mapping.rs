@@ -1,0 +1,257 @@
+//! Logical→physical page mapping: Offset and Noise (Section 4.2).
+//!
+//! The simulator separates the client's view of pages (*logical* pages,
+//! ranked by the client's access heat) from the server's broadcast order
+//! (*physical* pages, ranked by the server's beliefs). The mapping between
+//! them is built in three steps, quoted from the paper:
+//!
+//! 1. "the mapping from logical to physical pages is generated as the
+//!    identity function";
+//! 2. "this mapping is shifted by Offset pages" — pushing the `Offset`
+//!    hottest pages to the end of the slowest disk (used when the client
+//!    cache pins the hottest pages, making fast-disk slots wasted on them);
+//! 3. "for each page in the mapping, a coin weighted by Noise is tossed. If
+//!    […] a page is selected to be swapped then a disk d is uniformly
+//!    chosen to be its new destination. To make way for p, an existing page
+//!    q on d is chosen, and p and q exchange mappings."
+//!
+//! A swap may land a page on its own disk, so `Noise` is "the upper limit
+//! on the number of changes" (footnote 3).
+
+use bdisk_sched::{DiskLayout, PageId};
+use rand::Rng;
+
+/// A bijective logical→physical page mapping over a server database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// `l2p[logical] = physical`.
+    l2p: Vec<u32>,
+    /// `p2l[physical] = logical`.
+    p2l: Vec<u32>,
+}
+
+impl Mapping {
+    /// The identity mapping over `n` pages (Offset 0, Noise 0).
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "mapping needs at least one page");
+        let l2p: Vec<u32> = (0..n as u32).collect();
+        Self {
+            p2l: l2p.clone(),
+            l2p,
+        }
+    }
+
+    /// The identity rotated by `offset`: logical page `i` maps to physical
+    /// page `(i − offset) mod n`, pushing the `offset` hottest logical
+    /// pages to the end of the broadcast order (the tail of the slowest
+    /// disk).
+    pub fn with_offset(n: usize, offset: usize) -> Self {
+        assert!(n > 0, "mapping needs at least one page");
+        assert!(offset < n, "offset {offset} must be smaller than the database ({n})");
+        let l2p: Vec<u32> = (0..n).map(|i| ((i + n - offset) % n) as u32).collect();
+        let mut p2l = vec![0u32; n];
+        for (l, &p) in l2p.iter().enumerate() {
+            p2l[p as usize] = l as u32;
+        }
+        Self { l2p, p2l }
+    }
+
+    /// Full Section 4.2 construction: identity, then `offset` rotation,
+    /// then per-page noise swaps.
+    ///
+    /// `noise` is the per-page swap probability in `[0, 1]`. For each
+    /// logical page (in order), with probability `noise` a destination disk
+    /// is drawn uniformly, a resident of that disk is drawn uniformly, and
+    /// the two pages exchange physical positions.
+    pub fn build<R: Rng>(layout: &DiskLayout, offset: usize, noise: f64, rng: &mut R) -> Self {
+        let mut m = Self::with_offset(layout.total_pages(), offset);
+        m.apply_noise(layout, noise, rng);
+        m
+    }
+
+    /// Applies the Noise perturbation step to an existing mapping: for each
+    /// logical page, with probability `noise`, swap its physical position
+    /// with a uniformly chosen resident of a uniformly chosen disk.
+    pub fn apply_noise<R: Rng>(&mut self, layout: &DiskLayout, noise: f64, rng: &mut R) {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1], got {noise}");
+        assert_eq!(
+            layout.total_pages(),
+            self.len(),
+            "layout and mapping must cover the same pages"
+        );
+        if noise == 0.0 {
+            return;
+        }
+        for logical in 0..self.len() {
+            if rng.random::<f64>() < noise {
+                let disk = rng.random_range(0..layout.num_disks());
+                let range = layout.page_range(disk);
+                let dest = rng.random_range(range.start..range.end) as u32;
+                self.swap_physical(self.l2p[logical], dest);
+            }
+        }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.l2p.len()
+    }
+
+    /// True when the mapping covers no pages (construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.l2p.is_empty()
+    }
+
+    /// Physical page broadcast for logical page `logical`.
+    pub fn to_physical(&self, logical: usize) -> PageId {
+        PageId(self.l2p[logical])
+    }
+
+    /// Logical page carried by physical page `physical`.
+    pub fn to_logical(&self, physical: PageId) -> usize {
+        self.p2l[physical.index()] as usize
+    }
+
+    /// Swaps the logical pages occupying two physical positions.
+    fn swap_physical(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let la = self.p2l[a as usize];
+        let lb = self.p2l[b as usize];
+        self.l2p[la as usize] = b;
+        self.l2p[lb as usize] = a;
+        self.p2l[a as usize] = lb;
+        self.p2l[b as usize] = la;
+    }
+
+    /// Translates a logical-page probability vector into physical-page
+    /// space: `result[physical] = probs[logical]`, zero where the logical
+    /// page is beyond the client's access range.
+    ///
+    /// This is what the idealized `P`/`PIX` policies consume: the true
+    /// access probability of every page the server broadcasts.
+    pub fn physical_probs(&self, logical_probs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        for (logical, &p) in logical_probs.iter().enumerate() {
+            out[self.l2p[logical] as usize] = p;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn assert_bijective(m: &Mapping) {
+        let n = m.len();
+        let mut seen = vec![false; n];
+        for l in 0..n {
+            let p = m.to_physical(l);
+            assert!(!seen[p.index()], "physical {p} hit twice");
+            seen[p.index()] = true;
+            assert_eq!(m.to_logical(p), l, "inverse broken at logical {l}");
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let m = Mapping::identity(10);
+        for l in 0..10 {
+            assert_eq!(m.to_physical(l), PageId(l as u32));
+        }
+        assert_bijective(&m);
+    }
+
+    #[test]
+    fn offset_pushes_hottest_to_tail() {
+        // Figure 4 semantics: the K hottest logical pages land at the end
+        // of the broadcast order.
+        let m = Mapping::with_offset(10, 3);
+        assert_eq!(m.to_physical(0), PageId(7));
+        assert_eq!(m.to_physical(1), PageId(8));
+        assert_eq!(m.to_physical(2), PageId(9));
+        assert_eq!(m.to_physical(3), PageId(0)); // colder pages move up
+        assert_eq!(m.to_physical(9), PageId(6));
+        assert_bijective(&m);
+    }
+
+    #[test]
+    fn offset_zero_is_identity() {
+        assert_eq!(Mapping::with_offset(8, 0), Mapping::identity(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be smaller")]
+    fn offset_must_be_less_than_db() {
+        let _ = Mapping::with_offset(5, 5);
+    }
+
+    #[test]
+    fn noise_zero_keeps_offset_mapping() {
+        let layout = DiskLayout::with_delta(&[2, 3, 5], 2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = Mapping::build(&layout, 4, 0.0, &mut rng);
+        assert_eq!(m, Mapping::with_offset(10, 4));
+    }
+
+    #[test]
+    fn noise_preserves_bijection() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        for seed in 0..5 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for noise in [0.15, 0.45, 0.75, 1.0] {
+                let m = Mapping::build(&layout, 100, noise, &mut rng);
+                assert_bijective(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_moves_pages_proportionally() {
+        let layout = DiskLayout::with_delta(&[100, 400, 500], 2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let base = Mapping::with_offset(1000, 0);
+        let low = Mapping::build(&layout, 0, 0.15, &mut rng);
+        let high = Mapping::build(&layout, 0, 0.75, &mut rng);
+        let moved = |m: &Mapping| {
+            (0..1000)
+                .filter(|&l| m.to_physical(l) != base.to_physical(l))
+                .count()
+        };
+        let (lo, hi) = (moved(&low), moved(&high));
+        assert!(lo > 0, "15% noise moved nothing");
+        assert!(hi > lo, "75% noise ({hi}) should move more than 15% ({lo})");
+        // Noise is an upper bound on changes (swaps can be intra-disk
+        // no-ops), so 15% noise cannot move more than ~2x 15% of pages
+        // (each swap moves two pages).
+        assert!(lo <= 2 * 150 + 60, "moved {lo}");
+    }
+
+    #[test]
+    fn physical_probs_follow_mapping() {
+        let m = Mapping::with_offset(6, 2);
+        // Logical probs over an access range of 3 pages.
+        let probs = [0.5, 0.3, 0.2];
+        let phys = m.physical_probs(&probs);
+        // logical 0 → physical 4, 1 → 5, 2 → 0.
+        assert_eq!(phys, vec![0.2, 0.0, 0.0, 0.0, 0.5, 0.3]);
+        let sum: f64 = phys.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_noise_still_bijective_and_total_mass_preserved() {
+        let layout = DiskLayout::with_delta(&[10, 20, 30], 1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = Mapping::build(&layout, 0, 1.0, &mut rng);
+        assert_bijective(&m);
+        let probs: Vec<f64> = (0..30).map(|i| (30 - i) as f64).collect();
+        let phys = m.physical_probs(&probs);
+        let a: f64 = probs.iter().sum();
+        let b: f64 = phys.iter().sum();
+        assert!((a - b).abs() < 1e-9);
+    }
+}

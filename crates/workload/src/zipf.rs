@@ -1,0 +1,195 @@
+//! The region-Zipf access distribution of Section 4.1.
+//!
+//! "Within the range the page access probabilities follow a Zipf
+//! distribution, with page 0 being the most frequently accessed. […]
+//! Similar to earlier models of skewed access \[Dan90\], we partition the
+//! pages into regions of RegionSize pages each, such that the probability
+//! of accessing any page within a region is uniform; the Zipf distribution
+//! is applied to these regions."
+//!
+//! Region `j` (1-based) receives weight `(1/j)^θ`; the weight is divided
+//! evenly among the region's pages. θ = 0 is uniform; the paper's θ = 0.95
+//! is heavily skewed.
+
+/// The region-Zipf distribution over logical pages `0..access_range`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionZipf {
+    access_range: usize,
+    region_size: usize,
+    theta: f64,
+    probs: Vec<f64>,
+}
+
+impl RegionZipf {
+    /// Builds the distribution.
+    ///
+    /// The final region may be smaller when `region_size` does not divide
+    /// `access_range`; its per-page probability is its region weight over
+    /// its actual page count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `access_range` or `region_size` is zero, or θ is
+    /// negative or non-finite.
+    pub fn new(access_range: usize, region_size: usize, theta: f64) -> Self {
+        assert!(access_range > 0, "access range must be positive");
+        assert!(region_size > 0, "region size must be positive");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be a non-negative finite number"
+        );
+
+        let num_regions = access_range.div_ceil(region_size);
+        let weights: Vec<f64> = (1..=num_regions)
+            .map(|j| (1.0 / j as f64).powf(theta))
+            .collect();
+        let total: f64 = weights.iter().sum();
+
+        let mut probs = Vec::with_capacity(access_range);
+        for (j, w) in weights.iter().enumerate() {
+            let start = j * region_size;
+            let end = ((j + 1) * region_size).min(access_range);
+            let per_page = w / total / (end - start) as f64;
+            probs.extend(std::iter::repeat_n(per_page, end - start));
+        }
+        debug_assert_eq!(probs.len(), access_range);
+
+        Self {
+            access_range,
+            region_size,
+            theta,
+            probs,
+        }
+    }
+
+    /// The paper's default workload: AccessRange 1000, RegionSize 50,
+    /// θ = 0.95 (Table 4).
+    pub fn paper_default() -> Self {
+        Self::new(1000, 50, 0.95)
+    }
+
+    /// Number of logical pages with non-zero access probability.
+    pub fn access_range(&self) -> usize {
+        self.access_range
+    }
+
+    /// Pages per region.
+    pub fn region_size(&self) -> usize {
+        self.region_size
+    }
+
+    /// Zipf parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.access_range.div_ceil(self.region_size)
+    }
+
+    /// Access probability of logical page `page` (0 beyond the range).
+    pub fn prob(&self, page: usize) -> f64 {
+        self.probs.get(page).copied().unwrap_or(0.0)
+    }
+
+    /// The full probability vector over `0..access_range` (sums to 1).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for theta in [0.0, 0.5, 0.95, 2.0] {
+            let z = RegionZipf::new(1000, 50, theta);
+            let sum: f64 = z.probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta {theta}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn uniform_within_region() {
+        let z = RegionZipf::new(100, 10, 0.95);
+        for region in 0..10 {
+            let first = z.prob(region * 10);
+            for page in region * 10..(region + 1) * 10 {
+                assert_eq!(z.prob(page), first, "page {page}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_decrease_in_probability() {
+        let z = RegionZipf::new(1000, 50, 0.95);
+        for j in 1..z.num_regions() {
+            assert!(
+                z.prob(j * 50) < z.prob((j - 1) * 50),
+                "region {j} not colder than region {}",
+                j - 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_ratio_matches_formula() {
+        let z = RegionZipf::new(100, 10, 0.95);
+        // P(region 1) / P(region 2) = 2^0.95 per page.
+        let ratio = z.prob(0) / z.prob(10);
+        assert!((ratio - 2f64.powf(0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = RegionZipf::new(100, 10, 0.0);
+        for page in 0..100 {
+            assert!((z.prob(page) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_pages_have_zero_probability() {
+        let z = RegionZipf::new(10, 5, 0.95);
+        assert_eq!(z.prob(10), 0.0);
+        assert_eq!(z.prob(10_000), 0.0);
+    }
+
+    #[test]
+    fn ragged_final_region() {
+        // 25 pages in regions of 10: regions of 10, 10, 5.
+        let z = RegionZipf::new(25, 10, 1.0);
+        assert_eq!(z.num_regions(), 3);
+        let sum: f64 = z.probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Region 3 weight (1/3) spread over 5 pages.
+        let w3 = 1.0 / 3.0 / (1.0 + 0.5 + 1.0 / 3.0);
+        assert!((z.prob(20) - w3 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let z = RegionZipf::paper_default();
+        assert_eq!(z.access_range(), 1000);
+        assert_eq!(z.num_regions(), 20);
+        assert_eq!(z.theta(), 0.95);
+        // Hottest region holds far more than 1/20 of the mass.
+        let hot: f64 = (0..50).map(|p| z.prob(p)).sum();
+        assert!(hot > 0.2, "hot region mass {hot}");
+    }
+
+    #[test]
+    #[should_panic(expected = "access range must be positive")]
+    fn zero_access_range_panics() {
+        let _ = RegionZipf::new(0, 10, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "region size must be positive")]
+    fn zero_region_size_panics() {
+        let _ = RegionZipf::new(10, 0, 0.95);
+    }
+}
