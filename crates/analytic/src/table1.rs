@@ -97,8 +97,18 @@ mod tests {
             (1.50, 1.25, 1.00),
         ];
         for (row, (f, s, m)) in rows.iter().zip(expected) {
-            assert!(close(row.flat, f), "flat {} vs {f} at {:?}", row.flat, row.probs);
-            assert!(close(row.skewed, s), "skewed {} vs {s} at {:?}", row.skewed, row.probs);
+            assert!(
+                close(row.flat, f),
+                "flat {} vs {f} at {:?}",
+                row.flat,
+                row.probs
+            );
+            assert!(
+                close(row.skewed, s),
+                "skewed {} vs {s} at {:?}",
+                row.skewed,
+                row.probs
+            );
             assert!(
                 close(row.multi_disk, m),
                 "multi {} vs {m} at {:?}",

@@ -92,19 +92,23 @@ fn ablation_offset(c: &mut Criterion) {
     let mut g = c.benchmark_group("offset");
     g.sample_size(10);
     for offset in [0usize, 500] {
-        g.bench_with_input(BenchmarkId::from_parameter(offset), &offset, |b, &offset| {
-            let cfg = SimConfig {
-                cache_size: 500,
-                offset,
-                policy: PolicyKind::Pix,
-                ..cfg()
-            };
-            b.iter(|| {
-                average_seeds(&cfg, &layout, &BENCH_SEEDS)
-                    .unwrap()
-                    .mean_response_time
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(offset),
+            &offset,
+            |b, &offset| {
+                let cfg = SimConfig {
+                    cache_size: 500,
+                    offset,
+                    policy: PolicyKind::Pix,
+                    ..cfg()
+                };
+                b.iter(|| {
+                    average_seeds(&cfg, &layout, &BENCH_SEEDS)
+                        .unwrap()
+                        .mean_response_time
+                });
+            },
+        );
     }
     g.finish();
 }

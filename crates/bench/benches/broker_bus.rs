@@ -1,0 +1,90 @@
+//! Broadcast-bus throughput: how fast the engine can fan slots out as the
+//! client count grows, for both lossless (Block) and lossy (DropNewest)
+//! backpressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bdisk_broker::{Backpressure, BroadcastEngine, EngineConfig, InMemoryBus};
+use bdisk_sched::{BroadcastProgram, DiskLayout};
+
+const SLOTS: u64 = 20_000;
+
+fn program() -> BroadcastProgram {
+    let layout = DiskLayout::with_delta(&[50, 200, 250], 3).unwrap();
+    BroadcastProgram::generate(&layout).unwrap()
+}
+
+/// Broadcasts `SLOTS` slots to `clients` subscribers, each drained by its
+/// own thread, and returns the slots actually sent.
+fn run_fanout(program: &BroadcastProgram, clients: usize, backpressure: Backpressure) -> u64 {
+    let mut bus = InMemoryBus::new(256, backpressure);
+    let subs: Vec<_> = (0..clients).map(|_| bus.subscribe()).collect();
+    let engine = BroadcastEngine::new(
+        program.clone(),
+        EngineConfig {
+            max_slots: SLOTS,
+            stop_when_no_clients: false,
+            ..EngineConfig::default()
+        },
+    );
+    crossbeam::scope(|scope| {
+        for sub in subs {
+            scope.spawn(move |_| {
+                let mut seen = 0u64;
+                while sub.recv().is_some() {
+                    seen += 1;
+                }
+                seen
+            });
+        }
+        engine.run(&mut bus).slots_sent
+    })
+    .unwrap()
+}
+
+fn bench_bus_fanout(c: &mut Criterion) {
+    let program = program();
+    let mut g = c.benchmark_group("bus_fanout_20k_slots");
+    g.sample_size(10);
+    for clients in [1usize, 4, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("block", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| run_fanout(&program, clients, Backpressure::Block));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("drop_newest", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| run_fanout(&program, clients, Backpressure::DropNewest));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_broadcast_no_subscribers(c: &mut Criterion) {
+    // Pure engine-side slot walk: the floor every transport builds on.
+    let program = program();
+    c.bench_function("engine_walk_20k_slots", |b| {
+        b.iter(|| {
+            let mut bus = InMemoryBus::new(16, Backpressure::DropNewest);
+            let engine = BroadcastEngine::new(
+                program.clone(),
+                EngineConfig {
+                    max_slots: SLOTS,
+                    stop_when_no_clients: false,
+                    ..EngineConfig::default()
+                },
+            );
+            let report = engine.run(&mut bus);
+            assert_eq!(report.slots_sent, SLOTS);
+            report.slots_sent
+        });
+    });
+}
+
+criterion_group!(broker_bus, bench_bus_fanout, bench_broadcast_no_subscribers);
+criterion_main!(broker_bus);

@@ -93,20 +93,24 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("policy_trace_4096");
     for kind in PolicyKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut policy = build_policy(kind, 500, &ctx);
-                for (i, &page) in trace.iter().enumerate() {
-                    let now = i as f64;
-                    if policy.contains(page) {
-                        policy.on_hit(page, now);
-                    } else {
-                        black_box(policy.insert(page, now));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, 500, &ctx);
+                    for (i, &page) in trace.iter().enumerate() {
+                        let now = i as f64;
+                        if policy.contains(page) {
+                            policy.on_hit(page, now);
+                        } else {
+                            black_box(policy.insert(page, now));
+                        }
                     }
-                }
-                policy.len()
-            });
-        });
+                    policy.len()
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -111,9 +111,14 @@ fn bench_fig11_14(c: &mut Criterion) {
     c.bench_function("fig11_fig14_access_locations", |b| {
         b.iter(|| {
             let mut acc = 0.0;
-            for policy in [PolicyKind::P, PolicyKind::Pix, PolicyKind::Lru, PolicyKind::Lix] {
-                let out = average_seeds(&cfg(policy, 500, 500, 0.30), &d5(3), &BENCH_SEEDS)
-                    .unwrap();
+            for policy in [
+                PolicyKind::P,
+                PolicyKind::Pix,
+                PolicyKind::Lru,
+                PolicyKind::Lix,
+            ] {
+                let out =
+                    average_seeds(&cfg(policy, 500, 500, 0.30), &d5(3), &BENCH_SEEDS).unwrap();
                 acc += out.access_fractions.iter().sum::<f64>();
             }
             acc
@@ -123,7 +128,12 @@ fn bench_fig11_14(c: &mut Criterion) {
 
 fn bench_fig13(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig13_policies_over_delta");
-    for kind in [PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix, PolicyKind::Pix] {
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::L,
+        PolicyKind::Lix,
+        PolicyKind::Pix,
+    ] {
         g.bench_function(kind.name(), |b| {
             b.iter(|| run(&cfg(kind, 500, 500, 0.30), &d5(3)));
         });

@@ -1,0 +1,185 @@
+//! The in-memory broadcast bus: one bounded channel per subscriber.
+//!
+//! This is the transport for in-process experiments — `repro live` runs 16+
+//! clients on it. With [`Backpressure::Block`] every subscriber sees every
+//! frame in order (lossless), which is the setting under which a live
+//! client's measurements are bit-identical to the simulator's.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
+
+/// A subscriber's end of the bus: an ordered frame feed.
+pub struct BusSubscription {
+    rx: Receiver<Frame>,
+}
+
+impl BusSubscription {
+    /// Blocks for the next frame; `None` once the bus shuts down.
+    pub fn recv(&self) -> Option<Frame> {
+        self.rx.recv().ok()
+    }
+
+    /// Frames currently queued (the subscriber's lag behind the engine).
+    pub fn lag(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// Channel-based broadcast bus.
+pub struct InMemoryBus {
+    subscribers: Vec<Sender<Frame>>,
+    capacity: usize,
+    backpressure: Backpressure,
+}
+
+impl InMemoryBus {
+    /// Creates a bus whose per-subscriber buffers hold `capacity` frames,
+    /// with `backpressure` applied when a buffer is full.
+    pub fn new(capacity: usize, backpressure: Backpressure) -> Self {
+        assert!(capacity > 0, "bus needs buffer capacity");
+        Self {
+            subscribers: Vec::new(),
+            capacity,
+            backpressure,
+        }
+    }
+
+    /// Adds a subscriber; call before starting the engine (frames sent
+    /// before subscription are not replayed).
+    pub fn subscribe(&mut self) -> BusSubscription {
+        let (tx, rx) = bounded(self.capacity);
+        self.subscribers.push(tx);
+        BusSubscription { rx }
+    }
+}
+
+impl Transport for InMemoryBus {
+    fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
+        let mut stats = DeliveryStats::default();
+        // retain_mut in spirit: rebuild the list, dropping dead or evicted
+        // subscribers.
+        let mut kept = Vec::with_capacity(self.subscribers.len());
+        for tx in self.subscribers.drain(..) {
+            let outcome = match self.backpressure {
+                Backpressure::Block => match tx.send(frame) {
+                    Ok(()) => Ok(()),
+                    // Receiver gone: the client finished or died.
+                    Err(_) => Err(None),
+                },
+                Backpressure::DropNewest | Backpressure::Disconnect => match tx.try_send(frame) {
+                    Ok(()) => Ok(()),
+                    Err(TrySendError::Full(_)) => Err(Some(self.backpressure)),
+                    Err(TrySendError::Disconnected(_)) => Err(None),
+                },
+            };
+            match outcome {
+                Ok(()) => {
+                    stats.delivered += 1;
+                    stats.max_queue = stats.max_queue.max(tx.len());
+                    kept.push(tx);
+                }
+                Err(Some(Backpressure::DropNewest)) => {
+                    stats.dropped += 1;
+                    stats.max_queue = stats.max_queue.max(tx.len());
+                    kept.push(tx);
+                }
+                Err(Some(Backpressure::Disconnect)) | Err(Some(Backpressure::Block)) => {
+                    // Evict the slow subscriber: dropping the sender closes
+                    // its feed after it drains what is already queued.
+                    stats.disconnected += 1;
+                }
+                Err(None) => {
+                    stats.disconnected += 1;
+                }
+            }
+        }
+        self.subscribers = kept;
+        stats
+    }
+
+    fn active_clients(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    fn finish(&mut self) {
+        self.subscribers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_sched::{PageId, Slot};
+
+    fn frame(seq: u64) -> Frame {
+        Frame {
+            seq,
+            slot: Slot::Page(PageId(seq as u32 % 3)),
+        }
+    }
+
+    #[test]
+    fn every_subscriber_sees_every_frame_in_order() {
+        let mut bus = InMemoryBus::new(16, Backpressure::Block);
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        for seq in 0..5 {
+            let stats = bus.broadcast(frame(seq));
+            assert_eq!(stats.delivered, 2);
+            assert_eq!(stats.dropped, 0);
+        }
+        bus.finish();
+        for sub in [a, b] {
+            let seqs: Vec<u64> = std::iter::from_fn(|| sub.recv()).map(|f| f.seq).collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn drop_newest_loses_frames_but_keeps_client() {
+        let mut bus = InMemoryBus::new(2, Backpressure::DropNewest);
+        let sub = bus.subscribe();
+        let mut dropped = 0;
+        for seq in 0..5 {
+            dropped += bus.broadcast(frame(seq)).dropped;
+        }
+        assert_eq!(dropped, 3); // buffer holds 2 of 5
+        assert_eq!(bus.active_clients(), 1);
+        bus.finish();
+        let seqs: Vec<u64> = std::iter::from_fn(|| sub.recv()).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn disconnect_evicts_slow_subscriber() {
+        let mut bus = InMemoryBus::new(1, Backpressure::Disconnect);
+        let _sub = bus.subscribe();
+        assert_eq!(bus.broadcast(frame(0)).delivered, 1);
+        let stats = bus.broadcast(frame(1)); // buffer full -> evicted
+        assert_eq!(stats.disconnected, 1);
+        assert_eq!(bus.active_clients(), 0);
+    }
+
+    #[test]
+    fn dead_receiver_is_removed() {
+        let mut bus = InMemoryBus::new(4, Backpressure::Block);
+        let sub = bus.subscribe();
+        drop(sub);
+        let stats = bus.broadcast(frame(0));
+        assert_eq!(stats.disconnected, 1);
+        assert_eq!(bus.active_clients(), 0);
+    }
+
+    #[test]
+    fn lag_reports_backlog() {
+        let mut bus = InMemoryBus::new(8, Backpressure::Block);
+        let sub = bus.subscribe();
+        for seq in 0..3 {
+            bus.broadcast(frame(seq));
+        }
+        assert_eq!(sub.lag(), 3);
+        sub.recv();
+        assert_eq!(sub.lag(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! A live client: the simulator's protocol driven by real frames.
+//!
+//! [`LiveClient`] wraps the same [`ClientCore`] as the simulator's
+//! `ClientModel`, but instead of jumping a virtual clock to a page's next
+//! arrival it watches the broadcast go by one frame at a time. Frame `seq`
+//! places the client at virtual time `seq` (broadcast units), so all
+//! response times are directly comparable to — and, on a lossless feed with
+//! jitter-free think times, bit-identical to — the simulator's.
+
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId, Slot};
+use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
+
+use crate::bus::BusSubscription;
+use crate::transport::Frame;
+
+/// Final results of one live client: the summarized outcome plus the raw
+/// measurements for fleet-wide aggregation.
+pub struct LiveClientResult {
+    /// Summarized steady-state outcome (same type the simulator produces).
+    pub outcome: SimOutcome,
+    /// Raw measurement accumulators, mergeable across clients.
+    pub measurements: Measurements,
+    /// Frames this client consumed before finishing.
+    pub frames_seen: u64,
+}
+
+/// One client of the live broadcast: seeded request stream, cache policy,
+/// warm-up, and measurement — fed by frames instead of a virtual clock.
+pub struct LiveClient {
+    core: ClientCore,
+    program: BroadcastProgram,
+    /// Virtual time at which the next request becomes due.
+    next_due: f64,
+    /// A missed request waiting for its page: `(page, requested_at)`.
+    pending: Option<(PageId, f64)>,
+    done: bool,
+    end_time: f64,
+    frames_seen: u64,
+}
+
+impl LiveClient {
+    /// Builds the client for `cfg` with the given seed. Identical seeds and
+    /// configs produce the exact request stream of `bdisk_sim::simulate`.
+    pub fn new(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: BroadcastProgram,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let core = ClientCore::new(cfg, layout, &program, seed)?;
+        Ok(Self {
+            core,
+            program,
+            next_due: 0.0,
+            pending: None,
+            done: false,
+            end_time: 0.0,
+            frames_seen: 0,
+        })
+    }
+
+    /// Processes one broadcast frame; returns `true` once the measurement
+    /// target is reached (further frames are ignored).
+    ///
+    /// The protocol per frame, in order:
+    /// 1. If a missed request is pending and this slot carries its page,
+    ///    complete it (response = now − request time) and schedule the next
+    ///    request after the think time.
+    /// 2. Issue every request that has come due by now. Cache hits complete
+    ///    immediately (response 0, as in the simulator); a miss satisfied by
+    ///    this very slot completes now; any other miss becomes pending.
+    pub fn on_frame(&mut self, frame: Frame) -> bool {
+        if self.done {
+            return true;
+        }
+        self.frames_seen += 1;
+        let Frame { seq, slot } = frame;
+        let t = seq as f64;
+
+        if let Some((page, requested_at)) = self.pending {
+            if slot != Slot::Page(page) {
+                return false; // still waiting for the page
+            }
+            self.pending = None;
+            if self.receive(page, requested_at, t) {
+                return true;
+            }
+        }
+
+        while self.next_due <= t {
+            let requested_at = self.next_due;
+            let page = self.core.next_request();
+            if self.core.contains(page) {
+                self.core.on_hit(page, requested_at);
+                if self.core.complete_request(0.0, AccessLocation::Cache) {
+                    return self.finish_at(requested_at);
+                }
+                self.next_due = requested_at + self.core.think_delay();
+            } else if slot == Slot::Page(page) {
+                // The slot currently on the air is the page we need.
+                if self.receive(page, requested_at, t) {
+                    return true;
+                }
+            } else {
+                self.pending = Some((page, requested_at));
+                break;
+            }
+        }
+        false
+    }
+
+    /// Completes a missed request with the page arriving at time `t`.
+    fn receive(&mut self, page: PageId, requested_at: f64, t: f64) -> bool {
+        self.core.insert(page, t);
+        let disk = self.program.disk_of(page);
+        if self
+            .core
+            .complete_request(t - requested_at, AccessLocation::Disk(disk))
+        {
+            return self.finish_at(t);
+        }
+        self.next_due = t + self.core.think_delay();
+        false
+    }
+
+    fn finish_at(&mut self, t: f64) -> bool {
+        self.done = true;
+        self.end_time = t;
+        true
+    }
+
+    /// Drains a bus subscription until done or the feed closes. Run this on
+    /// the client's own thread. Takes the subscription by value so that
+    /// finishing drops it — which is how the engine learns the client left
+    /// (and stops, when `stop_when_no_clients` is set).
+    pub fn run(&mut self, sub: BusSubscription) {
+        while !self.done {
+            match sub.recv() {
+                Some(frame) => {
+                    self.on_frame(frame);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// True once the measurement target has been reached.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True once warm-up has ended and requests are being measured.
+    pub fn measuring(&self) -> bool {
+        self.core.measuring()
+    }
+
+    /// Consumes the client, producing its results.
+    pub fn into_results(self) -> LiveClientResult {
+        let frames_seen = self.frames_seen;
+        let (outcome, measurements) = self.core.finish(self.end_time);
+        LiveClientResult {
+            outcome,
+            measurements,
+            frames_seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_cache::PolicyKind;
+    use bdisk_sim::simulate;
+
+    fn setup(policy: PolicyKind) -> (SimConfig, DiskLayout, BroadcastProgram) {
+        let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        let cfg = SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 20,
+            offset: 20,
+            noise: 0.3,
+            policy,
+            requests: 500,
+            warmup_requests: 100,
+            ..SimConfig::default()
+        };
+        (cfg, layout, program)
+    }
+
+    /// The heart of the tentpole: a live client fed every slot in order
+    /// reproduces the simulator bit for bit.
+    #[test]
+    fn live_client_matches_simulator_exactly() {
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::L,
+            PolicyKind::Lix,
+            PolicyKind::Pix,
+        ] {
+            let (cfg, layout, program) = setup(policy);
+            let sim = simulate(&cfg, &layout, 11).unwrap();
+            let mut live = LiveClient::new(&cfg, &layout, program.clone(), 11).unwrap();
+            for (seq, slot) in program.slots_from(0) {
+                if live.on_frame(Frame { seq, slot }) {
+                    break;
+                }
+                assert!(seq < 10_000_000, "live client never finished");
+            }
+            let out = live.into_results().outcome;
+            assert_eq!(
+                out.mean_response_time, sim.mean_response_time,
+                "{policy:?} mean diverged"
+            );
+            assert_eq!(out.hit_rate, sim.hit_rate, "{policy:?} hit rate diverged");
+            assert_eq!(out.end_time, sim.end_time, "{policy:?} end time diverged");
+            assert_eq!(out.access_fractions, sim.access_fractions);
+        }
+    }
+
+    #[test]
+    fn frames_after_done_are_ignored() {
+        let (cfg, layout, program) = setup(PolicyKind::Lru);
+        let mut live = LiveClient::new(&cfg, &layout, program.clone(), 3).unwrap();
+        let mut finished_at = None;
+        for (seq, slot) in program.slots_from(0).take(10_000_000) {
+            if live.on_frame(Frame { seq, slot }) {
+                finished_at = Some(seq);
+                break;
+            }
+        }
+        let end = finished_at.expect("client finished");
+        assert!(live.on_frame(Frame {
+            seq: end + 1,
+            slot: program.slot_at(end + 1),
+        }));
+        let results = live.into_results();
+        assert_eq!(results.outcome.measured_requests, 500);
+        assert!(results.frames_seen <= end + 1);
+    }
+}

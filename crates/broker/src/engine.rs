@@ -1,0 +1,179 @@
+//! The broadcast engine: walks the program's slot sequence on a wall-clock
+//! ticker and fans each slot out through a [`Transport`].
+
+use std::time::{Duration, Instant};
+
+use bdisk_sched::BroadcastProgram;
+
+use crate::transport::{DeliveryStats, Frame, Transport};
+
+/// Engine run parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum slots to broadcast before stopping.
+    pub max_slots: u64,
+    /// Wall-clock duration of one slot. `Duration::ZERO` free-runs the
+    /// broadcast as fast as the transport accepts frames.
+    pub slot_duration: Duration,
+    /// Stop early once every client has disconnected (or finished).
+    pub stop_when_no_clients: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_slots: u64::MAX,
+            slot_duration: Duration::ZERO,
+            stop_when_no_clients: true,
+        }
+    }
+}
+
+/// What the engine did: slot throughput and aggregate delivery accounting.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Slots broadcast before stopping.
+    pub slots_sent: u64,
+    /// Broadcast periods completed (`slots_sent / period`).
+    pub major_cycles: u64,
+    /// Frames successfully enqueued to clients, summed over slots.
+    pub frames_delivered: u64,
+    /// Frames dropped at full client buffers.
+    pub frames_dropped: u64,
+    /// Clients disconnected (evicted as slow, finished, or died).
+    pub clients_disconnected: u64,
+    /// Largest per-client backlog observed at any point (frames).
+    pub max_client_lag: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Broadcast rate actually achieved.
+    pub slots_per_sec: f64,
+}
+
+/// Drives a [`BroadcastProgram`] over a transport in real time.
+pub struct BroadcastEngine {
+    program: BroadcastProgram,
+    cfg: EngineConfig,
+}
+
+impl BroadcastEngine {
+    /// Creates an engine for `program` with the given run parameters.
+    pub fn new(program: BroadcastProgram, cfg: EngineConfig) -> Self {
+        Self { program, cfg }
+    }
+
+    /// The program being broadcast.
+    pub fn program(&self) -> &BroadcastProgram {
+        &self.program
+    }
+
+    /// Broadcasts slots until `max_slots` is reached or (when configured)
+    /// no clients remain, then finishes the transport. Slot `seq` is sent
+    /// at wall-clock time `start + seq * slot_duration`; if the transport
+    /// is slower than the slot rate the engine runs behind rather than
+    /// skipping slots (every client still sees a gap-free feed).
+    pub fn run<T: Transport>(&self, transport: &mut T) -> EngineReport {
+        let start = Instant::now();
+        let mut totals = DeliveryStats::default();
+        let mut slots_sent = 0u64;
+
+        for (seq, slot) in self.program.slots_from(0) {
+            if seq >= self.cfg.max_slots {
+                break;
+            }
+            if self.cfg.stop_when_no_clients && transport.active_clients() == 0 {
+                break;
+            }
+            if !self.cfg.slot_duration.is_zero() {
+                let deadline = start + self.cfg.slot_duration * seq as u32;
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
+                }
+            }
+            totals.absorb(transport.broadcast(Frame { seq, slot }));
+            slots_sent = seq + 1;
+        }
+        transport.finish();
+
+        let elapsed = start.elapsed();
+        EngineReport {
+            slots_sent,
+            major_cycles: slots_sent / self.program.period() as u64,
+            frames_delivered: totals.delivered,
+            frames_dropped: totals.dropped,
+            clients_disconnected: totals.disconnected,
+            max_client_lag: totals.max_queue,
+            elapsed,
+            slots_per_sec: if elapsed.as_secs_f64() > 0.0 {
+                slots_sent as f64 / elapsed.as_secs_f64()
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::InMemoryBus;
+    use crate::transport::Backpressure;
+    use bdisk_sched::DiskLayout;
+
+    fn program() -> BroadcastProgram {
+        let layout = DiskLayout::with_delta(&[4, 8, 12], 2).unwrap();
+        BroadcastProgram::generate(&layout).unwrap()
+    }
+
+    #[test]
+    fn free_run_sends_exactly_max_slots() {
+        let program = program();
+        let period = program.period() as u64;
+        let engine = BroadcastEngine::new(
+            program,
+            EngineConfig {
+                max_slots: period * 3,
+                stop_when_no_clients: false,
+                ..EngineConfig::default()
+            },
+        );
+        let mut bus = InMemoryBus::new(16, Backpressure::DropNewest);
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, period * 3);
+        assert_eq!(report.major_cycles, 3);
+        assert_eq!(report.frames_delivered, 0); // no subscribers
+        assert!(report.slots_per_sec > 0.0);
+    }
+
+    #[test]
+    fn stops_when_last_client_leaves() {
+        let engine = BroadcastEngine::new(program(), EngineConfig::default());
+        let mut bus = InMemoryBus::new(4, Backpressure::Disconnect);
+        let _sub = bus.subscribe(); // never drained: evicted once the buffer fills
+        let report = engine.run(&mut bus);
+        assert_eq!(report.clients_disconnected, 1);
+        // 4 delivered into the buffer, the 5th evicts, then no clients.
+        assert_eq!(report.frames_delivered, 4);
+        assert!(report.slots_sent <= 6);
+    }
+
+    #[test]
+    fn paced_run_takes_wall_clock_time() {
+        let program = program();
+        let engine = BroadcastEngine::new(
+            program,
+            EngineConfig {
+                max_slots: 20,
+                slot_duration: Duration::from_millis(1),
+                stop_when_no_clients: false,
+            },
+        );
+        let mut bus = InMemoryBus::new(64, Backpressure::DropNewest);
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, 20);
+        // Slot 19 is sent no earlier than 19ms in.
+        assert!(report.elapsed >= Duration::from_millis(19));
+        assert!(report.slots_per_sec <= 1100.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bdisk-broker — the live broadcast engine
+//!
+//! Everything else in this workspace *simulates* a broadcast disk; this
+//! crate *runs* one. A [`BroadcastEngine`] walks a
+//! [`bdisk_sched::BroadcastProgram`] slot by slot on a wall-clock ticker
+//! and fans each page out to N concurrent clients over a pluggable
+//! [`Transport`]:
+//!
+//! * [`InMemoryBus`] — a channel-based broadcast bus for in-process
+//!   experiments (lossless or lossy, see [`Backpressure`]);
+//! * [`TcpTransport`] — real `std::net` sockets with length-prefixed page
+//!   frames, per-client send buffers, slow-consumer detection, and
+//!   drop-or-disconnect backpressure.
+//!
+//! Each [`LiveClient`] embeds the same [`bdisk_sim::ClientCore`] the
+//! simulator uses — same seeded request stream, same cache policy, same
+//! warm-up and measurement rules — so a live run is directly comparable to
+//! a simulator prediction. With a lossless transport and a jitter-free
+//! think time, a live client's measurements are **bit-identical** to its
+//! simulated twin: both operate on the integer slot lattice and the shared
+//! core consumes random draws in the same order (`repro live` demonstrates
+//! this at the paper's Figure 13 operating point).
+//!
+//! Time discipline: slot `seq` of the broadcast covers broadcast-unit time
+//! `[seq, seq+1)`; a client that receives frame `seq` is at virtual time
+//! `seq`. Response times are therefore reported in broadcast units, just
+//! like the simulator and the paper.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod tcp;
+pub mod transport;
+
+pub use bus::{BusSubscription, InMemoryBus};
+pub use client::{LiveClient, LiveClientResult};
+pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
+pub use metrics::{aggregate, LiveReport};
+pub use tcp::{TcpFrameReader, TcpTransport, TcpTransportConfig};
+pub use transport::{Backpressure, DeliveryStats, Frame, Transport};

@@ -1,0 +1,308 @@
+//! The TCP transport: length-prefixed page frames over real sockets.
+//!
+//! The server binds a loopback listener; an accept thread hands new
+//! connections to the engine thread, which registers each one with a
+//! bounded send buffer drained by a per-connection writer thread. A client
+//! whose buffer fills is a slow consumer: depending on the configured
+//! [`Backpressure`] its newest frames are dropped or it is disconnected
+//! (blocking the whole broadcast on one slow socket is not offered here —
+//! that is what [`crate::InMemoryBus`] with [`Backpressure::Block`] is for).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
+
+/// TCP transport tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TcpTransportConfig {
+    /// Frames buffered per connection before backpressure applies.
+    pub queue_capacity: usize,
+    /// Slow-consumer policy ([`Backpressure::Block`] is rejected at bind).
+    pub backpressure: Backpressure,
+    /// Filler payload bytes per frame (simulated page size on the wire).
+    pub payload_len: usize,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            backpressure: Backpressure::DropNewest,
+            payload_len: 64,
+        }
+    }
+}
+
+struct Conn {
+    tx: Sender<Frame>,
+    writer: JoinHandle<()>,
+}
+
+/// Broadcast server over loopback TCP.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    cfg: TcpTransportConfig,
+    incoming: Receiver<TcpStream>,
+    conns: Vec<Conn>,
+    /// Writers of evicted connections, joined at finish.
+    graveyard: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Binds `127.0.0.1:0` and starts accepting connections.
+    pub fn bind(cfg: TcpTransportConfig) -> io::Result<Self> {
+        assert!(
+            cfg.backpressure != Backpressure::Block,
+            "TCP transport cannot block the broadcast on one socket; \
+             use DropNewest or Disconnect"
+        );
+        assert!(cfg.queue_capacity > 0, "need send-buffer capacity");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, incoming) = unbounded();
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            cfg,
+            incoming,
+            conns: Vec::new(),
+            graveyard: Vec::new(),
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers any connections the accept thread has queued; returns the
+    /// current client count.
+    pub fn poll_accept(&mut self) -> usize {
+        while let Ok(stream) = self.incoming.try_recv() {
+            let _ = stream.set_nodelay(true);
+            let (tx, rx) = bounded::<Frame>(self.cfg.queue_capacity);
+            let payload_len = self.cfg.payload_len;
+            let writer = std::thread::spawn(move || {
+                let mut stream = stream;
+                while let Ok(frame) = rx.recv() {
+                    if stream.write_all(&frame.encode(payload_len)).is_err() {
+                        break;
+                    }
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            });
+            self.conns.push(Conn { tx, writer });
+        }
+        self.conns.len()
+    }
+
+    /// Waits (polling) until at least `n` clients are connected. Returns
+    /// `false` on timeout. Call before starting a run so no client misses
+    /// the first slots.
+    pub fn wait_for_clients(&mut self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.poll_accept() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+impl Transport for TcpTransport {
+    fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
+        self.poll_accept();
+        let mut stats = DeliveryStats::default();
+        let mut kept = Vec::with_capacity(self.conns.len());
+        for conn in self.conns.drain(..) {
+            match conn.tx.try_send(frame) {
+                Ok(()) => {
+                    stats.delivered += 1;
+                    stats.max_queue = stats.max_queue.max(conn.tx.len());
+                    kept.push(conn);
+                }
+                Err(TrySendError::Full(_)) => match self.cfg.backpressure {
+                    Backpressure::DropNewest => {
+                        stats.dropped += 1;
+                        stats.max_queue = stats.max_queue.max(conn.tx.len());
+                        kept.push(conn);
+                    }
+                    Backpressure::Disconnect | Backpressure::Block => {
+                        // Evict: closing the channel lets the writer drain
+                        // what is queued, then shut the socket down.
+                        stats.disconnected += 1;
+                        drop(conn.tx);
+                        self.graveyard.push(conn.writer);
+                    }
+                },
+                Err(TrySendError::Disconnected(_)) => {
+                    // Writer exited (peer closed or write error).
+                    stats.disconnected += 1;
+                    self.graveyard.push(conn.writer);
+                }
+            }
+        }
+        self.conns = kept;
+        stats
+    }
+
+    fn active_clients(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn finish(&mut self) {
+        for conn in self.conns.drain(..) {
+            drop(conn.tx);
+            self.graveyard.push(conn.writer);
+        }
+        for writer in self.graveyard.drain(..) {
+            let _ = writer.join();
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the thread observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Client-side frame reader: connects and decodes the length-prefixed feed.
+pub struct TcpFrameReader {
+    stream: TcpStream,
+}
+
+impl TcpFrameReader {
+    /// Connects to a broadcast server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Reads the next frame; `Ok(None)` on a clean end of stream.
+    pub fn recv(&mut self) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        if let Err(e) = self.stream.read_exact(&mut len_buf) {
+            return match e.kind() {
+                io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset => Ok(None),
+                _ => Err(e),
+            };
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut body = vec![0u8; len];
+        match self.stream.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                // Truncated mid-frame (server shut down): treat as EOF.
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+        Frame::decode(&body)
+            .map(Some)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_sched::{PageId, Slot};
+
+    #[test]
+    fn loopback_round_trip() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
+        let addr = transport.local_addr();
+        let reader = std::thread::spawn(move || {
+            let mut reader = TcpFrameReader::connect(addr).unwrap();
+            let mut frames = Vec::new();
+            while let Some(frame) = reader.recv().unwrap() {
+                frames.push(frame);
+            }
+            frames
+        });
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        for seq in 0..10u64 {
+            let stats = transport.broadcast(Frame {
+                seq,
+                slot: Slot::Page(PageId(seq as u32)),
+            });
+            assert_eq!(stats.delivered, 1);
+            assert_eq!(stats.dropped, 0);
+        }
+        transport.finish();
+        let frames = reader.join().unwrap();
+        assert_eq!(frames.len(), 10);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64);
+            assert_eq!(f.slot, Slot::Page(PageId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn closed_peer_detected() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig {
+            queue_capacity: 1,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        let addr = transport.local_addr();
+        let reader = TcpFrameReader::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        drop(reader);
+        // Keep broadcasting until the write error propagates back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut disconnected = 0;
+        while disconnected == 0 && Instant::now() < deadline {
+            disconnected = transport
+                .broadcast(Frame {
+                    seq: 0,
+                    slot: Slot::Empty,
+                })
+                .disconnected;
+        }
+        assert_eq!(disconnected, 1);
+        assert_eq!(transport.active_clients(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The wire model shared by all transports: frames, backpressure policy,
+//! and the [`Transport`] trait the engine drives.
+
+use bdisk_sched::{PageId, Slot};
+
+/// Page-id sentinel marking an empty (padding) slot on the wire.
+pub const EMPTY_SENTINEL: u32 = u32::MAX;
+
+/// Bytes of frame header following the length prefix: 8 (seq) + 4 (page).
+pub const HEADER_LEN: usize = 12;
+
+/// One broadcast transmission: the engine's monotone slot counter plus the
+/// slot content. Slot `seq` covers broadcast-unit time `[seq, seq+1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Absolute slot sequence number since the engine started.
+    pub seq: u64,
+    /// The page broadcast in this slot (or padding).
+    pub slot: Slot,
+}
+
+impl Frame {
+    /// Serializes the frame as `[u32 len][u64 seq][u32 page][payload]`, all
+    /// little-endian. `len` counts every byte after itself; `page` is
+    /// [`EMPTY_SENTINEL`] for padding slots. The payload is `payload_len`
+    /// filler bytes standing in for page content, so TCP clients experience
+    /// realistic per-page transfer sizes.
+    pub fn encode(&self, payload_len: usize) -> Vec<u8> {
+        let len = (HEADER_LEN + payload_len) as u32;
+        let page = match self.slot {
+            Slot::Page(p) => p.0,
+            Slot::Empty => EMPTY_SENTINEL,
+        };
+        let mut buf = Vec::with_capacity(4 + HEADER_LEN + payload_len);
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&page.to_le_bytes());
+        buf.resize(4 + HEADER_LEN + payload_len, self.seq as u8);
+        buf
+    }
+
+    /// Parses a frame body (everything after the length prefix). Returns
+    /// `None` if the body is shorter than the header.
+    pub fn decode(body: &[u8]) -> Option<Frame> {
+        if body.len() < HEADER_LEN {
+            return None;
+        }
+        let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
+        let page = u32::from_le_bytes(body[8..12].try_into().unwrap());
+        let slot = if page == EMPTY_SENTINEL {
+            Slot::Empty
+        } else {
+            Slot::Page(PageId(page))
+        };
+        Some(Frame { seq, slot })
+    }
+}
+
+/// What to do when a client's send buffer is full — i.e. the client is
+/// consuming slower than the broadcast rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Drop the new frame for that client; the broadcast never stalls.
+    /// This is what a real broadcast medium does — a receiver that is not
+    /// listening simply misses the page and waits a period for it.
+    DropNewest,
+    /// Disconnect the slow client outright.
+    Disconnect,
+    /// Block the broadcast until the client catches up (lossless). Only
+    /// meaningful for in-process experiments — it gives every client a
+    /// perfect feed, which is what exact simulator parity requires.
+    Block,
+}
+
+impl std::str::FromStr for Backpressure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "drop" | "drop-newest" | "dropnewest" => Ok(Backpressure::DropNewest),
+            "disconnect" => Ok(Backpressure::Disconnect),
+            "block" => Ok(Backpressure::Block),
+            other => Err(format!(
+                "unknown backpressure policy '{other}' (expected drop, disconnect, or block)"
+            )),
+        }
+    }
+}
+
+/// Per-broadcast delivery accounting, accumulated by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Frames enqueued to clients.
+    pub delivered: u64,
+    /// Frames dropped because a client's buffer was full.
+    pub dropped: u64,
+    /// Clients disconnected during this broadcast (slow or gone).
+    pub disconnected: u64,
+    /// Largest per-client backlog (queued frames) observed after sending.
+    pub max_queue: usize,
+}
+
+impl DeliveryStats {
+    /// Accumulates another sample (sums counters, maxes the backlog).
+    pub fn absorb(&mut self, other: DeliveryStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.disconnected += other.disconnected;
+        self.max_queue = self.max_queue.max(other.max_queue);
+    }
+}
+
+/// A broadcast medium: fans one frame out to every connected client.
+///
+/// Implementations own the client registry; the engine only sees aggregate
+/// delivery stats and the live client count.
+pub trait Transport: Send {
+    /// Sends `frame` to every connected client, applying the transport's
+    /// backpressure policy to slow consumers.
+    fn broadcast(&mut self, frame: Frame) -> DeliveryStats;
+
+    /// Number of currently connected clients.
+    fn active_clients(&self) -> usize;
+
+    /// Flushes and releases transport resources (closes client feeds). The
+    /// engine calls this once after the last slot.
+    fn finish(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let f = Frame {
+            seq: 123_456_789,
+            slot: Slot::Page(PageId(42)),
+        };
+        let bytes = f.encode(16);
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(Frame::decode(&bytes[4..]), Some(f));
+    }
+
+    #[test]
+    fn empty_slot_uses_sentinel() {
+        let f = Frame {
+            seq: 7,
+            slot: Slot::Empty,
+        };
+        let bytes = f.encode(0);
+        assert_eq!(bytes.len(), 4 + HEADER_LEN);
+        assert_eq!(Frame::decode(&bytes[4..]), Some(f));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        assert_eq!(Frame::decode(&[0u8; 5]), None);
+    }
+
+    #[test]
+    fn backpressure_parses() {
+        assert_eq!("drop".parse::<Backpressure>(), Ok(Backpressure::DropNewest));
+        assert_eq!(
+            "Disconnect".parse::<Backpressure>(),
+            Ok(Backpressure::Disconnect)
+        );
+        assert_eq!("BLOCK".parse::<Backpressure>(), Ok(Backpressure::Block));
+        assert!("nope".parse::<Backpressure>().is_err());
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_maxes() {
+        let mut a = DeliveryStats {
+            delivered: 3,
+            dropped: 1,
+            disconnected: 0,
+            max_queue: 5,
+        };
+        a.absorb(DeliveryStats {
+            delivered: 2,
+            dropped: 0,
+            disconnected: 1,
+            max_queue: 2,
+        });
+        assert_eq!(a.delivered, 5);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.disconnected, 1);
+        assert_eq!(a.max_queue, 5);
+    }
+}

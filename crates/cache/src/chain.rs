@@ -263,7 +263,9 @@ mod tests {
         let mut model: Vec<u32> = Vec::new(); // front = MRU
         let mut x = 12345u64;
         let mut rand = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u32
         };
         for _ in 0..10_000 {

@@ -55,7 +55,7 @@ use bdisk_sched::PageId;
 /// * on a miss (after the page arrives from the broadcast):
 ///   [`CachePolicy::insert`], which returns the evicted victim when the
 ///   cache was full.
-pub trait CachePolicy {
+pub trait CachePolicy: Send {
     /// True when `page` is cache-resident.
     fn contains(&self, page: PageId) -> bool;
 
@@ -126,8 +126,7 @@ impl PolicyKind {
     ];
 
     /// The extension policies built on the paper's Section 5.5 suggestion.
-    pub const EXTENSIONS: [PolicyKind; 3] =
-        [PolicyKind::LruK, PolicyKind::LruKX, PolicyKind::TwoQ];
+    pub const EXTENSIONS: [PolicyKind; 3] = [PolicyKind::LruK, PolicyKind::LruKX, PolicyKind::TwoQ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -153,6 +152,29 @@ impl PolicyKind {
 impl std::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    /// Parses a policy name as used in the paper's figures (`"PIX"`,
+    /// `"LRU-K"`, …), case-insensitively; `"LRUK"`/`"LRUKX"` are accepted
+    /// for shell-friendliness.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "P" => Ok(PolicyKind::P),
+            "PIX" => Ok(PolicyKind::Pix),
+            "LRU" => Ok(PolicyKind::Lru),
+            "L" => Ok(PolicyKind::L),
+            "LIX" => Ok(PolicyKind::Lix),
+            "LRU-K" | "LRUK" => Ok(PolicyKind::LruK),
+            "LRU-K/X" | "LRU-KX" | "LRUKX" => Ok(PolicyKind::LruKX),
+            "2Q" | "TWOQ" => Ok(PolicyKind::TwoQ),
+            other => Err(format!(
+                "unknown policy {other:?} (expected P, PIX, LRU, L, LIX, LRU-K, LRU-K/X, or 2Q)"
+            )),
+        }
     }
 }
 
@@ -183,7 +205,11 @@ impl PolicyContext {
 ///
 /// Capacity 0 disables caching entirely (a [`NoCachePolicy`] is returned
 /// regardless of `kind`), for measuring raw broadcast delay.
-pub fn build_policy(kind: PolicyKind, capacity: usize, ctx: &PolicyContext) -> Box<dyn CachePolicy> {
+pub fn build_policy(
+    kind: PolicyKind,
+    capacity: usize,
+    ctx: &PolicyContext,
+) -> Box<dyn CachePolicy> {
     if capacity == 0 {
         return Box::new(NoCachePolicy::new());
     }
@@ -256,6 +282,17 @@ mod tests {
     }
 
     #[test]
+    fn kind_round_trips_through_from_str() {
+        for kind in PolicyKind::ALL.into_iter().chain(PolicyKind::EXTENSIONS) {
+            let parsed: PolicyKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("lix".parse::<PolicyKind>().unwrap(), PolicyKind::Lix);
+        assert_eq!("lruk".parse::<PolicyKind>().unwrap(), PolicyKind::LruK);
+        assert!("FIFO".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
     fn page_freq_lookup() {
         let c = ctx();
         assert_eq!(c.page_freq(PageId(0)), 2.0);
@@ -274,7 +311,10 @@ mod tests {
             p.on_hit(PageId(0), 3.0);
             // Third insert must evict exactly one of the residents.
             let victim = p.insert(PageId(2), 4.0).expect("cache full");
-            assert!(victim == PageId(0) || victim == PageId(1), "{kind}: {victim}");
+            assert!(
+                victim == PageId(0) || victim == PageId(1),
+                "{kind}: {victim}"
+            );
             assert_eq!(p.len(), 2);
             assert!(p.contains(PageId(2)));
         }

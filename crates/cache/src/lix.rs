@@ -131,6 +131,19 @@ impl LixPolicy {
         self.chains[disk].len()
     }
 
+    /// The pages currently on `disk`'s chain, most- to least-recently used.
+    /// Exposed so tests can check the chain-partition invariant.
+    pub fn chain_pages(&self, disk: usize) -> Vec<PageId> {
+        self.chains[disk].iter().collect()
+    }
+
+    /// The raw `(p, t)` estimator state of a resident page: the running
+    /// probability estimate and the last access time. `None` when the page
+    /// is not resident. Exposed for tests and instrumentation.
+    pub fn estimator_state(&self, page: PageId) -> Option<(f64, f64)> {
+        self.meta.get(&page).map(|m| (m.p, m.t))
+    }
+
     /// Chooses the victim: the bottom page of each chain with the smallest
     /// lix value. Ties break toward the faster disk for determinism.
     fn pick_victim(&self, now: f64) -> PageId {
@@ -315,7 +328,9 @@ mod tests {
         let mut x = 99u64;
         let mut t = 0.0;
         for _ in 0..5_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = PageId((x >> 33) as u32 % 50);
             t += 1.0;
             let (a, b);

@@ -187,8 +187,8 @@ mod tests {
         p.insert(PageId(1), 0.0);
         p.on_hit(PageId(1), 1.0); // page 1 now has a full 2-history
         p.insert(PageId(2), 2.0); // page 2 has 1 reference
-        // Page 2's history is incomplete → it is the victim despite being
-        // more recent.
+                                  // Page 2's history is incomplete → it is the victim despite being
+                                  // more recent.
         assert_eq!(p.insert(PageId(3), 3.0), Some(PageId(2)));
         assert!(p.contains(PageId(1)));
     }
@@ -200,9 +200,9 @@ mod tests {
         p.on_hit(PageId(1), 10.0); // kth (2nd-last) ref = 0.0
         p.insert(PageId(2), 1.0);
         p.on_hit(PageId(2), 2.0); // kth ref = 1.0
-        // Page 1's 2nd-most-recent reference (0.0) is older than page 2's
-        // (1.0) → page 1 is the victim, even though its last touch (10.0)
-        // is the most recent of all.
+                                  // Page 1's 2nd-most-recent reference (0.0) is older than page 2's
+                                  // (1.0) → page 1 is the victim, even though its last touch (10.0)
+                                  // is the most recent of all.
         assert_eq!(p.insert(PageId(3), 11.0), Some(PageId(1)));
     }
 

@@ -95,7 +95,9 @@ impl TwoQPolicy {
             self.remember_ghost(v);
             v
         } else {
-            self.am.pop_back().expect("Am non-empty by branch condition")
+            self.am
+                .pop_back()
+                .expect("Am non-empty by branch condition")
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Property tests for the LIX policy's two structural invariants:
+//!
+//! 1. the per-disk chains are a *partition* of the resident pages — every
+//!    cached page is on exactly one chain, the chain of its own disk, and
+//!    nothing else is on any chain;
+//! 2. the EWMA estimator implements the paper's recurrence
+//!    `p ← α/(now−t) + (1−α)·p` exactly, and the evaluated estimate is
+//!    monotone in access recency (fresher access ⇒ higher estimate) and
+//!    monotone-decaying in idle time.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bdisk_cache::{CachePolicy, LixPolicy};
+use bdisk_sched::PageId;
+use proptest::prelude::*;
+
+const ALPHA: f64 = 0.25;
+const UNIVERSE: u32 = 30;
+
+/// Builds a LIX cache over `disks` disks with pages striped `page % disks`
+/// and distinct per-disk frequencies.
+fn build(capacity: usize, disks: usize) -> (LixPolicy, Vec<u16>) {
+    let page_disk: Vec<u16> = (0..UNIVERSE as u16).map(|p| p % disks as u16).collect();
+    let freqs: Vec<f64> = (0..disks).map(|d| (disks - d) as f64).collect();
+    let lix = LixPolicy::new(capacity, page_disk.clone(), freqs, ALPHA);
+    (lix, page_disk)
+}
+
+proptest! {
+    /// After every operation (hit, insert-with-eviction, invalidate) the
+    /// chains partition the resident set.
+    #[test]
+    fn chains_partition_resident_pages(
+        capacity in 1usize..12,
+        disks in 1usize..4,
+        ops in prop::collection::vec((0u32..UNIVERSE, 1u32..5, 0u8..8), 1..200),
+    ) {
+        let (mut lix, page_disk) = build(capacity, disks);
+        let mut t = 0.0;
+        for (page, dt, kind) in ops {
+            t += dt as f64;
+            let page = PageId(page);
+            if kind == 0 {
+                // Occasional invalidation (server update semantics).
+                lix.invalidate(page);
+            } else if lix.contains(page) {
+                lix.on_hit(page, t);
+            } else {
+                lix.insert(page, t);
+            }
+
+            // Chains are disjoint, hold only resident pages, and each page
+            // sits on the chain of its own disk.
+            let mut on_chains = BTreeSet::new();
+            for d in 0..lix.num_chains() {
+                for p in lix.chain_pages(d) {
+                    prop_assert!(on_chains.insert(p), "{p} on two chains");
+                    prop_assert!(lix.contains(p), "{p} chained but not resident");
+                    prop_assert_eq!(usize::from(page_disk[p.index()]), d,
+                        "{} chained under disk {} not its own", p, d);
+                }
+            }
+            // Conversely every resident page is on some chain: the chains
+            // cover the resident set exactly.
+            prop_assert_eq!(on_chains.len(), lix.len());
+            for p in 0..UNIVERSE {
+                let pid = PageId(p);
+                prop_assert_eq!(lix.contains(pid), on_chains.contains(&pid));
+            }
+            prop_assert!(lix.len() <= capacity);
+        }
+    }
+
+    /// A shadow model of the estimator: every hit must update `(p, t)` by
+    /// exactly `p ← α/(now−t) + (1−α)·p; t ← now`, every insert must start
+    /// at `(0, now)`, bit-for-bit.
+    #[test]
+    fn estimator_follows_paper_recurrence_exactly(
+        capacity in 1usize..12,
+        disks in 1usize..4,
+        ops in prop::collection::vec((0u32..UNIVERSE, 1u32..5), 1..200),
+    ) {
+        let (mut lix, _) = build(capacity, disks);
+        let mut shadow: HashMap<PageId, (f64, f64)> = HashMap::new();
+        let mut t = 0.0;
+        for (page, dt) in ops {
+            t += dt as f64;
+            let page = PageId(page);
+            if lix.contains(page) {
+                let (p_old, t_old) = shadow[&page];
+                lix.on_hit(page, t);
+                let expected = ALPHA / (t - t_old).max(1e-9) + (1.0 - ALPHA) * p_old;
+                shadow.insert(page, (expected, t));
+            } else if let Some(victim) = {
+                shadow.insert(page, (0.0, t));
+                lix.insert(page, t)
+            } {
+                shadow.remove(&victim);
+            }
+            for (&p, &(sp, st)) in &shadow {
+                prop_assert_eq!(lix.estimator_state(p), Some((sp, st)),
+                    "estimator state diverged from the recurrence for {}", p);
+            }
+        }
+    }
+
+    /// Two freshly inserted pages have the same stored estimate (p = 0), so
+    /// the evaluated estimate is governed purely by recency: the page
+    /// inserted later (fresher) always scores higher, and both estimates
+    /// decay monotonically as the evaluation instant recedes.
+    #[test]
+    fn estimate_monotone_in_recency_and_decays(
+        t_old in 0.0f64..100.0,
+        gap in 0.001f64..100.0,
+        wait in 0.001f64..100.0,
+        extra in 0.001f64..100.0,
+    ) {
+        let (mut lix, _) = build(4, 1);
+        let stale = PageId(0);
+        let fresh = PageId(1);
+        let t_new = t_old + gap;
+        let now = t_new + wait;
+        lix.insert(stale, t_old);
+        lix.insert(fresh, t_new);
+        prop_assert_eq!(lix.estimator_state(stale), Some((0.0, t_old)));
+        prop_assert_eq!(lix.estimator_state(fresh), Some((0.0, t_new)));
+
+        // Monotone in recency at any common evaluation instant.
+        let v_stale = lix.lix_value(stale, now).unwrap();
+        let v_fresh = lix.lix_value(fresh, now).unwrap();
+        prop_assert!(v_fresh > v_stale,
+            "fresh {} must outscore stale {}", v_fresh, v_stale);
+
+        // With p = 0 the estimate is exactly α/(now − t).
+        prop_assert!((v_fresh - ALPHA / (now - t_new)).abs() <= 1e-12 * v_fresh);
+
+        // Monotone decay with idle time.
+        let later = now + extra;
+        prop_assert!(lix.lix_value(fresh, later).unwrap() < v_fresh);
+        prop_assert!(lix.lix_value(stale, later).unwrap() < v_stale);
+    }
+}

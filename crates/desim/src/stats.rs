@@ -186,6 +186,23 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// Merges another histogram into this one (used to aggregate
+    /// per-client latency distributions into fleet-wide percentiles).
+    ///
+    /// If `other` covers a wider range, this histogram grows to match, so
+    /// no observations are demoted to the overflow bucket by merging.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.overflow += other.overflow;
+        self.n += other.n;
+        self.sum += other.sum;
+    }
 }
 
 /// Steady-state confidence interval via non-overlapping batch means.
@@ -218,7 +235,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_n += 1;
         if self.current_n == self.batch_size {
-            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_n = 0;
         }
@@ -382,6 +400,38 @@ mod tests {
     }
 
     #[test]
+    fn histogram_merge_equals_single_stream() {
+        let mut whole = Histogram::new(50);
+        let mut a = Histogram::new(50);
+        let mut b = Histogram::new(30); // narrower than `a`; overflow must carry over
+        for x in 0..60 {
+            whole.record(x as f64);
+            if x % 2 == 0 {
+                a.record(x as f64);
+            } else {
+                b.record(x as f64);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+        // b's overflow (odd x >= 30) carries over on top of a's (even x >= 50).
+        assert_eq!(a.overflow(), 5 + 15);
+    }
+
+    #[test]
+    fn histogram_merge_widens_receiver() {
+        let mut narrow = Histogram::new(5);
+        let mut wide = Histogram::new(20);
+        wide.record(15.0);
+        narrow.merge(&wide);
+        assert_eq!(narrow.buckets().len(), 20);
+        assert_eq!(narrow.overflow(), 0);
+        assert_eq!(narrow.quantile(1.0), Some(15.0));
+    }
+
+    #[test]
     fn histogram_overflow() {
         let mut h = Histogram::new(10);
         h.record(5.0);
@@ -396,7 +446,9 @@ mod tests {
         // Deterministic pseudo-noise around 100.
         let mut x = 7u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = (x >> 33) as f64 / (1u64 << 31) as f64; // [0,1)
             bm.record(100.0 + noise);
         }

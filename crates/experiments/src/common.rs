@@ -3,9 +3,12 @@
 //! These are the paper's exact experimental settings (Table 4 and the
 //! Figure 5 disk configurations).
 
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
 use bdisk_cache::PolicyKind;
 use bdisk_sched::DiskLayout;
-use bdisk_sim::{average_seeds, AveragedOutcome, SimConfig};
+use bdisk_sim::{average_seeds, seeds_from_base, AveragedOutcome, SimConfig};
 
 /// Disk configurations of Figure 5 (sizes in pages; ServerDBSize = 5000).
 pub const DISK_CONFIGS: [(&str, &[usize]); 5] = [
@@ -22,8 +25,38 @@ pub const DELTAS: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
 /// Noise percentages of Experiments 2–5.
 pub const NOISES: [f64; 6] = [0.0, 0.15, 0.30, 0.45, 0.60, 0.75];
 
-/// Seeds averaged per sweep point.
+/// Seeds averaged per sweep point (the default base seed with the runner's
+/// fixed stride; kept for reference and backward-compatible defaults).
 pub const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// Default base seed: reproduces the historical [`SEEDS`] sequence.
+pub const DEFAULT_BASE_SEED: u64 = 101;
+
+/// Invocation-wide settings shared by every experiment: where CSVs go and
+/// which base seed the multi-seed sweeps derive from.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Output directory for CSVs (default `results/`, set by `--out`).
+    pub out_dir: PathBuf,
+    /// Base seed for derived sweep seeds (default 101, set by `--seed`).
+    pub base_seed: u64,
+}
+
+static CONTEXT: OnceLock<RunContext> = OnceLock::new();
+
+/// Installs the invocation context; call once from `main` before running
+/// experiments. Later calls are ignored.
+pub fn init_context(out_dir: PathBuf, base_seed: u64) {
+    let _ = CONTEXT.set(RunContext { out_dir, base_seed });
+}
+
+/// The invocation context (defaults if `init_context` was never called).
+pub fn context() -> &'static RunContext {
+    CONTEXT.get_or_init(|| RunContext {
+        out_dir: PathBuf::from("results"),
+        base_seed: DEFAULT_BASE_SEED,
+    })
+}
 
 /// Runtime scale for a harness invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,12 +84,15 @@ impl Scale {
         }
     }
 
-    /// Seeds per point.
-    pub fn seeds(self) -> &'static [u64] {
-        match self {
-            Scale::Full => &SEEDS,
-            Scale::Quick => &SEEDS[..1],
-        }
+    /// Seeds per point, derived from the invocation's base seed with the
+    /// runner's fixed stride, so a whole sweep reruns bit-identically from
+    /// the single base recorded in the CSV headers.
+    pub fn seeds(self) -> Vec<u64> {
+        let count = match self {
+            Scale::Full => SEEDS.len(),
+            Scale::Quick => 1,
+        };
+        seeds_from_base(context().base_seed, count)
     }
 }
 
@@ -106,7 +142,7 @@ pub fn caching_config(scale: Scale, policy: PolicyKind, noise: f64) -> SimConfig
 
 /// Runs one sweep point, seed-averaged.
 pub fn run_point(cfg: &SimConfig, layout: &DiskLayout, scale: Scale) -> AveragedOutcome {
-    average_seeds(cfg, layout, scale.seeds()).expect("paper-scale run must succeed")
+    average_seeds(cfg, layout, &scale.seeds()).expect("paper-scale run must succeed")
 }
 
 /// Prints a response-time table: one row per x value, one column per series.
@@ -126,14 +162,18 @@ pub fn print_table(title: &str, x_name: &str, xs: &[String], series: &[(String, 
     }
 }
 
-/// Writes the same table as CSV under `results/` (created on demand).
+/// Writes the same table as CSV under the invocation's output directory
+/// (default `results/`, overridden by `--out`; created on demand). The
+/// first line records the base seed so any run can be replayed exactly.
 pub fn write_csv(file: &str, x_name: &str, xs: &[String], series: &[(String, Vec<f64>)]) {
-    let dir = std::path::Path::new("results");
+    let ctx = context();
+    let dir = ctx.out_dir.as_path();
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
+        eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let mut out = String::new();
+    out.push_str(&format!("# base_seed={}\n", ctx.base_seed));
     out.push_str(x_name);
     for (name, _) in series {
         out.push(',');
@@ -151,7 +191,7 @@ pub fn write_csv(file: &str, x_name: &str, xs: &[String], series: &[(String, Vec
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
-        println!("  -> results/{file}");
+        println!("  -> {}", path.display());
     }
 }
 

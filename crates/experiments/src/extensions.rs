@@ -12,8 +12,7 @@ use bdisk_sim::{simulate_prefetch, SimConfig};
 use bdisk_workload::RegionZipf;
 
 use crate::common::{
-    base_config, caching_config, layout, print_table, run_point, threads, write_csv, Scale,
-    NOISES,
+    base_config, caching_config, layout, print_table, run_point, threads, write_csv, Scale, NOISES,
 };
 
 /// PT prefetching vs demand caching over noise (D5, Δ = 3).
@@ -79,7 +78,10 @@ pub fn policies(scale: Scale) {
     });
 
     println!("\n=== Extension: policy shoot-out (D5, CacheSize=500, Noise=30%, Delta=3) ===");
-    println!("{:>10}{:>14}{:>12}{:>12}", "policy", "response", "hit rate", "idealized");
+    println!(
+        "{:>10}{:>14}{:>12}{:>12}",
+        "policy", "response", "hit rate", "idealized"
+    );
     for (kind, (rt, hit)) in kinds.iter().zip(&results) {
         println!(
             "{:>10}{:>14.1}{:>11.1}%{:>12}",
@@ -91,8 +93,14 @@ pub fn policies(scale: Scale) {
     }
     let xs: Vec<String> = kinds.iter().map(|k| k.name().to_string()).collect();
     let series = vec![
-        ("response".to_string(), results.iter().map(|r| r.0).collect()),
-        ("hit_rate".to_string(), results.iter().map(|r| r.1).collect()),
+        (
+            "response".to_string(),
+            results.iter().map(|r| r.0).collect(),
+        ),
+        (
+            "hit_rate".to_string(),
+            results.iter().map(|r| r.1).collect(),
+        ),
     ];
     write_csv("ext_policies.csv", "policy", &xs, &series);
 }
@@ -106,14 +114,23 @@ pub fn design(scale: Scale) {
     println!("\n=== Extension: automated broadcast-program design ===");
     println!("workload: paper default (AccessRange 1000, theta 0.95) in 5000 pages\n");
 
-    println!("{:>24}{:>8}{:>14}{:>14}", "layout", "Delta", "analytic", "simulated");
+    println!(
+        "{:>24}{:>8}{:>14}{:>14}",
+        "layout", "Delta", "analytic", "simulated"
+    );
     let cfg = base_config(scale);
     for (name, delta) in [("D4", 4u64), ("D5", 3)] {
         let l = layout(name, delta);
         let program = BroadcastProgram::generate(&l).expect("valid");
         let analytic = bdisk_analytic::expected_response_time(&program, &probs);
         let sim = run_point(&cfg, &l, scale).mean_response_time;
-        println!("{:>24}{:>8}{:>14.0}{:>14.1}", format!("{name}{:?}", l.sizes()), delta, analytic, sim);
+        println!(
+            "{:>24}{:>8}{:>14.0}{:>14.1}",
+            format!("{name}{:?}", l.sizes()),
+            delta,
+            analytic,
+            sim
+        );
     }
 
     let best = optimize_layout(
@@ -136,7 +153,10 @@ pub fn design(scale: Scale) {
 
     let flat = DiskLayout::with_delta(&[5000], 0).expect("flat");
     let sim_flat = run_point(&cfg, &flat, scale).mean_response_time;
-    println!("{:>24}{:>8}{:>14.0}{:>14.1}", "flat[5000]", 0, 2500.0, sim_flat);
+    println!(
+        "{:>24}{:>8}{:>14.0}{:>14.1}",
+        "flat[5000]", 0, 2500.0, sim_flat
+    );
 }
 
 /// Volatile data: response time and staleness vs update rate (paper §7
@@ -232,8 +252,7 @@ pub fn index(_scale: Scale) {
         "m", "overhead", "access (bu)", "tuning (bu)", "doze fraction"
     );
     // Baseline: no index — the client listens from request to arrival.
-    let no_index_access =
-        bdisk_analytic::expected_response_time(&program, &probs) + 1.0;
+    let no_index_access = bdisk_analytic::expected_response_time(&program, &probs) + 1.0;
     println!(
         "{:>6}{:>11.2}%{:>14.1}{:>14.1}{:>14}",
         "none", 0.0, no_index_access, no_index_access, "0%"
@@ -243,8 +262,7 @@ pub fn index(_scale: Scale) {
     let mut access_series = vec![no_index_access];
     let mut tuning_series = vec![no_index_access];
     for m in [1usize, 2, 4, 8, 16, 32] {
-        let ib = IndexedBroadcast::new(program.clone(), m, ENTRIES_PER_SLOT)
-            .expect("valid index");
+        let ib = IndexedBroadcast::new(program.clone(), m, ENTRIES_PER_SLOT).expect("valid index");
         let (access, tuning) = ib.expected_access_and_tuning(&probs);
         println!(
             "{:>6}{:>11.2}%{:>14.1}{:>14.1}{:>13.1}%",

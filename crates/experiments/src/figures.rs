@@ -5,11 +5,11 @@
 //! under `results/`.
 
 use bdisk_cache::PolicyKind;
-use bdisk_sim::{SimConfig, sweep};
+use bdisk_sim::{sweep, SimConfig};
 
 use crate::common::{
-    base_config, caching_config, layout, print_table, run_point, threads, write_csv, Scale,
-    DELTAS, NOISES,
+    base_config, caching_config, layout, print_table, run_point, threads, write_csv, Scale, DELTAS,
+    NOISES,
 };
 
 /// One sweep point: a layout name, Δ, and a config.
@@ -208,12 +208,7 @@ pub fn fig10(scale: Scale) {
 
 /// Shared driver for the access-location figures (11 and 14): percentage
 /// of requests satisfied by the cache and by each disk.
-fn access_locations(
-    title: &str,
-    csv: &str,
-    policies: &[PolicyKind],
-    scale: Scale,
-) {
+fn access_locations(title: &str, csv: &str, policies: &[PolicyKind], scale: Scale) {
     let points: Vec<PolicyKind> = policies.to_vec();
     let rows = sweep(points, threads(), |&policy| {
         let l = layout("D5", 3);

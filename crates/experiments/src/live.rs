@@ -1,0 +1,317 @@
+//! `repro live` — runs the real broadcast engine (`bdisk-broker`) at the
+//! paper's Figure 13 operating point and validates the live measurements
+//! against simulator predictions.
+//!
+//! Operating point: configuration D5 ⟨500, 2000, 2500⟩, Δ = 3,
+//! CacheSize = Offset = 500, Noise = 30%, policies LRU / L / LIX / PIX —
+//! the clients are split evenly across the four policies, with per-client
+//! seeds derived from the invocation's base seed.
+//!
+//! Parity contract: on the lossless in-memory bus every client sees every
+//! slot, so each live client's measurements must be **bit-identical** to
+//! the simulator run with the same seed (tolerance 1e-9, i.e. exact up to
+//! float printing). Over TCP, backpressure may drop frames for a slow
+//! client — a dropped page simply comes around on a later broadcast cycle,
+//! which perturbs response times but barely moves hit rates, so per-policy
+//! hit rates are checked within a 2-percentage-point tolerance instead.
+
+use std::time::Duration;
+
+use bdisk_broker::{
+    aggregate, Backpressure, BroadcastEngine, EngineConfig, InMemoryBus, LiveClient,
+    LiveClientResult, TcpFrameReader, TcpTransport, TcpTransportConfig,
+};
+use bdisk_cache::PolicyKind;
+use bdisk_sched::BroadcastProgram;
+use bdisk_sim::{seeds_from_base, simulate_program, SimConfig, SimOutcome};
+
+use crate::common::{self, Scale};
+
+/// Which transport `repro live` drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveTransport {
+    /// In-memory broadcast bus, lossless (exact simulator parity).
+    Bus,
+    /// Loopback TCP with drop-newest backpressure.
+    Tcp,
+}
+
+impl std::str::FromStr for LiveTransport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bus" => Ok(LiveTransport::Bus),
+            "tcp" => Ok(LiveTransport::Tcp),
+            other => Err(format!("unknown transport '{other}' (expected bus or tcp)")),
+        }
+    }
+}
+
+/// `repro live` options (from `--transport` and `--clients`).
+#[derive(Debug, Clone)]
+pub struct LiveOptions {
+    /// Transport to drive.
+    pub transport: LiveTransport,
+    /// Concurrent clients (at least 4, one per policy).
+    pub clients: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        Self {
+            transport: LiveTransport::Bus,
+            clients: 16,
+        }
+    }
+}
+
+/// The Figure 13 policy line-up.
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::L,
+    PolicyKind::Lix,
+    PolicyKind::Pix,
+];
+
+/// Bit-identical tolerance for the lossless bus.
+const BUS_TOLERANCE: f64 = 1e-9;
+/// Hit-rate tolerance (absolute) for the lossy TCP path.
+const TCP_HIT_TOLERANCE: f64 = 0.02;
+
+/// Runs the live engine and validates it against the simulator.
+pub fn run(scale: Scale, opts: &LiveOptions) {
+    let n_clients = opts.clients.max(POLICIES.len());
+    let layout = common::layout("D5", 3);
+    let program = BroadcastProgram::generate(&layout).expect("paper layout is valid");
+    let seeds = seeds_from_base(common::context().base_seed, n_clients);
+
+    // Client i runs policy i mod 4 with its own derived seed.
+    let roster: Vec<(PolicyKind, u64)> = (0..n_clients)
+        .map(|i| (POLICIES[i % POLICIES.len()], seeds[i]))
+        .collect();
+
+    println!(
+        "\n=== live broadcast: D5, Delta=3, Noise=30%, {} clients over {} ===",
+        n_clients,
+        match opts.transport {
+            LiveTransport::Bus => "in-memory bus",
+            LiveTransport::Tcp => "loopback TCP",
+        }
+    );
+
+    let (report, results) = match opts.transport {
+        LiveTransport::Bus => run_bus(scale, &roster, &layout, &program),
+        LiveTransport::Tcp => run_tcp(scale, &roster, &layout, &program),
+    };
+
+    println!(
+        "engine: {} slots ({} major cycles) in {:.2}s = {:.0} slots/sec",
+        report.slots_sent,
+        report.major_cycles,
+        report.elapsed.as_secs_f64(),
+        report.slots_per_sec
+    );
+    println!(
+        "        {} frames delivered, {} dropped, {} clients disconnected, max lag {} frames",
+        report.frames_delivered,
+        report.frames_dropped,
+        report.clients_disconnected,
+        report.max_client_lag
+    );
+    assert!(
+        report.major_cycles >= 2,
+        "live run must span at least two full broadcast periods"
+    );
+
+    // Simulator predictions for the same roster (in parallel).
+    let predictions: Vec<SimOutcome> = bdisk_sim::sweep(
+        roster.clone(),
+        common::threads(),
+        |&(policy, seed): &(PolicyKind, u64)| {
+            let cfg = config(scale, policy);
+            simulate_program(&cfg, &layout, program.clone(), seed)
+                .expect("simulator run must succeed")
+        },
+    );
+
+    let fleet = aggregate(report, results);
+    println!(
+        "fleet:  {} measured requests, mean response {:.1}, hit rate {:.3}",
+        fleet.measured_requests, fleet.mean_response_time, fleet.hit_rate
+    );
+    println!(
+        "        service latency p50 {:.0}  p95 {:.0}  p99 {:.0} (broadcast units)",
+        fleet.p50, fleet.p95, fleet.p99
+    );
+
+    // Per-policy comparison table: live vs simulator.
+    let mut xs = Vec::new();
+    let mut live_mean = Vec::new();
+    let mut sim_mean = Vec::new();
+    let mut live_hit = Vec::new();
+    let mut sim_hit = Vec::new();
+    let mut worst_hit_gap: f64 = 0.0;
+    let mut worst_mean_gap: f64 = 0.0;
+    for &policy in &POLICIES {
+        let members: Vec<usize> = roster
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| *p == policy)
+            .map(|(i, _)| i)
+            .collect();
+        let mean = |outs: &[&SimOutcome]| {
+            outs.iter().map(|o| o.mean_response_time).sum::<f64>() / outs.len() as f64
+        };
+        let hit =
+            |outs: &[&SimOutcome]| outs.iter().map(|o| o.hit_rate).sum::<f64>() / outs.len() as f64;
+        let live_outs: Vec<&SimOutcome> = members.iter().map(|&i| &fleet.per_client[i]).collect();
+        let sim_outs: Vec<&SimOutcome> = members.iter().map(|&i| &predictions[i]).collect();
+        let (lm, sm) = (mean(&live_outs), mean(&sim_outs));
+        let (lh, sh) = (hit(&live_outs), hit(&sim_outs));
+        worst_mean_gap = worst_mean_gap.max((lm - sm).abs());
+        worst_hit_gap = worst_hit_gap.max((lh - sh).abs());
+        xs.push(policy.name().to_string());
+        live_mean.push(lm);
+        sim_mean.push(sm);
+        live_hit.push(lh);
+        sim_hit.push(sh);
+    }
+
+    common::print_table(
+        "live vs simulator (Figure 13 operating point)",
+        "policy",
+        &xs,
+        &[
+            ("live_mean".to_string(), live_mean.clone()),
+            ("sim_mean".to_string(), sim_mean.clone()),
+            ("live_hit".to_string(), live_hit.clone()),
+            ("sim_hit".to_string(), sim_hit.clone()),
+        ],
+    );
+    common::write_csv(
+        "live.csv",
+        "policy",
+        &xs,
+        &[
+            ("live_mean".to_string(), live_mean),
+            ("sim_mean".to_string(), sim_mean),
+            ("live_hit".to_string(), live_hit),
+            ("sim_hit".to_string(), sim_hit),
+        ],
+    );
+
+    match opts.transport {
+        LiveTransport::Bus => {
+            assert!(
+                worst_mean_gap < BUS_TOLERANCE && worst_hit_gap < BUS_TOLERANCE,
+                "lossless bus must match the simulator exactly \
+                 (mean gap {worst_mean_gap:.3e}, hit gap {worst_hit_gap:.3e})"
+            );
+            println!(
+                "parity: EXACT — every client bit-identical to its simulated twin \
+                 (tolerance {BUS_TOLERANCE:e})"
+            );
+        }
+        LiveTransport::Tcp => {
+            if worst_hit_gap <= TCP_HIT_TOLERANCE {
+                println!(
+                    "parity: OK — worst per-policy hit-rate gap {:.4} within tolerance {}",
+                    worst_hit_gap, TCP_HIT_TOLERANCE
+                );
+            } else {
+                println!(
+                    "parity: WARN — hit-rate gap {:.4} exceeds {} (heavy frame loss?)",
+                    worst_hit_gap, TCP_HIT_TOLERANCE
+                );
+            }
+        }
+    }
+}
+
+/// The Figure 13 caching config for one policy.
+fn config(scale: Scale, policy: PolicyKind) -> SimConfig {
+    common::caching_config(scale, policy, 0.30)
+}
+
+fn run_bus(
+    scale: Scale,
+    roster: &[(PolicyKind, u64)],
+    layout: &bdisk_sched::DiskLayout,
+    program: &BroadcastProgram,
+) -> (bdisk_broker::EngineReport, Vec<LiveClientResult>) {
+    let mut bus = InMemoryBus::new(512, Backpressure::Block);
+    let subs: Vec<_> = roster.iter().map(|_| bus.subscribe()).collect();
+    let mut clients: Vec<LiveClient> = roster
+        .iter()
+        .map(|&(policy, seed)| {
+            LiveClient::new(&config(scale, policy), layout, program.clone(), seed)
+                .expect("live client config is valid")
+        })
+        .collect();
+
+    let engine = BroadcastEngine::new(program.clone(), EngineConfig::default());
+    let report = crossbeam::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(subs)
+            .map(|(client, sub)| scope.spawn(move |_| client.run(sub)))
+            .collect();
+        let report = engine.run(&mut bus);
+        for h in handles {
+            h.join().expect("client thread must not panic");
+        }
+        report
+    })
+    .expect("live run must not panic");
+
+    let results = clients.into_iter().map(|c| c.into_results()).collect();
+    (report, results)
+}
+
+fn run_tcp(
+    scale: Scale,
+    roster: &[(PolicyKind, u64)],
+    layout: &bdisk_sched::DiskLayout,
+    program: &BroadcastProgram,
+) -> (bdisk_broker::EngineReport, Vec<LiveClientResult>) {
+    let mut transport = TcpTransport::bind(TcpTransportConfig {
+        queue_capacity: 8192,
+        backpressure: Backpressure::DropNewest,
+        payload_len: 64,
+    })
+    .expect("loopback bind must succeed");
+    let addr = transport.local_addr();
+
+    let handles: Vec<_> = roster
+        .iter()
+        .map(|&(policy, seed)| {
+            let cfg = config(scale, policy);
+            let layout = layout.clone();
+            let program = program.clone();
+            std::thread::spawn(move || {
+                let mut reader = TcpFrameReader::connect(addr).expect("connect to broker");
+                let mut client =
+                    LiveClient::new(&cfg, &layout, program, seed).expect("valid client config");
+                while let Ok(Some(frame)) = reader.recv() {
+                    if client.on_frame(frame) {
+                        break;
+                    }
+                }
+                client.into_results()
+            })
+        })
+        .collect();
+
+    assert!(
+        transport.wait_for_clients(roster.len(), Duration::from_secs(30)),
+        "clients failed to connect"
+    );
+    let engine = BroadcastEngine::new(program.clone(), EngineConfig::default());
+    let report = engine.run(&mut transport);
+    let results = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread must not panic"))
+        .collect();
+    (report, results)
+}

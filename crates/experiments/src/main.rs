@@ -1,8 +1,16 @@
 //! `repro` — regenerates every table and figure of the Broadcast Disks
-//! paper (Acharya, Alonso, Franklin, Zdonik, SIGMOD 1995).
+//! paper (Acharya, Alonso, Franklin, Zdonik, SIGMOD 1995), and runs the
+//! live broadcast engine against the simulator.
 //!
 //! ```text
-//! repro [--quick] <experiment> [...]
+//! repro [flags] <experiment> [...]
+//!
+//! flags:
+//!   --quick            reduced requests/seeds for a fast smoke run
+//!   --out DIR          write CSVs under DIR (default results/)
+//!   --seed N           base seed for derived sweep seeds (default 101)
+//!   --transport T      live: bus (default, lossless) or tcp
+//!   --clients N        live: concurrent clients (default 16, min 4)
 //!
 //! experiments:
 //!   table1   expected delay of the Figure 2 example programs
@@ -23,45 +31,98 @@
 //!   design   automated broadcast-program designer (extension)
 //!   updates  volatile data / invalidation vs stale reads (extension)
 //!   index    (1,m) air indexing access/tuning tradeoff (extension)
+//!   live     real-time broadcast engine vs simulator (bdisk-broker)
 //!   all      everything above, in paper order
 //! ```
 //!
-//! `--quick` cuts request counts and seeds for a fast smoke run; the
-//! default is paper fidelity (15 000 measured requests, 3 seeds per point).
-//! CSVs are written to `results/`.
+//! `--quick` cuts request counts and seeds; the default is paper fidelity
+//! (15 000 measured requests, 3 seeds per point). Every CSV records the
+//! base seed in its header line, so `repro --seed N <exp>` reruns are
+//! bit-identical.
 
 mod common;
 mod extensions;
 mod figures;
+mod live;
 mod table1;
 mod worked_examples;
 
 use common::Scale;
+use live::LiveOptions;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let experiments: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let (scale, live_opts, experiments) = parse_args();
 
     if experiments.is_empty() {
-        eprintln!("usage: repro [--quick] <table1|fig3|fig5|...|fig15|all>");
+        eprintln!("usage: repro [--quick] [--out DIR] [--seed N] <table1|fig3|...|fig15|live|all>");
         eprintln!("run `repro all` to regenerate every table and figure");
         std::process::exit(2);
     }
 
     let start = std::time::Instant::now();
     for exp in &experiments {
-        run_one(exp, scale);
+        run_one(exp, scale, &live_opts);
     }
     eprintln!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-fn run_one(exp: &str, scale: Scale) {
+/// Parses flags and experiment names; installs the invocation context.
+fn parse_args() -> (Scale, LiveOptions, Vec<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = std::path::PathBuf::from("results");
+    let mut base_seed = common::DEFAULT_BASE_SEED;
+    let mut live_opts = LiveOptions::default();
+    let mut experiments = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = flag_value(&mut iter, "--out").into(),
+            "--seed" => {
+                base_seed = parse_or_die(&flag_value(&mut iter, "--seed"), "--seed expects a u64")
+            }
+            "--transport" => {
+                live_opts.transport = parse_or_die(
+                    &flag_value(&mut iter, "--transport"),
+                    "--transport expects bus or tcp",
+                )
+            }
+            "--clients" => {
+                live_opts.clients = parse_or_die(
+                    &flag_value(&mut iter, "--clients"),
+                    "--clients expects a positive integer",
+                )
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            _ => experiments.push(arg),
+        }
+    }
+
+    common::init_context(out, base_seed);
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    (scale, live_opts, experiments)
+}
+
+fn flag_value(iter: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    iter.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_or_die<T: std::str::FromStr>(s: &str, msg: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{msg} (got '{s}')");
+        std::process::exit(2);
+    })
+}
+
+fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
     match exp {
         "table1" => table1::run(scale),
         "fig3" => worked_examples::figure3(),
@@ -81,12 +142,14 @@ fn run_one(exp: &str, scale: Scale) {
         "design" => extensions::design(scale),
         "updates" => extensions::updates(scale),
         "index" => extensions::index(scale),
+        "live" => live::run(scale, live_opts),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates", "index",
+                "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
+                "index", "live",
             ] {
-                run_one(e, scale);
+                run_one(e, scale, live_opts);
             }
         }
         other => {

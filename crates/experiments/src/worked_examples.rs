@@ -31,7 +31,10 @@ pub fn figure3() {
     }
 
     let analysis = ProgramAnalysis::of(&program);
-    println!("\nmajor cycle = {} slots, {} unused", analysis.period, analysis.empty_slots);
+    println!(
+        "\nmajor cycle = {} slots, {} unused",
+        analysis.period, analysis.empty_slots
+    );
     println!(
         "page A every {} slots, pages B/C every {} slots, others every {} slots",
         program.gap(PageId(0)).unwrap(),

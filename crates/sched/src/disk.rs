@@ -70,7 +70,11 @@ impl DiskLayout {
             acc += s;
             bounds.push(acc);
         }
-        Ok(Self { sizes, freqs, bounds })
+        Ok(Self {
+            sizes,
+            freqs,
+            bounds,
+        })
     }
 
     /// Creates a layout using the paper's Δ knob:

@@ -45,7 +45,11 @@ impl fmt::Display for SchedError {
                 write!(f, "disk {} has no pages", disk + 1)
             }
             SchedError::ZeroFrequency { disk } => {
-                write!(f, "disk {} has relative frequency 0 (must be >= 1)", disk + 1)
+                write!(
+                    f,
+                    "disk {} has relative frequency 0 (must be >= 1)",
+                    disk + 1
+                )
             }
             SchedError::UnorderedFrequencies => write!(
                 f,
@@ -72,8 +76,13 @@ mod tests {
             SchedError::LengthMismatch { sizes: 2, freqs: 3 }.to_string(),
             "layout has 2 disk sizes but 3 relative frequencies"
         );
-        assert_eq!(SchedError::EmptyDisk { disk: 0 }.to_string(), "disk 1 has no pages");
-        assert!(SchedError::ZeroFrequency { disk: 1 }.to_string().contains("disk 2"));
+        assert_eq!(
+            SchedError::EmptyDisk { disk: 0 }.to_string(),
+            "disk 1 has no pages"
+        );
+        assert!(SchedError::ZeroFrequency { disk: 1 }
+            .to_string()
+            .contains("disk 2"));
     }
 
     #[test]

@@ -222,10 +222,7 @@ mod tests {
         let flat = flat_program(5).unwrap();
         assert_eq!(multi.period(), flat.period());
         for page in 0..5u32 {
-            assert_eq!(
-                multi.frequency(PageId(page)),
-                flat.frequency(PageId(page))
-            );
+            assert_eq!(multi.frequency(PageId(page)), flat.frequency(PageId(page)));
         }
     }
 

@@ -299,7 +299,8 @@ mod tests {
         // indexed client's tuning must be far below that for cold pages.
         let layout = DiskLayout::new(vec![2, 14], vec![2, 1]).unwrap();
         let program = BroadcastProgram::generate(&layout).unwrap();
-        let plain_wait = crate::program::BroadcastProgram::next_arrival(&program, PageId(15), 0.2) - 0.2;
+        let plain_wait =
+            crate::program::BroadcastProgram::next_arrival(&program, PageId(15), 0.2) - 0.2;
         let ib = IndexedBroadcast::new(program, 2, 8).unwrap();
         let (_, tuning) = ib.access_and_tuning(PageId(15), 0.2);
         assert!(

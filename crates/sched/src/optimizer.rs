@@ -235,7 +235,11 @@ mod tests {
         let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
         assert!(best.layout.num_disks() >= 2, "layout = {:?}", best.layout);
         // Must beat flat (expected 50).
-        assert!(best.expected_delay < 50.0, "delay = {}", best.expected_delay);
+        assert!(
+            best.expected_delay < 50.0,
+            "delay = {}",
+            best.expected_delay
+        );
         // Fast disk should be smaller than slow disk.
         let sizes = best.layout.sizes();
         assert!(sizes[0] < sizes[sizes.len() - 1], "sizes = {sizes:?}");
@@ -248,7 +252,11 @@ mod tests {
         probs[0] = 0.9;
         let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
         assert!(best.layout.num_disks() >= 2);
-        assert!(best.layout.sizes()[0] <= 10, "sizes = {:?}", best.layout.sizes());
+        assert!(
+            best.layout.sizes()[0] <= 10,
+            "sizes = {:?}",
+            best.layout.sizes()
+        );
         assert!(best.expected_delay < 25.0);
     }
 

@@ -147,7 +147,11 @@ impl BroadcastProgram {
     /// Number of disks this program distinguishes (at least 1).
     pub fn num_disks(&self) -> usize {
         self.disk_freqs.len().max(
-            self.page_disk.iter().map(|&d| d as usize + 1).max().unwrap_or(1),
+            self.page_disk
+                .iter()
+                .map(|&d| d as usize + 1)
+                .max()
+                .unwrap_or(1),
         )
     }
 
@@ -200,6 +204,21 @@ impl BroadcastProgram {
     /// Slot offsets (within one period) at which `page` is broadcast.
     pub fn page_starts(&self, page: PageId) -> &[u32] {
         &self.page_slots[page.index()]
+    }
+
+    /// The slot broadcast at absolute slot sequence number `seq`, wrapping
+    /// around the period. `seq` is the live engine's monotone slot counter:
+    /// slot `seq` covers broadcast-unit time `[seq, seq+1)`.
+    pub fn slot_at(&self, seq: u64) -> Slot {
+        self.slots[(seq % self.period() as u64) as usize]
+    }
+
+    /// Iterates the broadcast from absolute slot `seq` onward, yielding
+    /// `(seq, slot)` pairs forever (the program is periodic). This is the
+    /// slot-level feed a real-time broadcast server drives its transport
+    /// with; take or break when done.
+    pub fn slots_from(&self, seq: u64) -> impl Iterator<Item = (u64, Slot)> + '_ {
+        (seq..).map(move |s| (s, self.slot_at(s)))
     }
 
     /// The absolute time (slot start) at which `page` is next broadcast at
@@ -332,8 +351,37 @@ mod tests {
     }
 
     #[test]
+    fn slot_at_wraps_the_period() {
+        let p = abac();
+        assert_eq!(p.slot_at(0), Slot::Page(PageId(0)));
+        assert_eq!(p.slot_at(3), Slot::Page(PageId(2)));
+        assert_eq!(p.slot_at(4), Slot::Page(PageId(0))); // next cycle
+        assert_eq!(p.slot_at(1_000_003), p.slot_at(3));
+    }
+
+    #[test]
+    fn slots_from_agrees_with_slot_at_and_next_arrival() {
+        let p = abac();
+        let feed: Vec<(u64, Slot)> = p.slots_from(6).take(5).collect();
+        assert_eq!(feed[0], (6, p.slot_at(6)));
+        assert_eq!(feed[4], (10, p.slot_at(10)));
+        // Every slot carrying a page is that page's next arrival at that
+        // instant — the live feed and the simulator arithmetic agree.
+        for (seq, slot) in p.slots_from(0).take(12) {
+            if let Slot::Page(page) = slot {
+                assert_eq!(p.next_arrival(page, seq as f64), seq as f64);
+            }
+        }
+    }
+
+    #[test]
     fn empty_slots_counted() {
-        let slots = vec![Slot::Page(PageId(0)), Slot::Empty, Slot::Page(PageId(0)), Slot::Empty];
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Empty,
+            Slot::Page(PageId(0)),
+            Slot::Empty,
+        ];
         let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
         assert_eq!(p.empty_slots(), 2);
         assert_eq!(p.waste(), 0.5);

@@ -78,7 +78,9 @@ impl SimConfig {
             return Err(SimError::BadParameter("region_size must be positive"));
         }
         if self.offset >= db {
-            return Err(SimError::BadParameter("offset must be smaller than the database"));
+            return Err(SimError::BadParameter(
+                "offset must be smaller than the database",
+            ));
         }
         if self.cache_size > self.access_range {
             // The client only ever touches access_range distinct pages, so
@@ -125,7 +127,10 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::BadAccessRange { access_range, db_size } => write!(
+            SimError::BadAccessRange {
+                access_range,
+                db_size,
+            } => write!(
                 f,
                 "access range {access_range} must be in 1..={db_size} (ServerDBSize)"
             ),
@@ -192,13 +197,55 @@ mod tests {
             ..SimConfig::default()
         };
         for (name, cfg) in [
-            ("offset", SimConfig { offset: 500, ..base.clone() }),
-            ("jitter", SimConfig { think_jitter: -0.5, ..base.clone() }),
-            ("noise", SimConfig { noise: 1.5, ..base.clone() }),
-            ("think", SimConfig { think_time: -1.0, ..base.clone() }),
-            ("requests", SimConfig { requests: 0, ..base.clone() }),
-            ("region", SimConfig { region_size: 0, ..base.clone() }),
-            ("batch", SimConfig { batch_size: 0, ..base.clone() }),
+            (
+                "offset",
+                SimConfig {
+                    offset: 500,
+                    ..base.clone()
+                },
+            ),
+            (
+                "jitter",
+                SimConfig {
+                    think_jitter: -0.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "noise",
+                SimConfig {
+                    noise: 1.5,
+                    ..base.clone()
+                },
+            ),
+            (
+                "think",
+                SimConfig {
+                    think_time: -1.0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "requests",
+                SimConfig {
+                    requests: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "region",
+                SimConfig {
+                    region_size: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch",
+                SimConfig {
+                    batch_size: 0,
+                    ..base.clone()
+                },
+            ),
         ] {
             assert!(cfg.validate(&layout()).is_err(), "{name} should fail");
         }

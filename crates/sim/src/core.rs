@@ -1,0 +1,253 @@
+//! The client's protocol state, shared between the discrete-event
+//! simulator ([`crate::ClientModel`]) and the live broadcast engine's
+//! clients (`bdisk-broker`).
+//!
+//! Both drivers execute the same Section 4.1 loop — draw a page, probe the
+//! cache, wait on the broadcast on a miss, think, repeat — they only differ
+//! in *how* they wait: the simulator jumps the virtual clock to the page's
+//! next arrival, while a live client watches real frames go by. Keeping the
+//! request stream, cache policy, warm-up accounting, and measurement logic
+//! in one struct guarantees that, for the same seed and configuration, a
+//! live client issues bit-identical requests to its simulated twin — which
+//! is what lets `repro live` validate the engine against simulator
+//! predictions.
+
+use bdisk_cache::{build_policy, CachePolicy, PolicyContext};
+use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::{AccessLocation, Measurements, SimOutcome};
+
+/// Everything about a client except how it waits for the broadcast: the
+/// seeded request stream, the replacement policy, warm-up state, and the
+/// steady-state measurements.
+pub struct ClientCore {
+    generator: AccessGenerator,
+    policy: Box<dyn CachePolicy>,
+    rng: StdRng,
+    think_time: f64,
+    think_jitter: f64,
+    /// Requests still to discard once the cache is full.
+    warmup_left: u64,
+    /// True once measurement has begun.
+    measuring: bool,
+    measured_target: u64,
+    measurements: Measurements,
+}
+
+impl ClientCore {
+    /// Builds the core for `cfg` against a generated broadcast program,
+    /// deriving the Offset/Noise mapping from the config.
+    ///
+    /// The construction order — seed the generator, build the mapping,
+    /// then the policy and access generator — is part of the determinism
+    /// contract: every driver that seeds with the same value consumes
+    /// random draws in the same sequence.
+    pub fn new(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: &BroadcastProgram,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate(layout)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
+        let zipf = RegionZipf::new(cfg.access_range, cfg.region_size, cfg.theta);
+        Self::with_workload(cfg, layout, program, zipf.probs(), mapping, rng)
+    }
+
+    /// Builds the core with an explicit logical-page probability vector and
+    /// mapping (used by the population model and custom workloads).
+    pub fn with_workload(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        program: &BroadcastProgram,
+        logical_probs: &[f64],
+        mapping: Mapping,
+        rng: StdRng,
+    ) -> Result<Self, SimError> {
+        cfg.validate(layout)?;
+
+        let ctx = PolicyContext {
+            probs: mapping.physical_probs(logical_probs),
+            page_disk: (0..layout.total_pages())
+                .map(|p| layout.disk_of(PageId(p as u32)) as u16)
+                .collect(),
+            disk_freqs: layout.freqs().to_vec(),
+            alpha: cfg.alpha,
+        };
+        let policy = build_policy(cfg.policy, cfg.cache_size, &ctx);
+        let generator = AccessGenerator::from_probs(logical_probs, mapping);
+        let measurements =
+            Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
+
+        Ok(Self {
+            generator,
+            policy,
+            rng,
+            think_time: cfg.think_time,
+            think_jitter: cfg.think_jitter,
+            warmup_left: cfg.warmup_requests,
+            measuring: false,
+            measured_target: cfg.requests,
+            measurements,
+        })
+    }
+
+    /// Draws the next requested page from the seeded access stream.
+    pub fn next_request(&mut self) -> PageId {
+        self.generator.next_request(&mut self.rng)
+    }
+
+    /// True when `page` is cache-resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.policy.contains(page)
+    }
+
+    /// Records a cache hit on `page` at time `now`.
+    pub fn on_hit(&mut self, page: PageId, now: f64) {
+        self.policy.on_hit(page, now);
+    }
+
+    /// Inserts `page` (just received from the broadcast) at time `now`.
+    pub fn insert(&mut self, page: PageId, now: f64) {
+        self.policy.insert(page, now);
+    }
+
+    /// The post-request sleep: fixed think time plus optional jitter.
+    /// Draws from the RNG only when jitter is enabled (determinism
+    /// contract: jitter-free configs consume no extra draws).
+    pub fn think_delay(&mut self) -> f64 {
+        let jitter = if self.think_jitter > 0.0 {
+            use rand::Rng;
+            self.rng.random::<f64>() * self.think_jitter
+        } else {
+            0.0
+        };
+        self.think_time + jitter
+    }
+
+    /// Handles one completed request; returns `true` when the measurement
+    /// target has been reached and the run is done.
+    pub fn complete_request(&mut self, response: f64, loc: AccessLocation) -> bool {
+        if self.measuring {
+            self.measurements.record(response, loc);
+            if self.measurements.stats.count() >= self.measured_target {
+                return true;
+            }
+        } else {
+            // Warm-up: wait for the cache to fill, then discard a further
+            // warmup_left requests so the policies reach steady state.
+            let cache_full = self.policy.len() >= self.policy.capacity();
+            if cache_full {
+                if self.warmup_left == 0 {
+                    self.measuring = true;
+                } else {
+                    self.warmup_left -= 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// True once warm-up has ended and requests are being measured.
+    pub fn measuring(&self) -> bool {
+        self.measuring
+    }
+
+    /// The replacement policy, for inspection (e.g. invalidations).
+    pub fn policy_mut(&mut self) -> &mut dyn CachePolicy {
+        &mut *self.policy
+    }
+
+    /// The measurements collected so far.
+    pub fn measurements(&self) -> &Measurements {
+        &self.measurements
+    }
+
+    /// Consumes the core, producing the run's outcome together with the
+    /// raw measurements (callers aggregating across clients merge the
+    /// latter for fleet-wide percentiles).
+    pub fn finish(self, end_time: f64) -> (SimOutcome, Measurements) {
+        let measurements = self.measurements.clone();
+        (self.measurements.finish(end_time), measurements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_cache::PolicyKind;
+
+    fn setup() -> (SimConfig, DiskLayout, BroadcastProgram) {
+        let layout = DiskLayout::with_delta(&[10, 40, 50], 2).unwrap();
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        let cfg = SimConfig {
+            access_range: 50,
+            region_size: 5,
+            cache_size: 10,
+            offset: 10,
+            noise: 0.1,
+            policy: PolicyKind::Lix,
+            requests: 50,
+            warmup_requests: 5,
+            ..SimConfig::default()
+        };
+        (cfg, layout, program)
+    }
+
+    #[test]
+    fn same_seed_same_request_stream() {
+        let (cfg, layout, program) = setup();
+        let mut a = ClientCore::new(&cfg, &layout, &program, 7).unwrap();
+        let mut b = ClientCore::new(&cfg, &layout, &program, 7).unwrap();
+        for _ in 0..200 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+
+    #[test]
+    fn warmup_then_measure_then_done() {
+        let (cfg, layout, program) = setup();
+        let mut core = ClientCore::new(&cfg, &layout, &program, 1).unwrap();
+        assert!(!core.measuring());
+        let mut t = 0.0;
+        let mut done = false;
+        let mut completions = 0u64;
+        while !done {
+            t += 1.0;
+            let page = core.next_request();
+            if core.contains(page) {
+                core.on_hit(page, t);
+                done = core.complete_request(0.0, AccessLocation::Cache);
+            } else {
+                core.insert(page, t);
+                done = core.complete_request(3.0, AccessLocation::Disk(0));
+            }
+            completions += 1;
+            assert!(completions < 100_000, "run never finished");
+        }
+        assert!(core.measuring());
+        let (outcome, measurements) = core.finish(t);
+        assert_eq!(outcome.measured_requests, 50);
+        assert_eq!(measurements.stats.count(), 50);
+        // Warm-up discarded: total completions exceed measured requests by
+        // at least cache-fill + warmup_requests.
+        assert!(completions >= 50 + 10 + 5);
+    }
+
+    #[test]
+    fn think_without_jitter_is_fixed_and_draw_free() {
+        let (cfg, layout, program) = setup();
+        let mut a = ClientCore::new(&cfg, &layout, &program, 3).unwrap();
+        let mut b = ClientCore::new(&cfg, &layout, &program, 3).unwrap();
+        assert_eq!(a.think_delay(), cfg.think_time);
+        // a drew nothing extra: both streams still aligned.
+        for _ in 0..50 {
+            assert_eq!(a.next_request(), b.next_request());
+        }
+    }
+}

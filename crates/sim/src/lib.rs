@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod core;
 pub mod metrics;
 pub mod model;
 pub mod population;
@@ -56,9 +57,12 @@ pub mod volatile;
 
 pub use bdisk_cache::PolicyKind;
 pub use config::{SimConfig, SimError};
-pub use metrics::{AccessLocation, SimOutcome};
+pub use core::ClientCore;
+pub use metrics::{AccessLocation, Measurements, SimOutcome};
 pub use model::{simulate, simulate_program, ClientModel};
 pub use population::{simulate_population, ClientSpec, PopulationOutcome};
 pub use prefetch::simulate_prefetch;
-pub use runner::{average_seeds, sweep, AveragedOutcome};
+pub use runner::{
+    average_seeds, average_seeds_from_base, seeds_from_base, sweep, AveragedOutcome, SEED_STRIDE,
+};
 pub use volatile::{simulate_volatile, StalenessStrategy, VolatileConfig, VolatileOutcome};

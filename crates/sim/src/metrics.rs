@@ -36,11 +36,19 @@ pub struct SimOutcome {
 }
 
 /// Accumulates per-request observations during the measurement phase.
+///
+/// Public so out-of-crate drivers (the live broadcast engine) can collect
+/// with the same machinery and merge client histograms into fleet-wide
+/// percentiles.
 #[derive(Debug, Clone)]
-pub(crate) struct Measurements {
+pub struct Measurements {
+    /// Running response-time mean/variance.
     pub stats: RunningStats,
+    /// Batch-means accumulator for the confidence interval.
     pub batches: BatchMeans,
+    /// Unit-bucket response-time histogram (percentile queries).
     pub hist: Histogram,
+    /// Access-location tally: bucket 0 = cache, 1.. = disks.
     pub locations: Counter,
 }
 
@@ -56,6 +64,7 @@ impl Measurements {
         }
     }
 
+    /// Records one measured request.
     pub fn record(&mut self, response: f64, location: AccessLocation) {
         self.stats.record(response);
         self.batches.record(response);
@@ -66,6 +75,7 @@ impl Measurements {
         }
     }
 
+    /// Summarizes the run into a [`SimOutcome`].
     pub fn finish(self, end_time: f64) -> SimOutcome {
         let hit_rate = self.locations.fraction(0);
         SimOutcome {

@@ -13,14 +13,13 @@
 //! requests".
 
 use bdesim::{Action, Process, ProcessExecutor, Time};
-use bdisk_cache::{build_policy, CachePolicy, PolicyContext};
 use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
-use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
+use bdisk_workload::{Mapping, RegionZipf};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::config::{SimConfig, SimError};
-use crate::metrics::{AccessLocation, Measurements, SimOutcome};
+use crate::core::ClientCore;
+use crate::metrics::{AccessLocation, SimOutcome};
 
 /// What the client is doing between wake-ups.
 #[derive(Debug, Clone, Copy)]
@@ -35,20 +34,15 @@ enum Phase {
 
 /// The simulated client (one per run; the server is implicit in the
 /// broadcast program's arithmetic).
+///
+/// The request stream, cache policy, warm-up, and measurement logic all
+/// live in [`ClientCore`], shared with the live engine's clients; this
+/// wrapper adds the discrete-event waiting strategy (jump the clock to the
+/// page's next arrival).
 pub struct ClientModel {
+    core: ClientCore,
     program: BroadcastProgram,
-    generator: AccessGenerator,
-    policy: Box<dyn CachePolicy>,
-    rng: StdRng,
-    think_time: f64,
-    think_jitter: f64,
     phase: Phase,
-    /// Requests still to discard once the cache is full.
-    warmup_left: u64,
-    /// True once measurement has begun.
-    measuring: bool,
-    measured_target: u64,
-    measurements: Measurements,
     end_time: f64,
 }
 
@@ -61,10 +55,13 @@ impl ClientModel {
         program: BroadcastProgram,
         seed: u64,
     ) -> Result<Self, SimError> {
-        cfg.validate(layout)?;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
-        Self::with_mapping(cfg, layout, program, mapping, rng)
+        let core = ClientCore::new(cfg, layout, &program, seed)?;
+        Ok(Self {
+            core,
+            program,
+            phase: Phase::Request,
+            end_time: 0.0,
+        })
     }
 
     /// Builds the client with an explicit logical→physical mapping (used by
@@ -92,77 +89,18 @@ impl ClientModel {
         mapping: Mapping,
         rng: StdRng,
     ) -> Result<Self, SimError> {
-        cfg.validate(layout)?;
-
-        let ctx = PolicyContext {
-            probs: mapping.physical_probs(logical_probs),
-            page_disk: (0..layout.total_pages())
-                .map(|p| layout.disk_of(PageId(p as u32)) as u16)
-                .collect(),
-            disk_freqs: layout.freqs().to_vec(),
-            alpha: cfg.alpha,
-        };
-        let policy = build_policy(cfg.policy, cfg.cache_size, &ctx);
-        let generator = AccessGenerator::from_probs(logical_probs, mapping);
-        let measurements = Measurements::new(
-            layout.num_disks(),
-            cfg.batch_size,
-            program.period() + 1,
-        );
-
+        let core = ClientCore::with_workload(cfg, layout, &program, logical_probs, mapping, rng)?;
         Ok(Self {
+            core,
             program,
-            generator,
-            policy,
-            rng,
-            think_time: cfg.think_time,
-            think_jitter: cfg.think_jitter,
             phase: Phase::Request,
-            warmup_left: cfg.warmup_requests,
-            measuring: false,
-            measured_target: cfg.requests,
-            measurements,
             end_time: 0.0,
         })
     }
 
     /// Consumes the client, producing the run's outcome.
     pub fn into_outcome(self) -> SimOutcome {
-        self.measurements.finish(self.end_time)
-    }
-
-    /// The post-request sleep: fixed think time plus optional jitter.
-    fn think(&mut self) -> Action {
-        let jitter = if self.think_jitter > 0.0 {
-            use rand::Rng;
-            self.rng.random::<f64>() * self.think_jitter
-        } else {
-            0.0
-        };
-        Action::Sleep(Time::new(self.think_time + jitter))
-    }
-
-    /// Handles one completed request; returns `true` when the run is done.
-    fn complete_request(&mut self, response: f64, loc: AccessLocation, now: f64) -> bool {
-        if self.measuring {
-            self.measurements.record(response, loc);
-            if self.measurements.stats.count() >= self.measured_target {
-                self.end_time = now;
-                return true;
-            }
-        } else {
-            // Warm-up: wait for the cache to fill, then discard a further
-            // warmup_left requests so the policies reach steady state.
-            let cache_full = self.policy.len() >= self.policy.capacity();
-            if cache_full {
-                if self.warmup_left == 0 {
-                    self.measuring = true;
-                } else {
-                    self.warmup_left -= 1;
-                }
-            }
-        }
-        false
+        self.core.finish(self.end_time).0
     }
 }
 
@@ -171,14 +109,15 @@ impl Process for ClientModel {
         let t = now.as_f64();
         match self.phase {
             Phase::Request => {
-                let page = self.generator.next_request(&mut self.rng);
-                if self.policy.contains(page) {
-                    self.policy.on_hit(page, t);
-                    if self.complete_request(0.0, AccessLocation::Cache, t) {
+                let page = self.core.next_request();
+                if self.core.contains(page) {
+                    self.core.on_hit(page, t);
+                    if self.core.complete_request(0.0, AccessLocation::Cache) {
+                        self.end_time = t;
                         self.phase = Phase::Finished;
                         return Action::Done;
                     }
-                    self.think()
+                    Action::Sleep(Time::new(self.core.think_delay()))
                 } else {
                     let arrival = self.program.next_arrival(page, t);
                     self.phase = Phase::Receive {
@@ -189,14 +128,18 @@ impl Process for ClientModel {
                 }
             }
             Phase::Receive { page, requested_at } => {
-                self.policy.insert(page, t);
+                self.core.insert(page, t);
                 let disk = self.program.disk_of(page);
                 self.phase = Phase::Request;
-                if self.complete_request(t - requested_at, AccessLocation::Disk(disk), t) {
+                if self
+                    .core
+                    .complete_request(t - requested_at, AccessLocation::Disk(disk))
+                {
+                    self.end_time = t;
                     self.phase = Phase::Finished;
                     return Action::Done;
                 }
-                self.think()
+                Action::Sleep(Time::new(self.core.think_delay()))
             }
             Phase::Finished => Action::Done,
         }

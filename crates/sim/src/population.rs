@@ -68,7 +68,8 @@ pub fn simulate_population(
         // physical page `interest_start`: offset = (db − start) mod db.
         let mut mapping = Mapping::with_offset(db, (db - spec.interest_start % db) % db);
         mapping.apply_noise(layout, spec.noise, &mut rng);
-        let client = ClientModel::with_mapping(&spec.config, layout, program.clone(), mapping, rng)?;
+        let client =
+            ClientModel::with_mapping(&spec.config, layout, program.clone(), mapping, rng)?;
         let mut ex = bdesim::ProcessExecutor::new();
         ex.spawn_at(bdesim::Time::ZERO, client);
         ex.run_to_completion();
@@ -155,8 +156,7 @@ mod tests {
         let layout = DiskLayout::with_delta(&[100, 150, 250], 4).unwrap();
         let mut cached = spec(350);
         cached.config.cache_size = 40;
-        let out =
-            simulate_population(&layout, &[spec(350), cached], 11, 2).unwrap();
+        let out = simulate_population(&layout, &[spec(350), cached], 11, 2).unwrap();
         let uncached_rt = out.per_client[0].mean_response_time;
         let cached_rt = out.per_client[1].mean_response_time;
         assert!(

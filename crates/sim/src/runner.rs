@@ -45,6 +45,36 @@ pub fn average_seeds(
     Ok(combine(per_seed))
 }
 
+/// Derives `count` simulation seeds from one explicit base seed.
+///
+/// The derivation is a fixed affine step (`base + i * SEED_STRIDE`), so a
+/// whole multi-seed sweep is reproducible bit-for-bit from the single
+/// `base` recorded in the output — rerunning with the same base replays
+/// every client's request stream identically.
+pub fn seeds_from_base(base: u64, count: usize) -> Vec<u64> {
+    assert!(count > 0, "need at least one seed");
+    (0..count as u64)
+        .map(|i| base.wrapping_add(i.wrapping_mul(SEED_STRIDE)))
+        .collect()
+}
+
+/// Stride between derived seeds; odd and large so derived seeds never
+/// collide for any realistic seed count.
+pub const SEED_STRIDE: u64 = 101;
+
+/// Runs `cfg` over `count` seeds derived from `base` and averages.
+///
+/// Convenience wrapper over [`average_seeds`] + [`seeds_from_base`] for
+/// sweeps that record the base seed in their output headers.
+pub fn average_seeds_from_base(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    base: u64,
+    count: usize,
+) -> Result<AveragedOutcome, SimError> {
+    average_seeds(cfg, layout, &seeds_from_base(base, count))
+}
+
 fn combine(per_seed: Vec<SimOutcome>) -> AveragedOutcome {
     let n = per_seed.len() as f64;
     let mean_response_time = per_seed.iter().map(|o| o.mean_response_time).sum::<f64>() / n;
@@ -158,6 +188,25 @@ mod tests {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn seeds_from_base_is_affine_and_reproducible() {
+        assert_eq!(seeds_from_base(101, 3), vec![101, 202, 303]);
+        assert_eq!(seeds_from_base(7, 1), vec![7]);
+        assert_eq!(seeds_from_base(42, 4), seeds_from_base(42, 4));
+        // Wrapping near u64::MAX must not panic.
+        let near_max = seeds_from_base(u64::MAX - 50, 3);
+        assert_eq!(near_max.len(), 3);
+    }
+
+    #[test]
+    fn average_from_base_matches_explicit_seeds() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 2).unwrap();
+        let from_base = average_seeds_from_base(&cfg(), &layout, 101, 2).unwrap();
+        let explicit = average_seeds(&cfg(), &layout, &[101, 202]).unwrap();
+        assert_eq!(from_base.mean_response_time, explicit.mean_response_time);
+        assert_eq!(from_base.hit_rate, explicit.hit_rate);
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn simulate_volatile(
 ) -> Result<VolatileOutcome, SimError> {
     cfg.validate(layout)?;
     if vcfg.updates_per_cycle < 0.0 || !vcfg.updates_per_cycle.is_finite() {
-        return Err(SimError::BadParameter("updates_per_cycle must be non-negative"));
+        return Err(SimError::BadParameter(
+            "updates_per_cycle must be non-negative",
+        ));
     }
     if vcfg.update_skew < 0.0 || !vcfg.update_skew.is_finite() {
         return Err(SimError::BadParameter("update_skew must be non-negative"));
@@ -139,7 +141,8 @@ pub fn simulate_volatile(
     let mut current_version: Vec<u64> = vec![0; db];
     let mut cached_version: HashMap<PageId, u64> = HashMap::new();
 
-    let mut measurements = Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
+    let mut measurements =
+        Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
     let mut stale_reads = 0u64;
     let mut invalidations_sent = 0u64;
     let mut overflow_cycles = 0u64;
@@ -284,8 +287,12 @@ mod tests {
         let static_out = crate::model::simulate(&cfg(), &layout(), 7).unwrap();
         let rel = (out.base.mean_response_time - static_out.mean_response_time).abs()
             / static_out.mean_response_time;
-        assert!(rel < 0.25, "volatile {} vs static {}", out.base.mean_response_time,
-            static_out.mean_response_time);
+        assert!(
+            rel < 0.25,
+            "volatile {} vs static {}",
+            out.base.mean_response_time,
+            static_out.mean_response_time
+        );
     }
 
     #[test]
@@ -322,8 +329,7 @@ mod tests {
     }
 
     #[test]
-    fn serving_stale_is_fast_but_stale()
-    {
+    fn serving_stale_is_fast_but_stale() {
         let vcfg_inval = VolatileConfig {
             updates_per_cycle: 40.0,
             update_skew: 0.5,
@@ -337,7 +343,10 @@ mod tests {
         let stale = simulate_volatile(&cfg(), &vcfg_stale, &layout(), 9).unwrap();
         // The freshness/latency tradeoff in one assertion pair:
         assert!(stale.base.mean_response_time <= inval.base.mean_response_time * 1.05);
-        assert!(stale.stale_reads > 0, "heavy churn must surface stale reads");
+        assert!(
+            stale.stale_reads > 0,
+            "heavy churn must surface stale reads"
+        );
         assert!(stale.stale_read_rate > 0.0 && stale.stale_read_rate < 1.0);
     }
 

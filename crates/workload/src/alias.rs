@@ -29,7 +29,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "weights must be non-negative, got {w}");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weights must be non-negative, got {w}"
+                );
                 w
             })
             .sum();

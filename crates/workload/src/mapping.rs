@@ -47,7 +47,10 @@ impl Mapping {
     /// disk).
     pub fn with_offset(n: usize, offset: usize) -> Self {
         assert!(n > 0, "mapping needs at least one page");
-        assert!(offset < n, "offset {offset} must be smaller than the database ({n})");
+        assert!(
+            offset < n,
+            "offset {offset} must be smaller than the database ({n})"
+        );
         let l2p: Vec<u32> = (0..n).map(|i| ((i + n - offset) % n) as u32).collect();
         let mut p2l = vec![0u32; n];
         for (l, &p) in l2p.iter().enumerate() {
@@ -73,7 +76,10 @@ impl Mapping {
     /// logical page, with probability `noise`, swap its physical position
     /// with a uniformly chosen resident of a uniformly chosen disk.
     pub fn apply_noise<R: Rng>(&mut self, layout: &DiskLayout, noise: f64, rng: &mut R) {
-        assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1], got {noise}");
+        assert!(
+            (0.0..=1.0).contains(&noise),
+            "noise must be in [0,1], got {noise}"
+        );
         assert_eq!(
             layout.total_pages(),
             self.len(),

@@ -11,8 +11,8 @@
 //! cargo run --release --example program_designer
 //! ```
 
-use broadcast_disks::prelude::*;
 use broadcast_disks::analytic::{expected_response_time, sqrt_rule_lower_bound};
+use broadcast_disks::prelude::*;
 use broadcast_disks::sched::{optimize_layout, OptimizerConfig};
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
 
     // --- Hand-designed candidates ---------------------------------------
     println!("hand-designed candidates (analytic expected delay, no cache):");
-    println!("{:>28} {:>8} {:>12} {:>9}", "layout", "Delta", "E[delay]", "waste%");
+    println!(
+        "{:>28} {:>8} {:>12} {:>9}",
+        "layout", "Delta", "E[delay]", "waste%"
+    );
     let candidates: [(&str, &[usize]); 4] = [
         ("D1 <500,4500>", &[500, 4500]),
         ("D3 <2500,2500>", &[2500, 2500]),

@@ -38,17 +38,23 @@ fn main() {
         },
     )
     .expect("optimizer runs");
-    println!("optimizer chose {} disks at Delta={}", designed.layout.num_disks(), designed.delta);
+    println!(
+        "optimizer chose {} disks at Delta={}",
+        designed.layout.num_disks(),
+        designed.delta
+    );
     println!("  sizes: {:?}", designed.layout.sizes());
-    println!("  analytic expected delay: {:.0} bu", designed.expected_delay);
+    println!(
+        "  analytic expected delay: {:.0} bu",
+        designed.expected_delay
+    );
 
     // --- 2. Compare against baselines ----------------------------------
     let flat = flat_program(SYMBOLS).expect("flat program");
     let flat_delay = broadcast_disks::analytic::expected_response_time(&flat, &popularity);
     let hand = DiskLayout::with_delta(&[200, 1800], 3).expect("hand layout");
     let hand_program = BroadcastProgram::generate(&hand).expect("hand program");
-    let hand_delay =
-        broadcast_disks::analytic::expected_response_time(&hand_program, &popularity);
+    let hand_delay = broadcast_disks::analytic::expected_response_time(&hand_program, &popularity);
 
     println!("\nexpected delay for the average listener:");
     println!("  flat broadcast:    {:>7.0} bu", flat_delay);
@@ -82,8 +88,7 @@ fn main() {
         })
         .collect();
 
-    let outcome =
-        simulate_population(&designed.layout, &specs, 99, 3).expect("population runs");
+    let outcome = simulate_population(&designed.layout, &specs, 99, 3).expect("population runs");
     println!("\ntrader response times on the optimized broadcast (LIX caches):");
     for ((name, _), client) in profiles.iter().zip(&outcome.per_client) {
         println!(

@@ -19,15 +19,23 @@ fn main() {
     // commuter corridors, then rural roads. Paper-style 3-disk broadcast.
     let layout = DiskLayout::with_delta(&[300, 1200, 1500], 3).expect("valid layout");
     let program = BroadcastProgram::generate(&layout).expect("valid program");
-    println!("base station broadcast: {:?} segments per disk, speeds {:?}",
-        layout.sizes(), program.disk_frequencies());
+    println!(
+        "base station broadcast: {:?} segments per disk, speeds {:?}",
+        layout.sizes(),
+        program.disk_frequencies()
+    );
     println!("full cycle = {} broadcast units\n", program.period());
 
     // A vehicle watches 600 segments along its routes, with a 150-segment
     // cache. `noise` models how far the base station's popularity estimate
     // is from this vehicle's actual route.
     let mismatch_levels = [0.0, 0.25, 0.50];
-    let policies = [PolicyKind::Lru, PolicyKind::L, PolicyKind::Lix, PolicyKind::Pix];
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::L,
+        PolicyKind::Lix,
+        PolicyKind::Pix,
+    ];
 
     println!(
         "{:>22} {:>10} {:>10} {:>10}",

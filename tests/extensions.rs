@@ -56,7 +56,10 @@ fn extension_policies_slot_into_the_simulator() {
     let lrukx = run(PolicyKind::LruKX);
     let pix = run(PolicyKind::Pix);
     assert!(lruk < lru, "LRU-K {lruk} should improve on LRU {lru}");
-    assert!(lrukx < lruk, "frequency scaling should help: {lrukx} vs {lruk}");
+    assert!(
+        lrukx < lruk,
+        "frequency scaling should help: {lrukx} vs {lruk}"
+    );
     assert!(pix < lrukx, "PIX {pix} remains the lower bound");
 }
 
@@ -87,7 +90,10 @@ fn air_index_tuning_time_is_tiny() {
     let always_on = expected_response_time(&program, &probs);
     let ib = IndexedBroadcast::new(program, 8, 64).unwrap();
     let (access, tuning) = ib.expected_access_and_tuning(&probs);
-    assert!(tuning < always_on / 10.0, "tuning {tuning} vs always-on {always_on}");
+    assert!(
+        tuning < always_on / 10.0,
+        "tuning {tuning} vs always-on {always_on}"
+    );
     assert!(access > always_on, "indexing trades some access time");
     assert!(ib.overhead() < 0.2);
 }

@@ -53,7 +53,9 @@ fn multi_disk_beats_flat_for_skewed_access_no_cache() {
     let tuned = DiskLayout::with_delta(&d5(), 3).unwrap();
     let c = cfg(PolicyKind::Pix, 1, 0, 0.0);
     let flat_rt = average_seeds(&c, &flat, &SEEDS).unwrap().mean_response_time;
-    let tuned_rt = average_seeds(&c, &tuned, &SEEDS).unwrap().mean_response_time;
+    let tuned_rt = average_seeds(&c, &tuned, &SEEDS)
+        .unwrap()
+        .mean_response_time;
     assert!(
         tuned_rt < flat_rt * 0.7,
         "tuned {tuned_rt} should clearly beat flat {flat_rt}"

@@ -9,12 +9,7 @@ use rand::SeedableRng;
 /// Strategy for a small but structurally diverse disk layout.
 fn layout_strategy() -> impl Strategy<Value = DiskLayout> {
     (1usize..=4)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1usize..=40, n),
-                0u64..=7,
-            )
-        })
+        .prop_flat_map(|n| (proptest::collection::vec(1usize..=40, n), 0u64..=7))
         .prop_map(|(sizes, delta)| DiskLayout::with_delta(&sizes, delta).expect("valid"))
 }
 

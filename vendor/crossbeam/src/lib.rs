@@ -1,0 +1,95 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! This workspace builds without crates.io access, so the external
+//! `crossbeam` crate is replaced by this vendored implementation of the
+//! surface the repo uses: [`scope`] (scoped threads whose panics surface
+//! as an `Err` instead of aborting the caller) and [`channel`] (MPMC
+//! bounded/unbounded channels). Both are built on `std` primitives —
+//! `std::thread::scope` and `Mutex` + `Condvar` — trading crossbeam's
+//! lock-free performance for zero dependencies, which is fine at this
+//! workspace's message rates (one frame per broadcast slot).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod channel;
+
+/// A handle for spawning scoped threads (subset of
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope again so it
+    /// can spawn nested threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads, joining them all before
+/// returning. Returns `Err` if any unjoined spawned thread panicked,
+/// mirroring `crossbeam::scope` (built here on `std::thread::scope`, whose
+/// propagated panic is caught and boxed).
+pub fn scope<'env, R, F>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scope_surfaces_worker_panic_as_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

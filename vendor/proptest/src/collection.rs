@@ -1,0 +1,51 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+
+/// Anything usable as a vector length specification: an exact `usize`,
+/// a `Range<usize>`, or a `RangeInclusive<usize>`.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty length range");
+        start + rng.below((end - start + 1) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length
+/// comes from `size`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
