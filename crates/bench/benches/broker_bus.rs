@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bdisk_broker::{Backpressure, BroadcastEngine, EngineConfig, InMemoryBus};
+use bdisk_broker::{Backpressure, BroadcastEngine, BusTuning, EngineConfig, InMemoryBus};
 use bdisk_sched::{BroadcastProgram, DiskLayout};
 
 const SLOTS: u64 = 20_000;
@@ -16,8 +16,13 @@ fn program() -> BroadcastProgram {
 
 /// Broadcasts `SLOTS` slots to `clients` subscribers, each drained by its
 /// own thread, and returns the slots actually sent.
-fn run_fanout(program: &BroadcastProgram, clients: usize, backpressure: Backpressure) -> u64 {
-    let mut bus = InMemoryBus::new(256, backpressure);
+fn run_fanout(
+    program: &BroadcastProgram,
+    clients: usize,
+    backpressure: Backpressure,
+    tuning: BusTuning,
+) -> u64 {
+    let mut bus = InMemoryBus::with_tuning(256, backpressure, tuning);
     let subs: Vec<_> = (0..clients).map(|_| bus.subscribe()).collect();
     let engine = BroadcastEngine::new(
         program.clone(),
@@ -28,7 +33,7 @@ fn run_fanout(program: &BroadcastProgram, clients: usize, backpressure: Backpres
         },
     );
     crossbeam::scope(|scope| {
-        for sub in subs {
+        for mut sub in subs {
             scope.spawn(move |_| {
                 let mut seen = 0u64;
                 while sub.recv().is_some() {
@@ -51,14 +56,35 @@ fn bench_bus_fanout(c: &mut Criterion) {
             BenchmarkId::new("block", clients),
             &clients,
             |b, &clients| {
-                b.iter(|| run_fanout(&program, clients, Backpressure::Block));
+                b.iter(|| run_fanout(&program, clients, Backpressure::Block, BusTuning::default()));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("block_tuned", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    run_fanout(
+                        &program,
+                        clients,
+                        Backpressure::Block,
+                        BusTuning::throughput(),
+                    )
+                });
             },
         );
         g.bench_with_input(
             BenchmarkId::new("drop_newest", clients),
             &clients,
             |b, &clients| {
-                b.iter(|| run_fanout(&program, clients, Backpressure::DropNewest));
+                b.iter(|| {
+                    run_fanout(
+                        &program,
+                        clients,
+                        Backpressure::DropNewest,
+                        BusTuning::default(),
+                    )
+                });
             },
         );
     }

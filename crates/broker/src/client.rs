@@ -69,12 +69,12 @@ impl LiveClient {
     /// 2. Issue every request that has come due by now. Cache hits complete
     ///    immediately (response 0, as in the simulator); a miss satisfied by
     ///    this very slot completes now; any other miss becomes pending.
-    pub fn on_frame(&mut self, frame: Frame) -> bool {
+    pub fn on_frame(&mut self, frame: &Frame) -> bool {
         if self.done {
             return true;
         }
         self.frames_seen += 1;
-        let Frame { seq, slot } = frame;
+        let (seq, slot) = (frame.seq, frame.slot);
         let t = seq as f64;
 
         if let Some((page, requested_at)) = self.pending {
@@ -133,11 +133,11 @@ impl LiveClient {
     /// the client's own thread. Takes the subscription by value so that
     /// finishing drops it — which is how the engine learns the client left
     /// (and stops, when `stop_when_no_clients` is set).
-    pub fn run(&mut self, sub: BusSubscription) {
+    pub fn run(&mut self, mut sub: BusSubscription) {
         while !self.done {
             match sub.recv() {
                 Some(frame) => {
-                    self.on_frame(frame);
+                    self.on_frame(&frame);
                 }
                 None => break,
             }
@@ -203,7 +203,7 @@ mod tests {
             let sim = simulate(&cfg, &layout, 11).unwrap();
             let mut live = LiveClient::new(&cfg, &layout, program.clone(), 11).unwrap();
             for (seq, slot) in program.slots_from(0) {
-                if live.on_frame(Frame { seq, slot }) {
+                if live.on_frame(&Frame::bare(seq, slot)) {
                     break;
                 }
                 assert!(seq < 10_000_000, "live client never finished");
@@ -225,16 +225,13 @@ mod tests {
         let mut live = LiveClient::new(&cfg, &layout, program.clone(), 3).unwrap();
         let mut finished_at = None;
         for (seq, slot) in program.slots_from(0).take(10_000_000) {
-            if live.on_frame(Frame { seq, slot }) {
+            if live.on_frame(&Frame::bare(seq, slot)) {
                 finished_at = Some(seq);
                 break;
             }
         }
         let end = finished_at.expect("client finished");
-        assert!(live.on_frame(Frame {
-            seq: end + 1,
-            slot: program.slot_at(end + 1),
-        }));
+        assert!(live.on_frame(&Frame::bare(end + 1, program.slot_at(end + 1))));
         let results = live.into_results();
         assert_eq!(results.outcome.measured_requests, 500);
         assert!(results.frames_seen <= end + 1);

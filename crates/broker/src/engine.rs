@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use bdisk_sched::BroadcastProgram;
 
-use crate::transport::{DeliveryStats, Frame, Transport};
+use crate::transport::{DeliveryStats, PagePayloads, Transport};
 
 /// Engine run parameters.
 #[derive(Debug, Clone)]
@@ -17,6 +17,10 @@ pub struct EngineConfig {
     pub slot_duration: Duration,
     /// Stop early once every client has disconnected (or finished).
     pub stop_when_no_clients: bool,
+    /// Bytes of page payload carried by each page frame (`PageSize`,
+    /// paper Table 2). Payloads are generated once per run and shared by
+    /// refcount across every subscriber. 0 sends bare frames.
+    pub page_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -25,6 +29,7 @@ impl Default for EngineConfig {
             max_slots: u64::MAX,
             slot_duration: Duration::ZERO,
             stop_when_no_clients: true,
+            page_size: 64,
         }
     }
 }
@@ -42,6 +47,8 @@ pub struct EngineReport {
     pub frames_dropped: u64,
     /// Clients disconnected (evicted as slow, finished, or died).
     pub clients_disconnected: u64,
+    /// Wire bytes enqueued to clients (header + payload per frame).
+    pub bytes_sent: u64,
     /// Largest per-client backlog observed at any point (frames).
     pub max_client_lag: usize,
     /// Wall-clock duration of the run.
@@ -76,6 +83,9 @@ impl BroadcastEngine {
         let start = Instant::now();
         let mut totals = DeliveryStats::default();
         let mut slots_sent = 0u64;
+        // One payload buffer per page for the whole run; every frame (and
+        // every subscriber) shares it by refcount.
+        let payloads = PagePayloads::generate(self.program.num_pages(), self.cfg.page_size);
 
         for (seq, slot) in self.program.slots_from(0) {
             if seq >= self.cfg.max_slots {
@@ -91,10 +101,12 @@ impl BroadcastEngine {
                     std::thread::sleep(deadline - now);
                 }
             }
-            totals.absorb(transport.broadcast(Frame { seq, slot }));
+            totals.absorb(transport.broadcast(payloads.frame(seq, slot)));
             slots_sent = seq + 1;
         }
-        transport.finish();
+        // A batching transport may hold undelivered frames; their stats
+        // arrive with the final flush.
+        totals.absorb(transport.finish());
 
         let elapsed = start.elapsed();
         EngineReport {
@@ -103,6 +115,7 @@ impl BroadcastEngine {
             frames_delivered: totals.delivered,
             frames_dropped: totals.dropped,
             clients_disconnected: totals.disconnected,
+            bytes_sent: totals.bytes,
             max_client_lag: totals.max_queue,
             elapsed,
             slots_per_sec: if elapsed.as_secs_f64() > 0.0 {
@@ -159,6 +172,36 @@ mod tests {
     }
 
     #[test]
+    fn frames_carry_shared_page_payloads() {
+        let program = program();
+        let engine = BroadcastEngine::new(
+            program,
+            EngineConfig {
+                max_slots: 10,
+                stop_when_no_clients: false,
+                page_size: 32,
+                ..EngineConfig::default()
+            },
+        );
+        let mut bus = InMemoryBus::new(16, Backpressure::DropNewest);
+        let mut sub = bus.subscribe();
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, 10);
+        let mut bytes = 0u64;
+        while let Some(frame) = sub.recv() {
+            match frame.slot {
+                bdisk_sched::Slot::Page(_) => {
+                    assert_eq!(frame.payload.len(), 32, "page frames carry PageSize bytes")
+                }
+                bdisk_sched::Slot::Empty => assert!(frame.payload.is_empty()),
+            }
+            bytes += frame.wire_len() as u64;
+        }
+        assert_eq!(report.bytes_sent, bytes);
+        assert!(bytes > 0);
+    }
+
+    #[test]
     fn paced_run_takes_wall_clock_time() {
         let program = program();
         let engine = BroadcastEngine::new(
@@ -167,6 +210,7 @@ mod tests {
                 max_slots: 20,
                 slot_duration: Duration::from_millis(1),
                 stop_when_no_clients: false,
+                ..EngineConfig::default()
             },
         );
         let mut bus = InMemoryBus::new(64, Backpressure::DropNewest);

@@ -6,11 +6,19 @@
 //! and fans each page out to N concurrent clients over a pluggable
 //! [`Transport`]:
 //!
-//! * [`InMemoryBus`] — a channel-based broadcast bus for in-process
-//!   experiments (lossless or lossy, see [`Backpressure`]);
+//! * [`InMemoryBus`] — a broadcast bus of per-subscriber frame queues for
+//!   in-process experiments (lossless or lossy, see [`Backpressure`]),
+//!   with batched flushes and optional worker-pool sharding
+//!   ([`BusTuning`]) on the hot path;
 //! * [`TcpTransport`] — real `std::net` sockets with length-prefixed page
-//!   frames, per-client send buffers, slow-consumer detection, and
-//!   drop-or-disconnect backpressure.
+//!   frames encoded once per slot and shared by every connection,
+//!   per-client send buffers with coalesced vectored writes,
+//!   slow-consumer detection, and drop-or-disconnect backpressure.
+//!
+//! Frames carry real page payloads ([`PagePayloads`], sized by
+//! `EngineConfig::page_size` — the paper's `PageSize` knob) as shared
+//! `Arc<[u8]>` buffers: fan-out to any number of subscribers never copies
+//! page bytes.
 //!
 //! Each [`LiveClient`] embeds the same [`bdisk_sim::ClientCore`] the
 //! simulator uses — same seeded request stream, same cache policy, same
@@ -35,9 +43,9 @@ pub mod metrics;
 pub mod tcp;
 pub mod transport;
 
-pub use bus::{BusSubscription, InMemoryBus};
+pub use bus::{BusSubscription, BusTuning, InMemoryBus};
 pub use client::{LiveClient, LiveClientResult};
 pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
 pub use metrics::{aggregate, LiveReport};
 pub use tcp::{TcpFrameReader, TcpTransport, TcpTransportConfig};
-pub use transport::{Backpressure, DeliveryStats, Frame, Transport};
+pub use transport::{Backpressure, DeliveryStats, Frame, PagePayloads, Transport};

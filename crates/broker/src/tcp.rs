@@ -7,8 +7,14 @@
 //! [`Backpressure`] its newest frames are dropped or it is disconnected
 //! (blocking the whole broadcast on one slow socket is not offered here —
 //! that is what [`crate::InMemoryBus`] with [`Backpressure::Block`] is for).
+//!
+//! The hot path is zero-copy on the server side: each slot's wire frame is
+//! encoded **once** into a shared `Arc<[u8]>` and every connection's send
+//! buffer holds a refcount to the same bytes. A writer that wakes up to a
+//! backlog drains up to [`TcpTransportConfig::max_coalesce`] buffers and
+//! pushes them with one vectored write instead of one syscall per frame.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,8 +32,8 @@ pub struct TcpTransportConfig {
     pub queue_capacity: usize,
     /// Slow-consumer policy ([`Backpressure::Block`] is rejected at bind).
     pub backpressure: Backpressure,
-    /// Filler payload bytes per frame (simulated page size on the wire).
-    pub payload_len: usize,
+    /// Most backlog frames a writer folds into one vectored write.
+    pub max_coalesce: usize,
 }
 
 impl Default for TcpTransportConfig {
@@ -35,13 +41,47 @@ impl Default for TcpTransportConfig {
         Self {
             queue_capacity: 256,
             backpressure: Backpressure::DropNewest,
-            payload_len: 64,
+            max_coalesce: 64,
         }
     }
 }
 
+/// Writes every buffer in order, coalescing them into vectored writes and
+/// resuming correctly across partial writes.
+fn write_coalesced<W: Write>(w: &mut W, bufs: &[Arc<[u8]>]) -> io::Result<()> {
+    if let [single] = bufs {
+        return w.write_all(single);
+    }
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut written = 0usize;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+    while written < total {
+        // Rebuild the slice list past what has already gone out; partial
+        // writes are rare so the rebuild is off the common path.
+        slices.clear();
+        let mut skip = written;
+        for buf in bufs {
+            if skip >= buf.len() {
+                skip -= buf.len();
+                continue;
+            }
+            slices.push(IoSlice::new(&buf[skip..]));
+            skip = 0;
+        }
+        let n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "socket write returned zero",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
+}
+
 struct Conn {
-    tx: Sender<Frame>,
+    tx: Sender<Arc<[u8]>>,
     writer: JoinHandle<()>,
 }
 
@@ -66,6 +106,7 @@ impl TcpTransport {
              use DropNewest or Disconnect"
         );
         assert!(cfg.queue_capacity > 0, "need send-buffer capacity");
+        assert!(cfg.max_coalesce > 0, "writers must send at least one frame");
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -107,12 +148,23 @@ impl TcpTransport {
     pub fn poll_accept(&mut self) -> usize {
         while let Ok(stream) = self.incoming.try_recv() {
             let _ = stream.set_nodelay(true);
-            let (tx, rx) = bounded::<Frame>(self.cfg.queue_capacity);
-            let payload_len = self.cfg.payload_len;
+            let (tx, rx) = bounded::<Arc<[u8]>>(self.cfg.queue_capacity);
+            let max_coalesce = self.cfg.max_coalesce;
             let writer = std::thread::spawn(move || {
                 let mut stream = stream;
-                while let Ok(frame) = rx.recv() {
-                    if stream.write_all(&frame.encode(payload_len)).is_err() {
+                let mut bufs: Vec<Arc<[u8]>> = Vec::with_capacity(max_coalesce);
+                while let Ok(first) = rx.recv() {
+                    // Fold whatever backlog has accumulated into one
+                    // vectored write.
+                    bufs.clear();
+                    bufs.push(first);
+                    while bufs.len() < max_coalesce {
+                        match rx.try_recv() {
+                            Ok(buf) => bufs.push(buf),
+                            Err(_) => break,
+                        }
+                    }
+                    if write_coalesced(&mut stream, &bufs).is_err() {
                         break;
                     }
                 }
@@ -142,24 +194,34 @@ impl Transport for TcpTransport {
     fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
         self.poll_accept();
         let mut stats = DeliveryStats::default();
-        let mut kept = Vec::with_capacity(self.conns.len());
-        for conn in self.conns.drain(..) {
-            match conn.tx.try_send(frame) {
+        if self.conns.is_empty() {
+            return stats;
+        }
+        // Encode once per slot; every connection's writer shares the bytes.
+        let wire = frame.encode_shared();
+        let mut i = 0;
+        while i < self.conns.len() {
+            // Backlog sampled before the enqueue so max_queue reports the
+            // peak including the frame in flight.
+            let backlog = self.conns[i].tx.len();
+            match self.conns[i].tx.try_send(Arc::clone(&wire)) {
                 Ok(()) => {
                     stats.delivered += 1;
-                    stats.max_queue = stats.max_queue.max(conn.tx.len());
-                    kept.push(conn);
+                    stats.bytes += wire.len() as u64;
+                    stats.max_queue = stats.max_queue.max(backlog + 1);
+                    i += 1;
                 }
                 Err(TrySendError::Full(_)) => match self.cfg.backpressure {
                     Backpressure::DropNewest => {
                         stats.dropped += 1;
-                        stats.max_queue = stats.max_queue.max(conn.tx.len());
-                        kept.push(conn);
+                        stats.max_queue = stats.max_queue.max(backlog);
+                        i += 1;
                     }
                     Backpressure::Disconnect | Backpressure::Block => {
-                        // Evict: closing the channel lets the writer drain
-                        // what is queued, then shut the socket down.
+                        // Evict in place: closing the channel lets the
+                        // writer drain what is queued, then shut down.
                         stats.disconnected += 1;
+                        let conn = self.conns.swap_remove(i);
                         drop(conn.tx);
                         self.graveyard.push(conn.writer);
                     }
@@ -167,11 +229,11 @@ impl Transport for TcpTransport {
                 Err(TrySendError::Disconnected(_)) => {
                     // Writer exited (peer closed or write error).
                     stats.disconnected += 1;
+                    let conn = self.conns.swap_remove(i);
                     self.graveyard.push(conn.writer);
                 }
             }
         }
-        self.conns = kept;
         stats
     }
 
@@ -179,7 +241,7 @@ impl Transport for TcpTransport {
         self.conns.len()
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self) -> DeliveryStats {
         for conn in self.conns.drain(..) {
             drop(conn.tx);
             self.graveyard.push(conn.writer);
@@ -193,6 +255,8 @@ impl Transport for TcpTransport {
             let _ = TcpStream::connect(self.addr);
             let _ = accept.join();
         }
+        // TCP broadcasts are unbatched: all stats were reported per slot.
+        DeliveryStats::default()
     }
 }
 
@@ -248,10 +312,11 @@ impl TcpFrameReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::PagePayloads;
     use bdisk_sched::{PageId, Slot};
 
     #[test]
-    fn loopback_round_trip() {
+    fn loopback_round_trip_carries_payloads() {
         let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
         let addr = transport.local_addr();
         let reader = std::thread::spawn(move || {
@@ -263,13 +328,12 @@ mod tests {
             frames
         });
         assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        let payloads = PagePayloads::generate(10, 16);
         for seq in 0..10u64 {
-            let stats = transport.broadcast(Frame {
-                seq,
-                slot: Slot::Page(PageId(seq as u32)),
-            });
+            let stats = transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32))));
             assert_eq!(stats.delivered, 1);
             assert_eq!(stats.dropped, 0);
+            assert!(stats.bytes > 0);
         }
         transport.finish();
         let frames = reader.join().unwrap();
@@ -277,6 +341,8 @@ mod tests {
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(f.seq, i as u64);
             assert_eq!(f.slot, Slot::Page(PageId(i as u32)));
+            let expect = payloads.frame(i as u64, Slot::Page(PageId(i as u32)));
+            assert_eq!(f.payload, expect.payload, "payload survived the wire");
         }
     }
 
@@ -296,13 +362,38 @@ mod tests {
         let mut disconnected = 0;
         while disconnected == 0 && Instant::now() < deadline {
             disconnected = transport
-                .broadcast(Frame {
-                    seq: 0,
-                    slot: Slot::Empty,
-                })
+                .broadcast(Frame::bare(0, Slot::Empty))
                 .disconnected;
         }
         assert_eq!(disconnected, 1);
         assert_eq!(transport.active_clients(), 0);
+    }
+
+    /// A writer that accepts at most 3 bytes per call, to exercise the
+    /// partial-write resume path of the coalescer.
+    struct Trickle(Vec<u8>);
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.0.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn coalesced_write_survives_partial_writes() {
+        let bufs: Vec<Arc<[u8]>> = vec![
+            Arc::from(&b"hello "[..]),
+            Arc::from(&b""[..]),
+            Arc::from(&b"broadcast "[..]),
+            Arc::from(&b"world"[..]),
+        ];
+        let mut sink = Trickle(Vec::new());
+        write_coalesced(&mut sink, &bufs).unwrap();
+        assert_eq!(sink.0, b"hello broadcast world");
     }
 }

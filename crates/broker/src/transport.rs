@@ -1,5 +1,8 @@
-//! The wire model shared by all transports: frames, backpressure policy,
-//! and the [`Transport`] trait the engine drives.
+//! The wire model shared by all transports: frames, page payloads,
+//! backpressure policy, and the [`Transport`] trait the engine drives.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 use bdisk_sched::{PageId, Slot};
 
@@ -9,38 +12,76 @@ pub const EMPTY_SENTINEL: u32 = u32::MAX;
 /// Bytes of frame header following the length prefix: 8 (seq) + 4 (page).
 pub const HEADER_LEN: usize = 12;
 
-/// One broadcast transmission: the engine's monotone slot counter plus the
-/// slot content. Slot `seq` covers broadcast-unit time `[seq, seq+1)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Bytes of the length prefix itself.
+pub const LEN_PREFIX: usize = 4;
+
+fn empty_payload() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..])))
+}
+
+/// One broadcast transmission: the engine's monotone slot counter, the slot
+/// content, and the page payload bytes. Slot `seq` covers broadcast-unit
+/// time `[seq, seq+1)`.
+///
+/// The payload is an `Arc<[u8]>` shared by every subscriber and every
+/// transport queue entry: cloning a `Frame` bumps a refcount instead of
+/// copying page bytes, which is what makes server-side fan-out O(1) per
+/// subscriber in payload size.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Absolute slot sequence number since the engine started.
     pub seq: u64,
     /// The page broadcast in this slot (or padding).
     pub slot: Slot,
+    /// Shared page content (empty for padding slots).
+    pub payload: Arc<[u8]>,
 }
 
 impl Frame {
+    /// A payload-less frame (metadata only). Padding slots and unit tests
+    /// use this; the shared empty buffer means no per-frame allocation.
+    pub fn bare(seq: u64, slot: Slot) -> Self {
+        Frame {
+            seq,
+            slot,
+            payload: empty_payload(),
+        }
+    }
+
+    /// Total bytes this frame occupies on the wire (length prefix, header,
+    /// payload).
+    pub fn wire_len(&self) -> usize {
+        LEN_PREFIX + HEADER_LEN + self.payload.len()
+    }
+
     /// Serializes the frame as `[u32 len][u64 seq][u32 page][payload]`, all
     /// little-endian. `len` counts every byte after itself; `page` is
-    /// [`EMPTY_SENTINEL`] for padding slots. The payload is `payload_len`
-    /// filler bytes standing in for page content, so TCP clients experience
-    /// realistic per-page transfer sizes.
-    pub fn encode(&self, payload_len: usize) -> Vec<u8> {
-        let len = (HEADER_LEN + payload_len) as u32;
+    /// [`EMPTY_SENTINEL`] for padding slots.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (HEADER_LEN + self.payload.len()) as u32;
         let page = match self.slot {
             Slot::Page(p) => p.0,
             Slot::Empty => EMPTY_SENTINEL,
         };
-        let mut buf = Vec::with_capacity(4 + HEADER_LEN + payload_len);
+        let mut buf = Vec::with_capacity(self.wire_len());
         buf.extend_from_slice(&len.to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
         buf.extend_from_slice(&page.to_le_bytes());
-        buf.resize(4 + HEADER_LEN + payload_len, self.seq as u8);
+        buf.extend_from_slice(&self.payload);
         buf
     }
 
+    /// Serializes once into a shared buffer. The TCP transport encodes each
+    /// slot exactly once with this and hands the same bytes to every
+    /// connection's writer.
+    pub fn encode_shared(&self) -> Arc<[u8]> {
+        Arc::from(self.encode())
+    }
+
     /// Parses a frame body (everything after the length prefix). Returns
-    /// `None` if the body is shorter than the header.
+    /// `None` if the body is shorter than the header. Bytes past the header
+    /// become the frame's payload.
     pub fn decode(body: &[u8]) -> Option<Frame> {
         if body.len() < HEADER_LEN {
             return None;
@@ -52,7 +93,59 @@ impl Frame {
         } else {
             Slot::Page(PageId(page))
         };
-        Some(Frame { seq, slot })
+        let payload = if body.len() > HEADER_LEN {
+            Arc::from(&body[HEADER_LEN..])
+        } else {
+            empty_payload()
+        };
+        Some(Frame { seq, slot, payload })
+    }
+}
+
+/// Pre-built page payloads, one shared buffer per page.
+///
+/// The engine generates this table once at startup (`PageSize` bytes per
+/// page, paper Table 2) and every frame of page `p` clones the same
+/// `Arc<[u8]>` — page content is materialized exactly once per run, no
+/// matter how many slots or subscribers it fans out to.
+#[derive(Debug, Clone)]
+pub struct PagePayloads {
+    pages: Vec<Arc<[u8]>>,
+    empty: Arc<[u8]>,
+}
+
+impl PagePayloads {
+    /// Builds deterministic `page_size`-byte payloads for pages
+    /// `0..num_pages`. Byte `i` of page `p` is `(p * 131 + i) mod 256`, so
+    /// clients can verify content integrity without shipping real data.
+    pub fn generate(num_pages: usize, page_size: usize) -> Self {
+        let pages = (0..num_pages)
+            .map(|p| {
+                (0..page_size)
+                    .map(|i| (p.wrapping_mul(131).wrapping_add(i)) as u8)
+                    .collect::<Vec<u8>>()
+                    .into()
+            })
+            .collect();
+        Self {
+            pages,
+            empty: empty_payload(),
+        }
+    }
+
+    /// Bytes per page payload.
+    pub fn page_size(&self) -> usize {
+        self.pages.first().map_or(0, |p| p.len())
+    }
+
+    /// The frame for slot `seq` carrying `slot`, sharing the page's
+    /// pre-built payload (empty for padding slots). Zero allocations.
+    pub fn frame(&self, seq: u64, slot: Slot) -> Frame {
+        let payload = match slot {
+            Slot::Page(p) => Arc::clone(&self.pages[p.index()]),
+            Slot::Empty => Arc::clone(&self.empty),
+        };
+        Frame { seq, slot, payload }
     }
 }
 
@@ -96,7 +189,15 @@ pub struct DeliveryStats {
     pub dropped: u64,
     /// Clients disconnected during this broadcast (slow or gone).
     pub disconnected: u64,
-    /// Largest per-client backlog (queued frames) observed after sending.
+    /// Wire bytes enqueued to clients (length prefix + header + payload
+    /// per delivered frame).
+    pub bytes: u64,
+    /// Largest per-client backlog (queued frames, including the frame
+    /// being delivered) sampled at enqueue time. Sampling happens *before*
+    /// a blocking send waits, so a full buffer under
+    /// [`Backpressure::Block`] reports `capacity + 1` — the queued frames
+    /// plus the one in flight — rather than whatever remains after the
+    /// client drains.
     pub max_queue: usize,
 }
 
@@ -106,6 +207,7 @@ impl DeliveryStats {
         self.delivered += other.delivered;
         self.dropped += other.dropped;
         self.disconnected += other.disconnected;
+        self.bytes += other.bytes;
         self.max_queue = self.max_queue.max(other.max_queue);
     }
 }
@@ -113,18 +215,25 @@ impl DeliveryStats {
 /// A broadcast medium: fans one frame out to every connected client.
 ///
 /// Implementations own the client registry; the engine only sees aggregate
-/// delivery stats and the live client count.
+/// delivery stats and the live client count. A transport may batch
+/// deliveries internally, in which case a `broadcast` call reports the
+/// stats of whatever flush it completed (possibly none) and the tail batch
+/// is reported by [`Transport::finish`].
 pub trait Transport: Send {
     /// Sends `frame` to every connected client, applying the transport's
     /// backpressure policy to slow consumers.
     fn broadcast(&mut self, frame: Frame) -> DeliveryStats;
 
-    /// Number of currently connected clients.
+    /// Number of currently connected clients (as of the last flush for
+    /// batching transports).
     fn active_clients(&self) -> usize;
 
-    /// Flushes and releases transport resources (closes client feeds). The
-    /// engine calls this once after the last slot.
-    fn finish(&mut self) {}
+    /// Flushes and releases transport resources (closes client feeds),
+    /// returning the delivery stats of any final partial batch. The engine
+    /// calls this once after the last slot and absorbs the result.
+    fn finish(&mut self) -> DeliveryStats {
+        DeliveryStats::default()
+    }
 }
 
 #[cfg(test)]
@@ -132,26 +241,63 @@ mod tests {
     use super::*;
 
     #[test]
-    fn frame_round_trips() {
-        let f = Frame {
-            seq: 123_456_789,
-            slot: Slot::Page(PageId(42)),
-        };
-        let bytes = f.encode(16);
+    fn frame_round_trips_with_payload() {
+        let payloads = PagePayloads::generate(100, 16);
+        let f = payloads.frame(123_456_789, Slot::Page(PageId(42)));
+        assert_eq!(f.payload.len(), 16);
+        let bytes = f.encode();
         let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
         assert_eq!(len, bytes.len() - 4);
+        assert_eq!(bytes.len(), f.wire_len());
         assert_eq!(Frame::decode(&bytes[4..]), Some(f));
     }
 
     #[test]
+    fn payloads_are_shared_not_copied() {
+        let payloads = PagePayloads::generate(10, 64);
+        let a = payloads.frame(0, Slot::Page(PageId(3)));
+        let b = payloads.frame(7, Slot::Page(PageId(3)));
+        // Same allocation: fan-out clones bump a refcount, nothing more.
+        assert!(Arc::ptr_eq(&a.payload, &b.payload));
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&a.payload, &c.payload));
+    }
+
+    #[test]
+    fn payload_content_is_deterministic() {
+        let a = PagePayloads::generate(5, 8);
+        let b = PagePayloads::generate(5, 8);
+        for p in 0..5 {
+            let fa = a.frame(0, Slot::Page(PageId(p)));
+            let fb = b.frame(0, Slot::Page(PageId(p)));
+            assert_eq!(fa.payload, fb.payload);
+        }
+        // Pages differ from each other.
+        let p0 = a.frame(0, Slot::Page(PageId(0)));
+        let p1 = a.frame(0, Slot::Page(PageId(1)));
+        assert_ne!(p0.payload, p1.payload);
+    }
+
+    #[test]
     fn empty_slot_uses_sentinel() {
-        let f = Frame {
-            seq: 7,
-            slot: Slot::Empty,
-        };
-        let bytes = f.encode(0);
+        let f = Frame::bare(7, Slot::Empty);
+        let bytes = f.encode();
         assert_eq!(bytes.len(), 4 + HEADER_LEN);
         assert_eq!(Frame::decode(&bytes[4..]), Some(f));
+    }
+
+    #[test]
+    fn bare_frames_share_one_empty_buffer() {
+        let a = Frame::bare(0, Slot::Empty);
+        let b = Frame::bare(1, Slot::Empty);
+        assert!(Arc::ptr_eq(&a.payload, &b.payload));
+    }
+
+    #[test]
+    fn encode_shared_matches_encode() {
+        let payloads = PagePayloads::generate(4, 32);
+        let f = payloads.frame(9, Slot::Page(PageId(2)));
+        assert_eq!(&f.encode_shared()[..], &f.encode()[..]);
     }
 
     #[test]
@@ -176,17 +322,20 @@ mod tests {
             delivered: 3,
             dropped: 1,
             disconnected: 0,
+            bytes: 48,
             max_queue: 5,
         };
         a.absorb(DeliveryStats {
             delivered: 2,
             dropped: 0,
             disconnected: 1,
+            bytes: 32,
             max_queue: 2,
         });
         assert_eq!(a.delivered, 5);
         assert_eq!(a.dropped, 1);
         assert_eq!(a.disconnected, 1);
+        assert_eq!(a.bytes, 80);
         assert_eq!(a.max_queue, 5);
     }
 }

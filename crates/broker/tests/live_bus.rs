@@ -3,7 +3,7 @@
 //! exactly — same seed, same config, bit-identical measurements.
 
 use bdisk_broker::{
-    aggregate, Backpressure, BroadcastEngine, EngineConfig, InMemoryBus, LiveClient,
+    aggregate, Backpressure, BroadcastEngine, BusTuning, EngineConfig, InMemoryBus, LiveClient,
     LiveClientResult,
 };
 use bdisk_cache::PolicyKind;
@@ -99,6 +99,63 @@ fn sixteen_clients_match_their_simulated_twins() {
     assert_eq!(fleet.measured_requests, 16 * 400);
     assert!(fleet.hit_rate > 0.0 && fleet.hit_rate < 1.0);
     assert!(fleet.p50 <= fleet.p95 && fleet.p95 <= fleet.p99);
+}
+
+/// The zero-copy fast path (batched flushes + worker-shard fan-out) is
+/// observably identical to the default bus: the same clients still match
+/// their simulated twins bit for bit.
+#[test]
+fn batched_sharded_bus_preserves_simulator_parity() {
+    let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+    let program = BroadcastProgram::generate(&layout).unwrap();
+    let roster: Vec<(PolicyKind, u64)> = [PolicyKind::Lru, PolicyKind::Lix]
+        .iter()
+        .flat_map(|&p| (0..4).map(move |i| (p, 2000 + i * 13)))
+        .collect();
+
+    let mut bus = InMemoryBus::with_tuning(
+        256,
+        Backpressure::Block,
+        BusTuning {
+            batch: 16,
+            shards: 2,
+        },
+    );
+    let subs: Vec<_> = roster.iter().map(|_| bus.subscribe()).collect();
+    let mut clients: Vec<LiveClient> = roster
+        .iter()
+        .map(|&(policy, seed)| {
+            LiveClient::new(&config(policy), &layout, program.clone(), seed).unwrap()
+        })
+        .collect();
+
+    let engine = BroadcastEngine::new(program, EngineConfig::default());
+    let report = crossbeam::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(subs)
+            .map(|(client, sub)| scope.spawn(move |_| client.run(sub)))
+            .collect();
+        let report = engine.run(&mut bus);
+        for h in handles {
+            h.join().unwrap();
+        }
+        report
+    })
+    .unwrap();
+
+    assert_eq!(report.frames_dropped, 0);
+    for (client, &(policy, seed)) in clients.into_iter().zip(&roster) {
+        let predicted = simulate(&config(policy), &layout, seed).unwrap();
+        let live = client.into_results().outcome;
+        assert_eq!(
+            live.mean_response_time, predicted.mean_response_time,
+            "{policy:?} seed {seed}: sharded bus diverged from simulator"
+        );
+        assert_eq!(live.hit_rate, predicted.hit_rate);
+        assert_eq!(live.end_time, predicted.end_time);
+        assert_eq!(live.access_fractions, predicted.access_fractions);
+    }
 }
 
 #[test]

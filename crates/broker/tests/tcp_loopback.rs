@@ -34,7 +34,7 @@ fn live_client_completes_over_tcp() {
     let mut transport = TcpTransport::bind(TcpTransportConfig {
         queue_capacity: 4096,
         backpressure: Backpressure::DropNewest,
-        payload_len: 32,
+        max_coalesce: 64,
     })
     .unwrap();
     let addr = transport.local_addr();
@@ -44,7 +44,7 @@ fn live_client_completes_over_tcp() {
         let mut reader = TcpFrameReader::connect(addr).unwrap();
         let mut client = LiveClient::new(&cfg, &layout, client_program, 21).unwrap();
         while let Some(frame) = reader.recv().unwrap() {
-            if client.on_frame(frame) {
+            if client.on_frame(&frame) {
                 break;
             }
         }
@@ -74,7 +74,7 @@ fn slow_consumer_triggers_drops() {
     let mut transport = TcpTransport::bind(TcpTransportConfig {
         queue_capacity: 4,
         backpressure: Backpressure::DropNewest,
-        payload_len: 16,
+        max_coalesce: 16,
     })
     .unwrap();
     let addr = transport.local_addr();
@@ -122,7 +122,7 @@ fn slow_consumer_gets_disconnected() {
     let mut transport = TcpTransport::bind(TcpTransportConfig {
         queue_capacity: 4,
         backpressure: Backpressure::Disconnect,
-        payload_len: 16,
+        max_coalesce: 16,
     })
     .unwrap();
     let addr = transport.local_addr();

@@ -1,0 +1,479 @@
+//! `repro bench` — the tracked performance harness.
+//!
+//! Runs the broker fan-out and a simulator sweep at **fixed operating
+//! points** and writes `BENCH_broker.json` / `BENCH_sim.json` into the
+//! current directory, so the repo carries its own perf trajectory across
+//! PRs: re-run `repro bench` on the same machine class and diff the JSON.
+//!
+//! * `BENCH_broker.json` — lossless-bus fan-out throughput (slots/sec and
+//!   payload MB/s) at 1 / 8 / 64 / 256 concurrent draining clients.
+//! * `BENCH_sim.json` — wall-clock of a Δ-sweep of the discrete-event
+//!   simulator at the paper's D5 configuration.
+//!
+//! `--quick` shrinks slot counts and client fleets (the CI smoke mode);
+//! the emitted JSON carries a `mode` field so full and quick runs are
+//! never confused. Both files are re-parsed and shape-checked with the
+//! built-in JSON reader after writing — a malformed emitter fails the run
+//! (and CI) instead of silently rotting the harness.
+
+use std::time::Instant;
+
+use bdisk_broker::{
+    Backpressure, BroadcastEngine, BusTuning, EngineConfig, EngineReport, InMemoryBus,
+};
+use bdisk_cache::PolicyKind;
+use bdisk_sched::{BroadcastProgram, DiskLayout};
+use bdisk_sim::simulate;
+
+use crate::common::{self, Scale};
+
+/// Fixed fan-out operating point (chosen small enough that 256 clients ×
+/// the full slot count stays inside a CI minute, large enough that the
+/// steady state dominates startup).
+const DISKS: [usize; 3] = [50, 200, 250];
+const DELTA: u64 = 3;
+const CAPACITY: usize = 256;
+
+fn fanout_clients(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Full => &[1, 8, 64, 256],
+        Scale::Quick => &[1, 4, 8],
+    }
+}
+
+fn fanout_slots(scale: Scale) -> u64 {
+    match scale {
+        Scale::Full => 20_000,
+        Scale::Quick => 2_000,
+    }
+}
+
+fn sweep_deltas(scale: Scale) -> &'static [u64] {
+    match scale {
+        Scale::Full => &[0, 3, 7],
+        Scale::Quick => &[0, 3],
+    }
+}
+
+/// One fan-out measurement: `clients` subscribers drain a lossless bus as
+/// fast as the engine can flush.
+fn fanout_point(clients: usize, slots: u64, page_size: usize, tuning: BusTuning) -> EngineReport {
+    let layout = DiskLayout::with_delta(&DISKS, DELTA).expect("bench layout is valid");
+    let program = BroadcastProgram::generate(&layout).expect("bench program is valid");
+    let mut bus = InMemoryBus::with_tuning(CAPACITY, Backpressure::Block, tuning);
+    let subs: Vec<_> = (0..clients).map(|_| bus.subscribe()).collect();
+    let engine = BroadcastEngine::new(
+        program,
+        EngineConfig {
+            max_slots: slots,
+            stop_when_no_clients: false,
+            page_size,
+            ..EngineConfig::default()
+        },
+    );
+    let report = crossbeam::scope(|scope| {
+        let handles: Vec<_> = subs
+            .into_iter()
+            .map(|mut sub| {
+                scope.spawn(move |_| {
+                    let mut received = 0u64;
+                    while sub.recv().is_some() {
+                        received += 1;
+                    }
+                    received
+                })
+            })
+            .collect();
+        let report = engine.run(&mut bus);
+        for h in handles {
+            let received = h.join().expect("bench client must not panic");
+            assert_eq!(
+                received, report.slots_sent,
+                "lossless bench client missed frames"
+            );
+        }
+        report
+    })
+    .expect("bench run must not panic");
+    assert_eq!(report.slots_sent, slots);
+    assert_eq!(report.frames_delivered, slots * clients as u64);
+    report
+}
+
+/// Runs both benchmarks and writes the tracked JSON files.
+pub fn run(scale: Scale, page_size: usize) {
+    let mode = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let tuning = BusTuning::throughput();
+    let slots = fanout_slots(scale);
+
+    println!("\n=== bench: bus fan-out (lossless, {slots} slots, PageSize {page_size}) ===");
+    println!(
+        "tuning: batch {} frames/flush, {} worker shard(s)",
+        tuning.batch, tuning.shards
+    );
+
+    let mut rows = Vec::new();
+    for &clients in fanout_clients(scale) {
+        let report = fanout_point(clients, slots, page_size, tuning);
+        let mb_per_sec = report.bytes_sent as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "  {clients:>4} clients: {:>10.0} slots/sec  ({:>8.1} MB/s payload fan-out)",
+            report.slots_per_sec, mb_per_sec
+        );
+        rows.push(format!(
+            "    {{\"clients\": {clients}, \"slots_per_sec\": {:.1}, \
+             \"mb_per_sec\": {:.2}, \"frames_delivered\": {}, \"elapsed_sec\": {:.4}}}",
+            report.slots_per_sec,
+            mb_per_sec,
+            report.frames_delivered,
+            report.elapsed.as_secs_f64()
+        ));
+    }
+
+    let broker_json = format!(
+        "{{\n  \"schema\": \"bdisk-bench-broker/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"operating_point\": {{\n    \"disks\": [{}], \"delta\": {DELTA}, \
+         \"slots\": {slots}, \"capacity\": {CAPACITY}, \"page_size\": {page_size}, \
+         \"backpressure\": \"block\", \"batch\": {}, \"shards\": {}\n  }},\n  \
+         \"fanout\": [\n{}\n  ]\n}}\n",
+        DISKS.map(|d| d.to_string()).join(", "),
+        tuning.batch,
+        tuning.shards,
+        rows.join(",\n")
+    );
+    emit("BENCH_broker.json", &broker_json);
+    validate_broker(&broker_json, fanout_clients(scale).len());
+
+    // --- simulator sweep wall-clock ---
+    let deltas = sweep_deltas(scale);
+    let cfg = common::caching_config(scale, PolicyKind::Pix, 0.30);
+    let seed = common::context().base_seed;
+    println!(
+        "\n=== bench: simulator sweep (D5, {} deltas, {} requests, PIX) ===",
+        deltas.len(),
+        cfg.requests
+    );
+    let start = Instant::now();
+    for &delta in deltas {
+        let layout = common::layout("D5", delta);
+        simulate(&cfg, &layout, seed).expect("bench simulation must succeed");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let points_per_sec = deltas.len() as f64 / wall.max(1e-9);
+    println!(
+        "  {} points in {wall:.2}s = {points_per_sec:.2} points/sec",
+        deltas.len()
+    );
+
+    let sim_json = format!(
+        "{{\n  \"schema\": \"bdisk-bench-sim/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"sweep\": {{\n    \"config\": \"D5\", \"policy\": \"PIX\", \"noise\": 0.3, \
+         \"requests\": {}, \"deltas\": [{}]\n  }},\n  \
+         \"points\": {}, \"wall_clock_sec\": {wall:.4}, \"points_per_sec\": {points_per_sec:.4}\n}}\n",
+        cfg.requests,
+        deltas.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(", "),
+        deltas.len()
+    );
+    emit("BENCH_sim.json", &sim_json);
+    validate_sim(&sim_json, deltas.len());
+}
+
+/// Writes a tracked bench file into the current directory.
+fn emit(file: &str, contents: &str) {
+    std::fs::write(file, contents).unwrap_or_else(|e| panic!("cannot write {file}: {e}"));
+    println!("  -> {file}");
+}
+
+/// Shape check for `BENCH_broker.json`; panics (failing CI) on regression.
+fn validate_broker(text: &str, expected_points: usize) {
+    let v = json::parse(text).expect("BENCH_broker.json must parse");
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("bdisk-bench-broker/v1"),
+        "broker bench schema tag"
+    );
+    let op = v.get("operating_point").expect("operating_point object");
+    for key in ["delta", "slots", "capacity", "page_size", "batch", "shards"] {
+        assert!(
+            op.get(key).and_then(json::Value::as_f64).is_some(),
+            "operating_point.{key} must be a number"
+        );
+    }
+    let fanout = v
+        .get("fanout")
+        .and_then(json::Value::as_array)
+        .expect("fanout array");
+    assert_eq!(
+        fanout.len(),
+        expected_points,
+        "one fanout row per client count"
+    );
+    for row in fanout {
+        let slots_per_sec = row
+            .get("slots_per_sec")
+            .and_then(json::Value::as_f64)
+            .expect("fanout row needs slots_per_sec");
+        assert!(slots_per_sec > 0.0, "throughput must be positive");
+        assert!(
+            row.get("clients").and_then(json::Value::as_f64).is_some(),
+            "fanout row needs clients"
+        );
+    }
+}
+
+/// Shape check for `BENCH_sim.json`; panics (failing CI) on regression.
+fn validate_sim(text: &str, expected_points: usize) {
+    let v = json::parse(text).expect("BENCH_sim.json must parse");
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("bdisk-bench-sim/v1"),
+        "sim bench schema tag"
+    );
+    assert_eq!(
+        v.get("points").and_then(json::Value::as_f64),
+        Some(expected_points as f64)
+    );
+    let wall = v
+        .get("wall_clock_sec")
+        .and_then(json::Value::as_f64)
+        .expect("wall_clock_sec must be a number");
+    assert!(wall > 0.0, "sweep must take measurable time");
+    let deltas = v
+        .get("sweep")
+        .and_then(|s| s.get("deltas"))
+        .and_then(json::Value::as_array)
+        .expect("sweep.deltas array");
+    assert_eq!(deltas.len(), expected_points);
+}
+
+/// A minimal JSON reader (objects, arrays, strings, numbers, literals) —
+/// just enough to shape-check the bench emitters without a serde
+/// dependency. Not a general-purpose parser: no `\u` escapes, f64 numbers.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number, as f64.
+        Num(f64),
+        /// A string (no `\u` escape support).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {pos}", b as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            members.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape '\\{}'", *other as char)),
+                    });
+                }
+                _ => out.push(b as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        lit: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips_the_bench_shape() {
+            let v = parse(
+                "{\"schema\": \"x/v1\", \"nums\": [1, 2.5, -3e2], \
+                 \"nested\": {\"ok\": true, \"none\": null}}",
+            )
+            .unwrap();
+            assert_eq!(v.get("schema").and_then(Value::as_str), Some("x/v1"));
+            let nums = v.get("nums").and_then(Value::as_array).unwrap();
+            assert_eq!(nums.len(), 3);
+            assert_eq!(nums[2].as_f64(), Some(-300.0));
+            assert_eq!(
+                v.get("nested").and_then(|n| n.get("ok")),
+                Some(&Value::Bool(true))
+            );
+        }
+
+        #[test]
+        fn rejects_malformed_documents() {
+            for bad in ["{", "{\"a\": }", "[1 2]", "{\"a\": 1} trailing", "\"open"] {
+                assert!(parse(bad).is_err(), "{bad:?} should not parse");
+            }
+        }
+    }
+}

@@ -126,6 +126,7 @@ pub fn base_config(scale: Scale) -> SimConfig {
         warmup_requests: scale.warmup(),
         alpha: 0.25,
         batch_size: 500,
+        page_size: 64,
     }
 }
 

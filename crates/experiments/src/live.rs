@@ -18,7 +18,7 @@
 use std::time::Duration;
 
 use bdisk_broker::{
-    aggregate, Backpressure, BroadcastEngine, EngineConfig, InMemoryBus, LiveClient,
+    aggregate, Backpressure, BroadcastEngine, BusTuning, EngineConfig, InMemoryBus, LiveClient,
     LiveClientResult, TcpFrameReader, TcpTransport, TcpTransportConfig,
 };
 use bdisk_cache::PolicyKind;
@@ -48,13 +48,15 @@ impl std::str::FromStr for LiveTransport {
     }
 }
 
-/// `repro live` options (from `--transport` and `--clients`).
+/// `repro live` options (from `--transport`, `--clients`, `--page-size`).
 #[derive(Debug, Clone)]
 pub struct LiveOptions {
     /// Transport to drive.
     pub transport: LiveTransport,
     /// Concurrent clients (at least 4, one per policy).
     pub clients: usize,
+    /// Bytes of page payload per frame (`PageSize`, paper Table 2).
+    pub page_size: usize,
 }
 
 impl Default for LiveOptions {
@@ -62,6 +64,7 @@ impl Default for LiveOptions {
         Self {
             transport: LiveTransport::Bus,
             clients: 16,
+            page_size: 64,
         }
     }
 }
@@ -101,8 +104,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
     );
 
     let (report, results) = match opts.transport {
-        LiveTransport::Bus => run_bus(scale, &roster, &layout, &program),
-        LiveTransport::Tcp => run_tcp(scale, &roster, &layout, &program),
+        LiveTransport::Bus => run_bus(scale, opts, &roster, &layout, &program),
+        LiveTransport::Tcp => run_tcp(scale, opts, &roster, &layout, &program),
     };
 
     println!(
@@ -118,6 +121,12 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         report.frames_dropped,
         report.clients_disconnected,
         report.max_client_lag
+    );
+    println!(
+        "        {:.1} MB of {}-byte pages shipped ({:.1} MB/s fan-out)",
+        report.bytes_sent as f64 / 1e6,
+        opts.page_size,
+        report.bytes_sent as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9)
     );
     assert!(
         report.major_cycles >= 2,
@@ -236,11 +245,14 @@ fn config(scale: Scale, policy: PolicyKind) -> SimConfig {
 
 fn run_bus(
     scale: Scale,
+    opts: &LiveOptions,
     roster: &[(PolicyKind, u64)],
     layout: &bdisk_sched::DiskLayout,
     program: &BroadcastProgram,
 ) -> (bdisk_broker::EngineReport, Vec<LiveClientResult>) {
-    let mut bus = InMemoryBus::new(512, Backpressure::Block);
+    // The zero-copy fast path: batched flushes + worker-shard fan-out. The
+    // bus stays lossless (Block), so parity with the simulator is exact.
+    let mut bus = InMemoryBus::with_tuning(512, Backpressure::Block, BusTuning::throughput());
     let subs: Vec<_> = roster.iter().map(|_| bus.subscribe()).collect();
     let mut clients: Vec<LiveClient> = roster
         .iter()
@@ -250,7 +262,13 @@ fn run_bus(
         })
         .collect();
 
-    let engine = BroadcastEngine::new(program.clone(), EngineConfig::default());
+    let engine = BroadcastEngine::new(
+        program.clone(),
+        EngineConfig {
+            page_size: opts.page_size,
+            ..EngineConfig::default()
+        },
+    );
     let report = crossbeam::scope(|scope| {
         let handles: Vec<_> = clients
             .iter_mut()
@@ -271,6 +289,7 @@ fn run_bus(
 
 fn run_tcp(
     scale: Scale,
+    opts: &LiveOptions,
     roster: &[(PolicyKind, u64)],
     layout: &bdisk_sched::DiskLayout,
     program: &BroadcastProgram,
@@ -278,7 +297,7 @@ fn run_tcp(
     let mut transport = TcpTransport::bind(TcpTransportConfig {
         queue_capacity: 8192,
         backpressure: Backpressure::DropNewest,
-        payload_len: 64,
+        max_coalesce: 64,
     })
     .expect("loopback bind must succeed");
     let addr = transport.local_addr();
@@ -294,7 +313,7 @@ fn run_tcp(
                 let mut client =
                     LiveClient::new(&cfg, &layout, program, seed).expect("valid client config");
                 while let Ok(Some(frame)) = reader.recv() {
-                    if client.on_frame(frame) {
+                    if client.on_frame(&frame) {
                         break;
                     }
                 }
@@ -307,7 +326,13 @@ fn run_tcp(
         transport.wait_for_clients(roster.len(), Duration::from_secs(30)),
         "clients failed to connect"
     );
-    let engine = BroadcastEngine::new(program.clone(), EngineConfig::default());
+    let engine = BroadcastEngine::new(
+        program.clone(),
+        EngineConfig {
+            page_size: opts.page_size,
+            ..EngineConfig::default()
+        },
+    );
     let report = engine.run(&mut transport);
     let results = handles
         .into_iter()

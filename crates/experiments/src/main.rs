@@ -11,6 +11,7 @@
 //!   --seed N           base seed for derived sweep seeds (default 101)
 //!   --transport T      live: bus (default, lossless) or tcp
 //!   --clients N        live: concurrent clients (default 16, min 4)
+//!   --page-size N      live/bench: payload bytes per page frame (default 64)
 //!
 //! experiments:
 //!   table1   expected delay of the Figure 2 example programs
@@ -32,6 +33,7 @@
 //!   updates  volatile data / invalidation vs stale reads (extension)
 //!   index    (1,m) air indexing access/tuning tradeoff (extension)
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
+//!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
 //!
@@ -40,6 +42,7 @@
 //! base seed in its header line, so `repro --seed N <exp>` reruns are
 //! bit-identical.
 
+mod bench;
 mod common;
 mod extensions;
 mod figures;
@@ -95,6 +98,12 @@ fn parse_args() -> (Scale, LiveOptions, Vec<String>) {
                     "--clients expects a positive integer",
                 )
             }
+            "--page-size" => {
+                live_opts.page_size = parse_or_die(
+                    &flag_value(&mut iter, "--page-size"),
+                    "--page-size expects a byte count",
+                )
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -143,6 +152,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
         "updates" => extensions::updates(scale),
         "index" => extensions::index(scale),
         "live" => live::run(scale, live_opts),
+        "bench" => bench::run(scale, live_opts.page_size),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",

@@ -42,6 +42,12 @@ pub struct SimConfig {
     pub alpha: f64,
     /// Batch size for the batch-means confidence interval.
     pub batch_size: u64,
+    /// Bytes per page on the wire (`PageSize`, paper Table 2). The
+    /// simulator's timing is payload-agnostic — a slot is one broadcast
+    /// unit whatever its size — but the live broker uses this to size the
+    /// real page payloads it ships, so it lives here with the other
+    /// Table 2 knobs. 0 broadcasts bare (metadata-only) frames.
+    pub page_size: usize,
 }
 
 impl Default for SimConfig {
@@ -60,6 +66,7 @@ impl Default for SimConfig {
             warmup_requests: 3_000,
             alpha: 0.25,
             batch_size: 500,
+            page_size: 64,
         }
     }
 }
