@@ -36,12 +36,18 @@
 //! per-slot to per-flush.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
+
+/// Process-wide queue-id source, so journal events can name the subscriber
+/// queue they concern.
+static NEXT_QUEUE_ID: AtomicU64 = AtomicU64::new(0);
 
 /// One subscriber's bounded frame queue. The bus side pushes whole batches
 /// under one lock; the subscriber side drains everything available in one
@@ -51,6 +57,8 @@ struct FrameQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Stable id for journal events about this queue.
+    id: u64,
 }
 
 struct QueueState {
@@ -85,6 +93,7 @@ impl FrameQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            id: NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -104,10 +113,16 @@ impl FrameQueue {
             let backlog = st.buf.len();
             match bp {
                 Backpressure::Block => {
+                    let mut stalled = false;
                     while st.buf.len() == self.capacity {
                         if st.rx_closed {
                             out.evicted = true;
                             break 'frames;
+                        }
+                        if !stalled {
+                            stalled = true;
+                            crate::obs::bus().stalls.inc();
+                            event(EventKind::BackpressureStall, self.id, backlog as u64);
                         }
                         // About to sleep on the consumer: make sure it can
                         // see everything pushed so far.
@@ -293,9 +308,20 @@ fn deliver(subs: &mut Vec<Arc<FrameQueue>>, frames: &[Frame], bp: Backpressure) 
         stats.dropped += push.dropped;
         stats.bytes += push.bytes;
         stats.max_queue = stats.max_queue.max(push.max_backlog);
+        if push.delivered > 0 {
+            event(EventKind::Enqueue, subs[i].id, push.delivered);
+        }
+        if push.dropped > 0 {
+            event(EventKind::Drop, subs[i].id, push.dropped);
+        }
         if push.evicted {
             // Close the feed so an evicted-but-alive reader drains what is
             // already queued, then sees the end of its stream.
+            event(
+                EventKind::Disconnect,
+                subs[i].id,
+                u64::from(bp == Backpressure::Disconnect),
+            );
             subs[i].close_tx();
             subs.swap_remove(i);
             stats.disconnected += 1;
@@ -306,16 +332,18 @@ fn deliver(subs: &mut Vec<Arc<FrameQueue>>, frames: &[Frame], bp: Backpressure) 
     stats
 }
 
-fn spawn_shard(backpressure: Backpressure) -> Shard {
+fn spawn_shard(index: usize, backpressure: Backpressure) -> Shard {
     let (job_tx, job_rx) = unbounded::<ShardJob>();
     let (stat_tx, stat_rx) = bounded::<DeliveryStats>(1);
     let handle = std::thread::spawn(move || {
+        let depth = crate::obs::shard_queue_depth(index);
         let mut subs: Vec<Arc<FrameQueue>> = Vec::new();
         while let Ok(job) = job_rx.recv() {
             match job {
                 ShardJob::Subscribe(queue) => subs.push(queue),
                 ShardJob::Flush(frames) => {
                     let stats = deliver(&mut subs, &frames, backpressure);
+                    depth.set(stats.max_queue as i64);
                     if stat_tx.send(stats).is_err() {
                         break;
                     }
@@ -352,7 +380,7 @@ impl InMemoryBus {
         } else {
             Fanout::Sharded {
                 shards: (0..tuning.shards)
-                    .map(|_| spawn_shard(backpressure))
+                    .map(|i| spawn_shard(i, backpressure))
                     .collect(),
                 next: 0,
             }
@@ -386,6 +414,7 @@ impl InMemoryBus {
             }
         }
         self.active += 1;
+        crate::obs::bus().subscribers.add(1);
         sub
     }
 
@@ -395,6 +424,9 @@ impl InMemoryBus {
         if self.pending.is_empty() {
             return DeliveryStats::default();
         }
+        let m = crate::obs::bus();
+        m.flushes.inc();
+        m.batch_occupancy.record(self.pending.len() as u64);
         let stats = match &mut self.fanout {
             Fanout::Inline { subs } => deliver(subs, &self.pending, self.backpressure),
             Fanout::Sharded { shards, .. } => {
@@ -414,7 +446,9 @@ impl InMemoryBus {
             }
         };
         self.pending.clear();
-        self.active -= (stats.disconnected as usize).min(self.active);
+        let gone = (stats.disconnected as usize).min(self.active);
+        self.active -= gone;
+        m.subscribers.add(-(gone as i64));
         stats
     }
 
@@ -438,6 +472,7 @@ impl InMemoryBus {
                 }
             }
         }
+        crate::obs::bus().subscribers.add(-(self.active as i64));
         self.active = 0;
     }
 }

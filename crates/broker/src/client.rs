@@ -74,6 +74,7 @@ impl LiveClient {
             return true;
         }
         self.frames_seen += 1;
+        crate::obs::client().frames_seen.inc();
         let (seq, slot) = (frame.seq, frame.slot);
         let t = seq as f64;
 
@@ -126,6 +127,7 @@ impl LiveClient {
     fn finish_at(&mut self, t: f64) -> bool {
         self.done = true;
         self.end_time = t;
+        crate::obs::client().finished.inc();
         true
     }
 

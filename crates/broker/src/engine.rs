@@ -3,7 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use bdisk_sched::BroadcastProgram;
+use bdisk_obs::journal::{event, EventKind};
+use bdisk_sched::{BroadcastProgram, Slot};
 
 use crate::transport::{DeliveryStats, PagePayloads, Transport};
 
@@ -57,6 +58,18 @@ pub struct EngineReport {
     pub slots_per_sec: f64,
 }
 
+/// Feeds one broadcast's delivery accounting into the engine counters.
+/// The absorbed [`DeliveryStats`] are authoritative (the bus and TCP
+/// layers report their own queue-level views separately), so frames are
+/// never double-counted.
+#[inline]
+fn record_delivery(m: &crate::obs::EngineMetrics, stats: &DeliveryStats) {
+    m.frames_delivered.add(stats.delivered);
+    m.frames_dropped.add(stats.dropped);
+    m.disconnects.add(stats.disconnected);
+    m.bytes.add(stats.bytes);
+}
+
 /// Drives a [`BroadcastProgram`] over a transport in real time.
 pub struct BroadcastEngine {
     program: BroadcastProgram,
@@ -83,6 +96,7 @@ impl BroadcastEngine {
         let start = Instant::now();
         let mut totals = DeliveryStats::default();
         let mut slots_sent = 0u64;
+        let m = crate::obs::engine();
         // One payload buffer per page for the whole run; every frame (and
         // every subscriber) shares it by refcount.
         let payloads = PagePayloads::generate(self.program.num_pages(), self.cfg.page_size);
@@ -101,12 +115,28 @@ impl BroadcastEngine {
                     std::thread::sleep(deadline - now);
                 }
             }
-            totals.absorb(transport.broadcast(payloads.frame(seq, slot)));
+            let stats = transport.broadcast(payloads.frame(seq, slot));
+            m.slots.inc();
+            record_delivery(m, &stats);
+            event(
+                EventKind::SlotTick,
+                seq,
+                match slot {
+                    Slot::Page(page) => page.0 as u64,
+                    Slot::Empty => u64::MAX,
+                },
+            );
+            totals.absorb(stats);
+            m.active_clients.set(transport.active_clients() as i64);
             slots_sent = seq + 1;
         }
         // A batching transport may hold undelivered frames; their stats
         // arrive with the final flush.
-        totals.absorb(transport.finish());
+        let tail = transport.finish();
+        record_delivery(m, &tail);
+        totals.absorb(tail);
+        m.active_clients.set(transport.active_clients() as i64);
+        m.max_client_lag.set_max(totals.max_queue as i64);
 
         let elapsed = start.elapsed();
         EngineReport {

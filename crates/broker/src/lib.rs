@@ -40,6 +40,7 @@ pub mod bus;
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod tcp;
 pub mod transport;
 
@@ -47,5 +48,6 @@ pub use bus::{BusSubscription, BusTuning, InMemoryBus};
 pub use client::{LiveClient, LiveClientResult};
 pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
 pub use metrics::{aggregate, LiveReport};
+pub use obs::register_metrics;
 pub use tcp::{TcpFrameReader, TcpTransport, TcpTransportConfig};
 pub use transport::{Backpressure, DeliveryStats, Frame, PagePayloads, Transport};

@@ -18,8 +18,10 @@ pub struct LiveReport {
     pub measured_requests: u64,
     /// Fleet mean response time, in broadcast units.
     pub mean_response_time: f64,
-    /// Fleet cache hit rate.
-    pub hit_rate: f64,
+    /// Fleet cache hit rate, or `None` when no requests were measured —
+    /// a misconfigured warm-up is visible instead of masquerading as a
+    /// 0% hit rate.
+    pub hit_rate: Option<f64>,
     /// Fleet median response time (unit buckets).
     pub p50: f64,
     /// Fleet 95th-percentile response time.
@@ -56,9 +58,9 @@ pub fn aggregate(engine: EngineReport, results: Vec<LiveClientResult>) -> LiveRe
         measured_requests: stats.count(),
         mean_response_time: stats.mean(),
         hit_rate: if total == 0 {
-            0.0
+            None
         } else {
-            cache_hits as f64 / total as f64
+            Some(cache_hits as f64 / total as f64)
         },
         p50: hist.quantile(0.5).unwrap_or(0.0),
         p95: hist.quantile(0.95).unwrap_or(0.0),
@@ -120,6 +122,8 @@ mod tests {
         assert_eq!(results.clients, 2);
         assert_eq!(results.measured_requests, 400);
         assert!(results.mean_response_time > 0.0);
+        let hit_rate = results.hit_rate.expect("measured run has a hit rate");
+        assert!((0.0..=1.0).contains(&hit_rate));
         assert!(results.p50 <= results.p95 && results.p95 <= results.p99);
         // Pooled mean equals the request-weighted mean of the parts.
         let weighted: f64 = results
@@ -149,5 +153,9 @@ mod tests {
         assert_eq!(live.clients, 0);
         assert_eq!(live.measured_requests, 0);
         assert_eq!(live.mean_response_time, 0.0);
+        assert_eq!(
+            live.hit_rate, None,
+            "no measured requests must not read as a 0% hit rate"
+        );
     }
 }

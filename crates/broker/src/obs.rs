@@ -1,0 +1,199 @@
+//! Broker-side telemetry: the static metric handles for the engine slot
+//! loop, the in-memory bus, the TCP transport, and live clients.
+//!
+//! All handles are `&'static` metrics from the [`bdisk_obs`] registry,
+//! materialized once per process through `OnceLock` — after the first
+//! touch (which the engine's warm-up traffic performs), the hot paths do
+//! a single pointer load plus lock-free atomic recording, keeping the
+//! steady-state broadcast allocation-free (`tests/alloc_free.rs` pins
+//! this with metrics *and* tracing enabled).
+
+use std::sync::OnceLock;
+
+use bdisk_obs::registry::{self, Counter, Gauge, Histogram, POW2_BOUNDS};
+
+/// Engine slot-loop metrics.
+pub(crate) struct EngineMetrics {
+    /// `bd_engine_slots_total`
+    pub slots: &'static Counter,
+    /// `bd_engine_frames_delivered_total`
+    pub frames_delivered: &'static Counter,
+    /// `bd_engine_frames_dropped_total`
+    pub frames_dropped: &'static Counter,
+    /// `bd_engine_disconnects_total`
+    pub disconnects: &'static Counter,
+    /// `bd_engine_bytes_sent_total`
+    pub bytes: &'static Counter,
+    /// `bd_engine_active_clients`
+    pub active_clients: &'static Gauge,
+    /// `bd_engine_max_client_lag`
+    pub max_client_lag: &'static Gauge,
+}
+
+pub(crate) fn engine() -> &'static EngineMetrics {
+    static M: OnceLock<EngineMetrics> = OnceLock::new();
+    M.get_or_init(|| EngineMetrics {
+        slots: registry::counter(
+            "bd_engine_slots_total",
+            "Broadcast slots sent by the engine",
+        ),
+        frames_delivered: registry::counter(
+            "bd_engine_frames_delivered_total",
+            "Frames successfully enqueued to clients",
+        ),
+        frames_dropped: registry::counter(
+            "bd_engine_frames_dropped_total",
+            "Frames dropped at full client buffers",
+        ),
+        disconnects: registry::counter(
+            "bd_engine_disconnects_total",
+            "Clients disconnected (evicted as slow, finished, or died)",
+        ),
+        bytes: registry::counter(
+            "bd_engine_bytes_sent_total",
+            "Wire bytes enqueued to clients (header + payload per frame)",
+        ),
+        active_clients: registry::gauge(
+            "bd_engine_active_clients",
+            "Clients currently attached to the running transport",
+        ),
+        max_client_lag: registry::gauge(
+            "bd_engine_max_client_lag",
+            "Largest per-client backlog observed so far this process (frames)",
+        ),
+    })
+}
+
+/// In-memory bus fan-out metrics.
+pub(crate) struct BusMetrics {
+    /// `bd_bus_flushes_total`
+    pub flushes: &'static Counter,
+    /// `bd_bus_batch_occupancy`
+    pub batch_occupancy: &'static Histogram,
+    /// `bd_bus_backpressure_stalls_total`
+    pub stalls: &'static Counter,
+    /// `bd_bus_subscribers`
+    pub subscribers: &'static Gauge,
+}
+
+pub(crate) fn bus() -> &'static BusMetrics {
+    static M: OnceLock<BusMetrics> = OnceLock::new();
+    M.get_or_init(|| BusMetrics {
+        flushes: registry::counter(
+            "bd_bus_flushes_total",
+            "Batch flushes delivered by the in-memory bus",
+        ),
+        batch_occupancy: registry::histogram(
+            "bd_bus_batch_occupancy",
+            "Frames per bus flush batch",
+            POW2_BOUNDS,
+        ),
+        stalls: registry::counter(
+            "bd_bus_backpressure_stalls_total",
+            "Producer stalls on a full subscriber queue under Backpressure::Block",
+        ),
+        subscribers: registry::gauge(
+            "bd_bus_subscribers",
+            "Subscribers currently registered on in-memory buses",
+        ),
+    })
+}
+
+/// Per-shard queue-depth gauge (`bd_bus_shard_queue_depth{shard=...}`),
+/// registered when a shard worker spawns. Peak backlog seen by the shard's
+/// most recent flush.
+pub(crate) fn shard_queue_depth(shard: usize) -> &'static Gauge {
+    registry::gauge_labeled(
+        "bd_bus_shard_queue_depth",
+        "Peak subscriber backlog observed by this shard's latest flush (frames)",
+        "shard",
+        shard.to_string(),
+    )
+}
+
+/// TCP transport metrics.
+pub(crate) struct TcpMetrics {
+    /// `bd_tcp_connections`
+    pub connections: &'static Gauge,
+    /// `bd_tcp_accepted_total`
+    pub accepted: &'static Counter,
+    /// `bd_tcp_writer_backlog`
+    pub writer_backlog: &'static Histogram,
+    /// `bd_tcp_coalesce_batch`
+    pub coalesce_batch: &'static Histogram,
+    /// `bd_tcp_bytes_total`
+    pub bytes: &'static Counter,
+    /// `bd_tcp_frames_dropped_total`
+    pub frames_dropped: &'static Counter,
+    /// `bd_tcp_disconnects_total`
+    pub disconnects: &'static Counter,
+}
+
+pub(crate) fn tcp() -> &'static TcpMetrics {
+    static M: OnceLock<TcpMetrics> = OnceLock::new();
+    M.get_or_init(|| TcpMetrics {
+        connections: registry::gauge(
+            "bd_tcp_connections",
+            "TCP broadcast connections currently registered",
+        ),
+        accepted: registry::counter(
+            "bd_tcp_accepted_total",
+            "TCP broadcast connections accepted since process start",
+        ),
+        writer_backlog: registry::histogram(
+            "bd_tcp_writer_backlog",
+            "Per-connection send-buffer backlog sampled at each enqueue (frames)",
+            POW2_BOUNDS,
+        ),
+        coalesce_batch: registry::histogram(
+            "bd_tcp_coalesce_batch",
+            "Frames folded into one vectored write by a connection writer",
+            POW2_BOUNDS,
+        ),
+        bytes: registry::counter(
+            "bd_tcp_bytes_total",
+            "Wire bytes enqueued to TCP connections",
+        ),
+        frames_dropped: registry::counter(
+            "bd_tcp_frames_dropped_total",
+            "Frames dropped at full TCP send buffers (DropNewest)",
+        ),
+        disconnects: registry::counter(
+            "bd_tcp_disconnects_total",
+            "TCP connections evicted as slow consumers or lost to write errors",
+        ),
+    })
+}
+
+/// Live-client metrics.
+pub(crate) struct ClientMetrics {
+    /// `bd_client_frames_seen_total`
+    pub frames_seen: &'static Counter,
+    /// `bd_client_finished_total`
+    pub finished: &'static Counter,
+}
+
+pub(crate) fn client() -> &'static ClientMetrics {
+    static M: OnceLock<ClientMetrics> = OnceLock::new();
+    M.get_or_init(|| ClientMetrics {
+        frames_seen: registry::counter(
+            "bd_client_frames_seen_total",
+            "Broadcast frames observed by live clients",
+        ),
+        finished: registry::counter(
+            "bd_client_finished_total",
+            "Live clients that completed their measured request quota",
+        ),
+    })
+}
+
+/// Eagerly registers every broker metric (engine, bus, TCP, client) so a
+/// scrape of `/metrics` shows the full inventory before traffic arrives.
+/// Idempotent; call when starting a metrics server.
+pub fn register_metrics() {
+    let _ = engine();
+    let _ = bus();
+    let _ = tcp();
+    let _ = client();
+    let _ = shard_queue_depth(0);
+}

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
 use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
@@ -146,11 +147,13 @@ impl TcpTransport {
     /// Registers any connections the accept thread has queued; returns the
     /// current client count.
     pub fn poll_accept(&mut self) -> usize {
+        let m = crate::obs::tcp();
         while let Ok(stream) = self.incoming.try_recv() {
             let _ = stream.set_nodelay(true);
             let (tx, rx) = bounded::<Arc<[u8]>>(self.cfg.queue_capacity);
             let max_coalesce = self.cfg.max_coalesce;
             let writer = std::thread::spawn(move || {
+                let coalesce = crate::obs::tcp().coalesce_batch;
                 let mut stream = stream;
                 let mut bufs: Vec<Arc<[u8]>> = Vec::with_capacity(max_coalesce);
                 while let Ok(first) = rx.recv() {
@@ -164,6 +167,7 @@ impl TcpTransport {
                             Err(_) => break,
                         }
                     }
+                    coalesce.record(bufs.len() as u64);
                     if write_coalesced(&mut stream, &bufs).is_err() {
                         break;
                     }
@@ -171,7 +175,9 @@ impl TcpTransport {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             });
             self.conns.push(Conn { tx, writer });
+            m.accepted.inc();
         }
+        m.connections.set(self.conns.len() as i64);
         self.conns.len()
     }
 
@@ -199,11 +205,13 @@ impl Transport for TcpTransport {
         }
         // Encode once per slot; every connection's writer shares the bytes.
         let wire = frame.encode_shared();
+        let m = crate::obs::tcp();
         let mut i = 0;
         while i < self.conns.len() {
             // Backlog sampled before the enqueue so max_queue reports the
             // peak including the frame in flight.
             let backlog = self.conns[i].tx.len();
+            m.writer_backlog.record(backlog as u64);
             match self.conns[i].tx.try_send(Arc::clone(&wire)) {
                 Ok(()) => {
                     stats.delivered += 1;
@@ -221,6 +229,7 @@ impl Transport for TcpTransport {
                         // Evict in place: closing the channel lets the
                         // writer drain what is queued, then shut down.
                         stats.disconnected += 1;
+                        event(EventKind::Disconnect, i as u64, 1);
                         let conn = self.conns.swap_remove(i);
                         drop(conn.tx);
                         self.graveyard.push(conn.writer);
@@ -229,11 +238,16 @@ impl Transport for TcpTransport {
                 Err(TrySendError::Disconnected(_)) => {
                     // Writer exited (peer closed or write error).
                     stats.disconnected += 1;
+                    event(EventKind::Disconnect, i as u64, 0);
                     let conn = self.conns.swap_remove(i);
                     self.graveyard.push(conn.writer);
                 }
             }
         }
+        m.bytes.add(stats.bytes);
+        m.frames_dropped.add(stats.dropped);
+        m.disconnects.add(stats.disconnected);
+        m.connections.set(self.conns.len() as i64);
         stats
     }
 
@@ -255,6 +269,7 @@ impl Transport for TcpTransport {
             let _ = TcpStream::connect(self.addr);
             let _ = accept.join();
         }
+        crate::obs::tcp().connections.set(0);
         // TCP broadcasts are unbatched: all stats were reported per slot.
         DeliveryStats::default()
     }

@@ -3,6 +3,11 @@
 //! refcount clones of pre-built payloads, subscriber queues are pre-sized,
 //! and eviction/retention never rebuilds the subscriber list.
 //!
+//! The observability layer must not change this: the run executes with
+//! metric recording enabled (the default) *and* the event journal
+//! recording, so sharded counter adds, histogram records, and ring-buffer
+//! event writes are all on the measured path.
+//!
 //! This file deliberately holds a single `#[test]`: the counting global
 //! allocator is process-wide, and a sibling test running concurrently
 //! would pollute the count.
@@ -56,6 +61,12 @@ fn count_broadcast_allocs(bus: &mut InMemoryBus, payloads: &PagePayloads, frames
 
 #[test]
 fn steady_state_broadcast_allocates_nothing() {
+    // Telemetry fully on: metrics are enabled by default; turning tracing
+    // on here materializes the journal ring before the armed section, and
+    // every subsequent broadcast journals its enqueues and drops.
+    assert!(bdisk_obs::metrics_enabled(), "metrics must default on");
+    bdisk_obs::set_tracing_enabled(true);
+
     let payloads = PagePayloads::generate(5, 64);
 
     // DropNewest with full buffers: every broadcast exercises the

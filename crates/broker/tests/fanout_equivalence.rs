@@ -7,6 +7,11 @@
 //! deterministic; subscribers drain after `finish`. Block is only generated
 //! with capacity ≥ frame count (a full lossless queue with nobody draining
 //! would rightly block forever).
+//!
+//! The whole property runs with the event journal recording (tracing
+//! enabled): observability must not perturb behavior, so delivered frames
+//! must stay bit-equal to the sequential path while every enqueue/drop is
+//! being journaled.
 
 use bdisk_broker::{Backpressure, BusTuning, DeliveryStats, InMemoryBus, PagePayloads, Transport};
 use bdisk_sched::{PageId, Slot};
@@ -62,6 +67,11 @@ proptest! {
         lossy in 0u8..2,
         page_size in 0usize..48,
     ) {
+        // Record every enqueue/drop/disconnect while asserting equality:
+        // tracing must be a pure observer.
+        bdisk_obs::set_tracing_enabled(true);
+        let journal_start = bdisk_obs::journal().head();
+
         let (backpressure, capacity) = if lossy == 1 {
             (Backpressure::DropNewest, 8)
         } else {
@@ -92,5 +102,9 @@ proptest! {
                 "delivery stats diverged under {:?}", tuning
             );
         }
+        prop_assert!(
+            bdisk_obs::journal().head() > journal_start,
+            "tracing was on: the runs must have journaled events"
+        );
     }
 }

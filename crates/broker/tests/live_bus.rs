@@ -97,7 +97,8 @@ fn sixteen_clients_match_their_simulated_twins() {
     let fleet = aggregate(report, results);
     assert_eq!(fleet.clients, 16);
     assert_eq!(fleet.measured_requests, 16 * 400);
-    assert!(fleet.hit_rate > 0.0 && fleet.hit_rate < 1.0);
+    let fleet_hit_rate = fleet.hit_rate.expect("measured fleet has a hit rate");
+    assert!(fleet_hit_rate > 0.0 && fleet_hit_rate < 1.0);
     assert!(fleet.p50 <= fleet.p95 && fleet.p95 <= fleet.p99);
 }
 

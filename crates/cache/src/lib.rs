@@ -33,6 +33,7 @@ pub mod lix;
 pub mod lru;
 pub mod lruk;
 pub mod nocache;
+pub mod obs;
 pub mod pix;
 pub mod twoq;
 
@@ -41,6 +42,7 @@ pub use lix::LixPolicy;
 pub use lru::LruPolicy;
 pub use lruk::LruKPolicy;
 pub use nocache::NoCachePolicy;
+pub use obs::{register_metrics, ObservedPolicy};
 pub use pix::{PPolicy, PixPolicy, StaticValuePolicy};
 pub use twoq::TwoQPolicy;
 
@@ -201,11 +203,23 @@ impl PolicyContext {
     }
 }
 
-/// Builds a boxed policy of the requested kind with capacity `capacity`.
+/// Builds a boxed policy of the requested kind with capacity `capacity`,
+/// wrapped in an [`ObservedPolicy`] that feeds the cache-layer metrics
+/// (hits, misses, evictions, invalidations) and journal events. The
+/// wrapper is pure observation: every decision is the inner policy's.
 ///
 /// Capacity 0 disables caching entirely (a [`NoCachePolicy`] is returned
 /// regardless of `kind`), for measuring raw broadcast delay.
 pub fn build_policy(
+    kind: PolicyKind,
+    capacity: usize,
+    ctx: &PolicyContext,
+) -> Box<dyn CachePolicy> {
+    Box::new(ObservedPolicy::new(build_policy_raw(kind, capacity, ctx)))
+}
+
+/// Builds the bare (uninstrumented) policy; [`build_policy`] wraps this.
+pub fn build_policy_raw(
     kind: PolicyKind,
     capacity: usize,
     ctx: &PolicyContext,

@@ -28,11 +28,27 @@
 //! to the number of disks), the same order as LRU.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use bdisk_obs::registry::{self, Histogram, POW2_BOUNDS};
 use bdisk_sched::PageId;
 
 use crate::chain::LruChain;
 use crate::CachePolicy;
+
+/// `bd_lix_chain_len` — the length of the chain a LIX/L victim search
+/// walked past, recorded once per chain per replacement. The distribution
+/// shows how the paper's "chains do not have fixed sizes" behave live.
+pub(crate) fn chain_len_histogram() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        registry::histogram(
+            "bd_lix_chain_len",
+            "Per-disk LIX/L chain lengths sampled at each replacement",
+            POW2_BOUNDS,
+        )
+    })
+}
 
 /// Minimum elapsed time used in the estimator to avoid division by zero
 /// when a page is re-accessed at the instant it entered the cache.
@@ -147,8 +163,10 @@ impl LixPolicy {
     /// Chooses the victim: the bottom page of each chain with the smallest
     /// lix value. Ties break toward the faster disk for determinism.
     fn pick_victim(&self, now: f64) -> PageId {
+        let chain_lens = chain_len_histogram();
         let mut best: Option<(f64, PageId)> = None;
         for chain in &self.chains {
+            chain_lens.record(chain.len() as u64);
             let Some(page) = chain.back() else { continue };
             let lix = self
                 .lix_value(page, now)

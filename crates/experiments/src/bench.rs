@@ -133,16 +133,37 @@ pub fn run(scale: Scale, page_size: usize) {
         ));
     }
 
+    // --- observability overhead: the tracked operating point with metric
+    // recording off vs on (the default). The delta is the price of the
+    // sharded counters + histograms on the hot path, and is tracked in the
+    // JSON so a regression shows up as a diff.
+    let obs_clients = *fanout_clients(scale).last().expect("client list not empty");
+    println!("\n=== bench: observability overhead ({obs_clients} clients, {slots} slots) ===");
+    bdisk_obs::set_metrics_enabled(false);
+    let off = fanout_point(obs_clients, slots, page_size, tuning);
+    bdisk_obs::set_metrics_enabled(true);
+    let on = fanout_point(obs_clients, slots, page_size, tuning);
+    let overhead_pct = (off.slots_per_sec - on.slots_per_sec) / off.slots_per_sec.max(1e-9) * 100.0;
+    println!(
+        "  metrics off: {:>10.0} slots/sec\n  metrics on:  {:>10.0} slots/sec  ({overhead_pct:+.2}% overhead)",
+        off.slots_per_sec, on.slots_per_sec
+    );
+
     let broker_json = format!(
         "{{\n  \"schema\": \"bdisk-bench-broker/v1\",\n  \"mode\": \"{mode}\",\n  \
          \"operating_point\": {{\n    \"disks\": [{}], \"delta\": {DELTA}, \
          \"slots\": {slots}, \"capacity\": {CAPACITY}, \"page_size\": {page_size}, \
          \"backpressure\": \"block\", \"batch\": {}, \"shards\": {}\n  }},\n  \
-         \"fanout\": [\n{}\n  ]\n}}\n",
+         \"fanout\": [\n{}\n  ],\n  \
+         \"observability\": {{\n    \"clients\": {obs_clients}, \"slots\": {slots}, \
+         \"metrics_off_slots_per_sec\": {:.1}, \"metrics_on_slots_per_sec\": {:.1}, \
+         \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n",
         DISKS.map(|d| d.to_string()).join(", "),
         tuning.batch,
         tuning.shards,
-        rows.join(",\n")
+        rows.join(",\n"),
+        off.slots_per_sec,
+        on.slots_per_sec,
     );
     emit("BENCH_broker.json", &broker_json);
     validate_broker(&broker_json, fanout_clients(scale).len());
@@ -221,6 +242,25 @@ fn validate_broker(text: &str, expected_points: usize) {
             row.get("clients").and_then(json::Value::as_f64).is_some(),
             "fanout row needs clients"
         );
+    }
+    let obs = v
+        .get("observability")
+        .expect("observability on/off comparison object");
+    for key in [
+        "clients",
+        "slots",
+        "metrics_off_slots_per_sec",
+        "metrics_on_slots_per_sec",
+        "overhead_pct",
+    ] {
+        assert!(
+            obs.get(key).and_then(json::Value::as_f64).is_some(),
+            "observability.{key} must be a number"
+        );
+    }
+    for key in ["metrics_off_slots_per_sec", "metrics_on_slots_per_sec"] {
+        let rate = obs.get(key).and_then(json::Value::as_f64).unwrap();
+        assert!(rate > 0.0, "observability.{key} must be positive");
     }
 }
 

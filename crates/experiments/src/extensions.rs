@@ -74,20 +74,23 @@ pub fn policies(scale: Scale) {
     let results = bdisk_sim::sweep(kinds.clone(), threads(), |&kind| {
         let cfg = caching_config(scale, kind, 0.30);
         let out = run_point(&cfg, &l, scale);
-        (out.mean_response_time, out.hit_rate)
+        let p99 =
+            out.per_seed.iter().map(|o| o.p99).sum::<f64>() / out.per_seed.len().max(1) as f64;
+        (out.mean_response_time, out.hit_rate, p99)
     });
 
     println!("\n=== Extension: policy shoot-out (D5, CacheSize=500, Noise=30%, Delta=3) ===");
     println!(
-        "{:>10}{:>14}{:>12}{:>12}",
-        "policy", "response", "hit rate", "idealized"
+        "{:>10}{:>14}{:>12}{:>12}{:>12}",
+        "policy", "response", "hit rate", "p99", "idealized"
     );
-    for (kind, (rt, hit)) in kinds.iter().zip(&results) {
+    for (kind, (rt, hit, p99)) in kinds.iter().zip(&results) {
         println!(
-            "{:>10}{:>14.1}{:>11.1}%{:>12}",
+            "{:>10}{:>14.1}{:>11.1}%{:>12.0}{:>12}",
             kind.name(),
             rt,
             hit * 100.0,
+            p99,
             if kind.is_idealized() { "yes" } else { "no" }
         );
     }
@@ -101,6 +104,7 @@ pub fn policies(scale: Scale) {
             "hit_rate".to_string(),
             results.iter().map(|r| r.1).collect(),
         ),
+        ("p99".to_string(), results.iter().map(|r| r.2).collect()),
     ];
     write_csv("ext_policies.csv", "policy", &xs, &series);
 }

@@ -48,7 +48,8 @@ impl std::str::FromStr for LiveTransport {
     }
 }
 
-/// `repro live` options (from `--transport`, `--clients`, `--page-size`).
+/// `repro live` options (from `--transport`, `--clients`, `--page-size`,
+/// `--metrics-addr`, `--serve-secs`).
 #[derive(Debug, Clone)]
 pub struct LiveOptions {
     /// Transport to drive.
@@ -57,6 +58,11 @@ pub struct LiveOptions {
     pub clients: usize,
     /// Bytes of page payload per frame (`PageSize`, paper Table 2).
     pub page_size: usize,
+    /// Serve `GET /metrics` and `GET /events` on this address during the run.
+    pub metrics_addr: Option<String>,
+    /// Keep the metrics endpoint up this many seconds after the run, so
+    /// scrapers (and the CI smoke test) can collect the final state.
+    pub serve_secs: u64,
 }
 
 impl Default for LiveOptions {
@@ -65,7 +71,51 @@ impl Default for LiveOptions {
             transport: LiveTransport::Bus,
             clients: 16,
             page_size: 64,
+            metrics_addr: None,
+            serve_secs: 0,
         }
+    }
+}
+
+/// Registers every layer's metric families and, when `--metrics-addr` was
+/// given, binds the HTTP endpoint — eager registration means `/metrics`
+/// shows the full inventory from the first scrape, not just what traffic
+/// has touched.
+fn start_metrics(opts: &LiveOptions) -> Option<bdisk_obs::MetricsServer> {
+    bdisk_broker::register_metrics();
+    bdisk_cache::register_metrics();
+    bdisk_sim::register_metrics();
+    let addr = opts.metrics_addr.as_deref()?;
+    match bdisk_obs::MetricsServer::bind(addr) {
+        Ok(server) => {
+            // With an endpoint up, `/events` should have something to
+            // serve: the journal is a bounded ring and never blocks the
+            // broadcast path, so tracing rides along for free.
+            bdisk_obs::set_tracing_enabled(true);
+            println!(
+                "metrics: serving http://{}/metrics and /events",
+                server.addr()
+            );
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot bind metrics endpoint {addr}: {e}");
+            None
+        }
+    }
+}
+
+/// Holds the metrics endpoint open after the run for late scrapers.
+fn linger(server: Option<bdisk_obs::MetricsServer>, secs: u64) {
+    if let Some(mut server) = server {
+        if secs > 0 {
+            println!(
+                "metrics: serving for {secs}s more at http://{}/",
+                server.addr()
+            );
+            std::thread::sleep(Duration::from_secs(secs));
+        }
+        server.stop();
     }
 }
 
@@ -84,6 +134,7 @@ const TCP_HIT_TOLERANCE: f64 = 0.02;
 
 /// Runs the live engine and validates it against the simulator.
 pub fn run(scale: Scale, opts: &LiveOptions) {
+    let server = start_metrics(opts);
     let n_clients = opts.clients.max(POLICIES.len());
     let layout = common::layout("D5", 3);
     let program = BroadcastProgram::generate(&layout).expect("paper layout is valid");
@@ -145,9 +196,12 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
     );
 
     let fleet = aggregate(report, results);
+    let fleet_hit = fleet
+        .hit_rate
+        .expect("a finished live run has measured requests");
     println!(
         "fleet:  {} measured requests, mean response {:.1}, hit rate {:.3}",
-        fleet.measured_requests, fleet.mean_response_time, fleet.hit_rate
+        fleet.measured_requests, fleet.mean_response_time, fleet_hit
     );
     println!(
         "        service latency p50 {:.0}  p95 {:.0}  p99 {:.0} (broadcast units)",
@@ -160,6 +214,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
     let mut sim_mean = Vec::new();
     let mut live_hit = Vec::new();
     let mut sim_hit = Vec::new();
+    let mut live_p99 = Vec::new();
+    let mut sim_p99 = Vec::new();
     let mut worst_hit_gap: f64 = 0.0;
     let mut worst_mean_gap: f64 = 0.0;
     for &policy in &POLICIES {
@@ -174,6 +230,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         };
         let hit =
             |outs: &[&SimOutcome]| outs.iter().map(|o| o.hit_rate).sum::<f64>() / outs.len() as f64;
+        let p99 =
+            |outs: &[&SimOutcome]| outs.iter().map(|o| o.p99).sum::<f64>() / outs.len() as f64;
         let live_outs: Vec<&SimOutcome> = members.iter().map(|&i| &fleet.per_client[i]).collect();
         let sim_outs: Vec<&SimOutcome> = members.iter().map(|&i| &predictions[i]).collect();
         let (lm, sm) = (mean(&live_outs), mean(&sim_outs));
@@ -185,6 +243,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         sim_mean.push(sm);
         live_hit.push(lh);
         sim_hit.push(sh);
+        live_p99.push(p99(&live_outs));
+        sim_p99.push(p99(&sim_outs));
     }
 
     common::print_table(
@@ -196,6 +256,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             ("sim_mean".to_string(), sim_mean.clone()),
             ("live_hit".to_string(), live_hit.clone()),
             ("sim_hit".to_string(), sim_hit.clone()),
+            ("live_p99".to_string(), live_p99.clone()),
+            ("sim_p99".to_string(), sim_p99.clone()),
         ],
     );
     common::write_csv(
@@ -207,6 +269,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             ("sim_mean".to_string(), sim_mean),
             ("live_hit".to_string(), live_hit),
             ("sim_hit".to_string(), sim_hit),
+            ("live_p99".to_string(), live_p99),
+            ("sim_p99".to_string(), sim_p99),
         ],
     );
 
@@ -236,6 +300,138 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             }
         }
     }
+
+    linger(server, opts.serve_secs);
+}
+
+/// `repro trace` — a short live run on the in-memory bus with the event
+/// journal enabled, tailed concurrently to stdout (first events + per-kind
+/// totals) and in full to `results/trace.csv`.
+///
+/// The journal is a fixed-size ring that overwrites the oldest entries
+/// rather than ever blocking the broadcast path, so the tailer reports an
+/// explicit count of events it was too slow to collect.
+pub fn trace(scale: Scale, opts: &LiveOptions) {
+    use bdisk_obs::expo::{render_event_csv_row, EVENT_CSV_HEADER};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let server = start_metrics(opts);
+    bdisk_obs::set_tracing_enabled(true);
+
+    // Trace runs are about the event stream, not statistics: keep the
+    // fleet small so the CSV stays readable.
+    let trace_opts = LiveOptions {
+        clients: opts.clients.min(POLICIES.len()),
+        ..opts.clone()
+    };
+    let n_clients = trace_opts.clients.max(POLICIES.len());
+    let layout = common::layout("D5", 3);
+    let program = BroadcastProgram::generate(&layout).expect("paper layout is valid");
+    let seeds = seeds_from_base(common::context().base_seed, n_clients);
+    let roster: Vec<(PolicyKind, u64)> = (0..n_clients)
+        .map(|i| (POLICIES[i % POLICIES.len()], seeds[i]))
+        .collect();
+
+    println!(
+        "\n=== trace: D5, Delta=3, {} clients over in-memory bus, journal -> stdout + trace.csv ===",
+        n_clients
+    );
+
+    // Tail the journal while the run executes: poll for new events, print
+    // the first few, and buffer collected rows for the CSV. A free-running
+    // engine emits millions of events per run, so the CSV keeps the first
+    // `CSV_MAX_EVENTS` and the per-kind totals keep counting past the cap.
+    const STDOUT_EVENTS: usize = 24;
+    const CSV_MAX_EVENTS: u64 = 250_000;
+    let done = AtomicBool::new(false);
+    let start_seq = bdisk_obs::journal().head();
+    let (report, results, csv, total, dropped) = crossbeam::scope(|scope| {
+        let done = &done;
+        let tailer = scope.spawn(move |_| {
+            let journal = bdisk_obs::journal();
+            let mut next = start_seq;
+            let mut csv = String::from(EVENT_CSV_HEADER);
+            csv.push('\n');
+            let mut total: u64 = 0;
+            let mut dropped: u64 = 0;
+            let mut printed = 0usize;
+            let mut counts = [0u64; 8];
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let batch = journal.since(next);
+                next = batch.next_seq;
+                dropped += batch.dropped;
+                for ev in &batch.events {
+                    total += 1;
+                    counts[ev.kind as usize & 7] += 1;
+                    if total <= CSV_MAX_EVENTS {
+                        csv.push_str(&render_event_csv_row(ev));
+                        csv.push('\n');
+                    }
+                    if printed < STDOUT_EVENTS {
+                        println!(
+                            "  [{:>6}] {:<18} a={} b={}",
+                            ev.seq,
+                            ev.kind.name(),
+                            ev.a,
+                            ev.b
+                        );
+                        printed += 1;
+                    } else if printed == STDOUT_EVENTS {
+                        println!("  ... (full stream in trace.csv)");
+                        printed += 1;
+                    }
+                }
+                if finished {
+                    return (csv, total, dropped, counts);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let (report, results) = run_bus(scale, &trace_opts, &roster, &layout, &program);
+        done.store(true, Ordering::Release);
+        let (csv, total, dropped, counts) = tailer.join().expect("tailer must not panic");
+
+        println!("\nevent totals over {} collected events:", total);
+        for kind in 0..7u8 {
+            if counts[kind as usize] > 0 {
+                let name = bdisk_obs::EventKind::from_u8(kind)
+                    .map(|k| k.name())
+                    .unwrap_or("?");
+                println!("  {:<18} {}", name, counts[kind as usize]);
+            }
+        }
+        (report, results, csv, total, dropped)
+    })
+    .expect("trace run must not panic");
+
+    if dropped > 0 {
+        println!("  (tailer outran by the ring: {dropped} events overwritten before collection)");
+    }
+    if total > CSV_MAX_EVENTS {
+        println!(
+            "  (trace.csv truncated to the first {CSV_MAX_EVENTS} of {total} collected events)"
+        );
+    }
+    let fleet = aggregate(report, results);
+    println!(
+        "run:    {} slots, {} measured requests, {} events tailed",
+        fleet.engine.slots_sent, fleet.measured_requests, total
+    );
+
+    let dir = common::context().out_dir.as_path();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let path = dir.join("trace.csv");
+        match std::fs::write(&path, csv) {
+            Ok(()) => println!("  -> {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    linger(server, opts.serve_secs);
 }
 
 /// The Figure 13 caching config for one policy.

@@ -12,6 +12,8 @@
 //!   --transport T      live: bus (default, lossless) or tcp
 //!   --clients N        live: concurrent clients (default 16, min 4)
 //!   --page-size N      live/bench: payload bytes per page frame (default 64)
+//!   --metrics-addr A   live/trace: serve GET /metrics and /events on HOST:PORT
+//!   --serve-secs N     live: keep serving metrics N seconds after the run ends
 //!
 //! experiments:
 //!   table1   expected delay of the Figure 2 example programs
@@ -33,6 +35,7 @@
 //!   updates  volatile data / invalidation vs stale reads (extension)
 //!   index    (1,m) air indexing access/tuning tradeoff (extension)
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
+//!   trace    short live run with the event journal tailed to stdout + CSV
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
@@ -104,6 +107,15 @@ fn parse_args() -> (Scale, LiveOptions, Vec<String>) {
                     "--page-size expects a byte count",
                 )
             }
+            "--metrics-addr" => {
+                live_opts.metrics_addr = Some(flag_value(&mut iter, "--metrics-addr"))
+            }
+            "--serve-secs" => {
+                live_opts.serve_secs = parse_or_die(
+                    &flag_value(&mut iter, "--serve-secs"),
+                    "--serve-secs expects a number of seconds",
+                )
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -152,6 +164,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
         "updates" => extensions::updates(scale),
         "index" => extensions::index(scale),
         "live" => live::run(scale, live_opts),
+        "trace" => live::trace(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size),
         "all" => {
             for e in [

@@ -1,0 +1,391 @@
+//! Rendering the registry snapshot as Prometheus text exposition format
+//! and as JSONL, and the event journal as JSON/CSV lines.
+//!
+//! The Prometheus renderer follows the text exposition format 0.0.4:
+//! one `# HELP` and `# TYPE` line per metric *name* (shared across a
+//! labeled family), label values escaped (`\\`, `\"`, `\n`), histograms
+//! expanded into cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`.
+
+use std::fmt::Write as _;
+
+use crate::journal::{Event, EventBatch};
+use crate::registry::{snapshot, MetricSnapshot, SnapshotValue};
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double-quote, and newline are escaped.
+fn escape_label(value: &str, out: &mut String) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(&'static str, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_one(out: &mut String, m: &MetricSnapshot) {
+    match &m.value {
+        SnapshotValue::Counter(v) => {
+            out.push_str(m.name);
+            write_labels(out, &m.labels, None);
+            let _ = writeln!(out, " {v}");
+        }
+        SnapshotValue::Gauge(v) => {
+            out.push_str(m.name);
+            write_labels(out, &m.labels, None);
+            let _ = writeln!(out, " {v}");
+        }
+        SnapshotValue::Histogram(h) => {
+            let mut cumulative = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                let _ = write!(out, "{}_bucket", m.name);
+                let le = bound.to_string();
+                write_labels(out, &m.labels, Some(("le", &le)));
+                let _ = writeln!(out, " {cumulative}");
+            }
+            cumulative += h.counts[h.bounds.len()];
+            let _ = write!(out, "{}_bucket", m.name);
+            write_labels(out, &m.labels, Some(("le", "+Inf")));
+            let _ = writeln!(out, " {cumulative}");
+            let _ = write!(out, "{}_sum", m.name);
+            write_labels(out, &m.labels, None);
+            let _ = writeln!(out, " {}", h.sum);
+            let _ = write!(out, "{}_count", m.name);
+            write_labels(out, &m.labels, None);
+            let _ = writeln!(out, " {}", h.count);
+        }
+    }
+}
+
+fn type_name(v: &SnapshotValue) -> &'static str {
+    match v {
+        SnapshotValue::Counter(_) => "counter",
+        SnapshotValue::Gauge(_) => "gauge",
+        SnapshotValue::Histogram(_) => "histogram",
+    }
+}
+
+/// Renders a list of snapshots as Prometheus text exposition format.
+/// `# HELP`/`# TYPE` headers are emitted once per metric name, with all
+/// series of a labeled family grouped under them.
+pub fn render_prometheus_from(snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut done: Vec<&str> = Vec::new();
+    for m in snaps {
+        if done.contains(&m.name) {
+            continue;
+        }
+        done.push(m.name);
+        let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+        let _ = writeln!(out, "# TYPE {} {}", m.name, type_name(&m.value));
+        for series in snaps.iter().filter(|s| s.name == m.name) {
+            render_one(&mut out, series);
+        }
+    }
+    out
+}
+
+/// Snapshots the process registry and renders it as Prometheus text.
+pub fn render_prometheus() -> String {
+    render_prometheus_from(&snapshot())
+}
+
+fn json_escape(value: &str, out: &mut String) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_labels(out: &mut String, labels: &[(&'static str, String)]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":\"");
+        json_escape(v, out);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Renders a list of snapshots as JSONL: one JSON object per line with
+/// `name`, `type`, `labels`, and a kind-specific `value`.
+pub fn render_jsonl_from(snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snaps {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"type\":\"{}\"",
+            m.name,
+            type_name(&m.value)
+        );
+        out.push_str(",\"labels\":");
+        json_labels(&mut out, &m.labels);
+        match &m.value {
+            SnapshotValue::Counter(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            SnapshotValue::Histogram(h) => {
+                out.push_str(",\"buckets\":[");
+                for (i, b) in h.bounds.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{}]", b, h.counts[i]);
+                }
+                if !h.bounds.is_empty() {
+                    out.push(',');
+                }
+                let _ = write!(out, "[\"+Inf\",{}]", h.counts[h.bounds.len()]);
+                let _ = write!(out, "],\"sum\":{},\"count\":{}", h.sum, h.count);
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Snapshots the process registry and renders it as JSONL.
+pub fn render_jsonl() -> String {
+    render_jsonl_from(&snapshot())
+}
+
+/// Renders one journal event as a JSON object (no trailing newline).
+pub fn render_event_json(e: &Event) -> String {
+    format!(
+        "{{\"seq\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+        e.seq,
+        e.kind.name(),
+        e.a,
+        e.b
+    )
+}
+
+/// Renders a journal batch as a JSON object with the explicit drop count:
+/// `{"dropped":N,"next_seq":N,"events":[...]}`.
+pub fn render_event_batch_json(batch: &EventBatch) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"dropped\":{},\"next_seq\":{},\"events\":[",
+        batch.dropped, batch.next_seq
+    );
+    for (i, e) in batch.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_event_json(e));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// CSV header matching [`render_event_csv_row`].
+pub const EVENT_CSV_HEADER: &str = "seq,kind,a,b";
+
+/// Renders one journal event as a CSV row (no trailing newline).
+pub fn render_event_csv_row(e: &Event) -> String {
+    format!("{},{},{},{}", e.seq, e.kind.name(), e.a, e.b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::EventKind;
+    use crate::registry::HistogramSnapshot;
+
+    fn snap(
+        name: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: SnapshotValue,
+    ) -> MetricSnapshot {
+        MetricSnapshot {
+            name,
+            help: "help text",
+            labels,
+            value,
+        }
+    }
+
+    #[test]
+    fn prometheus_counter_shape_is_pinned() {
+        let snaps = vec![snap(
+            "bd_frames_total",
+            Vec::new(),
+            SnapshotValue::Counter(42),
+        )];
+        let text = render_prometheus_from(&snaps);
+        assert_eq!(
+            text,
+            "# HELP bd_frames_total help text\n\
+             # TYPE bd_frames_total counter\n\
+             bd_frames_total 42\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_labeled_family_shares_headers() {
+        let snaps = vec![
+            snap(
+                "bd_queue_depth",
+                vec![("shard", "0".to_string())],
+                SnapshotValue::Gauge(3),
+            ),
+            snap(
+                "bd_queue_depth",
+                vec![("shard", "1".to_string())],
+                SnapshotValue::Gauge(5),
+            ),
+        ];
+        let text = render_prometheus_from(&snaps);
+        assert_eq!(
+            text,
+            "# HELP bd_queue_depth help text\n\
+             # TYPE bd_queue_depth gauge\n\
+             bd_queue_depth{shard=\"0\"} 3\n\
+             bd_queue_depth{shard=\"1\"} 5\n"
+        );
+        assert_eq!(
+            text.matches("# TYPE bd_queue_depth").count(),
+            1,
+            "one TYPE line per family"
+        );
+    }
+
+    #[test]
+    fn prometheus_label_escaping_is_pinned() {
+        let snaps = vec![snap(
+            "bd_weird",
+            vec![("path", "a\\b\"c\nd".to_string())],
+            SnapshotValue::Counter(1),
+        )];
+        let text = render_prometheus_from(&snaps);
+        assert!(
+            text.contains("bd_weird{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            "escaped output was: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf() {
+        static BOUNDS: &[u64] = &[1, 4];
+        let h = HistogramSnapshot {
+            bounds: BOUNDS,
+            counts: vec![2, 3, 1], // <=1: 2, <=4: 3, +Inf: 1
+            sum: 17,
+            count: 6,
+        };
+        let snaps = vec![snap("bd_lat", Vec::new(), SnapshotValue::Histogram(h))];
+        let text = render_prometheus_from(&snaps);
+        assert_eq!(
+            text,
+            "# HELP bd_lat help text\n\
+             # TYPE bd_lat histogram\n\
+             bd_lat_bucket{le=\"1\"} 2\n\
+             bd_lat_bucket{le=\"4\"} 5\n\
+             bd_lat_bucket{le=\"+Inf\"} 6\n\
+             bd_lat_sum 17\n\
+             bd_lat_count 6\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_renders_one_object_per_line() {
+        static BOUNDS: &[u64] = &[2];
+        let snaps = vec![
+            snap("bd_c", Vec::new(), SnapshotValue::Counter(7)),
+            snap(
+                "bd_h",
+                vec![("disk", "0".to_string())],
+                SnapshotValue::Histogram(HistogramSnapshot {
+                    bounds: BOUNDS,
+                    counts: vec![1, 2],
+                    sum: 9,
+                    count: 3,
+                }),
+            ),
+        ];
+        let text = render_jsonl_from(&snaps);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"bd_c\",\"type\":\"counter\",\"labels\":{},\"value\":7}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"name\":\"bd_h\",\"type\":\"histogram\",\"labels\":{\"disk\":\"0\"},\
+             \"buckets\":[[2,1],[\"+Inf\",2]],\"sum\":9,\"count\":3}"
+        );
+    }
+
+    #[test]
+    fn event_renderers_are_pinned() {
+        let e = Event {
+            seq: 5,
+            kind: EventKind::CacheEvict,
+            a: 2,
+            b: 99,
+        };
+        assert_eq!(
+            render_event_json(&e),
+            "{\"seq\":5,\"kind\":\"cache_evict\",\"a\":2,\"b\":99}"
+        );
+        assert_eq!(render_event_csv_row(&e), "5,cache_evict,2,99");
+        let batch = EventBatch {
+            events: vec![e],
+            dropped: 3,
+            next_seq: 6,
+        };
+        assert_eq!(
+            render_event_batch_json(&batch),
+            "{\"dropped\":3,\"next_seq\":6,\"events\":[\
+             {\"seq\":5,\"kind\":\"cache_evict\",\"a\":2,\"b\":99}]}"
+        );
+    }
+}

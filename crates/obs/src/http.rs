@@ -1,0 +1,231 @@
+//! A minimal `std::net` HTTP/1.1 endpoint serving the metrics registry
+//! and the event journal.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the registry as Prometheus text exposition format;
+//! * `GET /metrics/json` — the registry as JSONL;
+//! * `GET /events?since=SEQ` — journal events at or after `SEQ` as a JSON
+//!   object with an explicit `dropped` count and a `next_seq` cursor.
+//!
+//! The server is deliberately tiny: one accept thread, one short-lived
+//! handler thread per connection, `Connection: close` on every response.
+//! It exists to be scraped by `curl`/Prometheus during a live run, not to
+//! be a web framework. Serving is entirely off the broadcast hot path —
+//! a scrape snapshots the registry under a registry lock held only by
+//! registration (never by recording).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::expo::{render_event_batch_json, render_jsonl, render_prometheus};
+use crate::journal::journal;
+
+/// A running metrics HTTP server. Dropping it (or calling
+/// [`MetricsServer::stop`]) shuts the listener down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`) and starts serving.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("obs-http".into())
+            .spawn(move || accept_loop(listener, accept_stop))
+            .expect("spawn obs-http thread");
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Short-lived handler; a hung client can't wedge the accept loop.
+        let _ = std::thread::Builder::new()
+            .name("obs-http-conn".into())
+            .spawn(move || handle_connection(stream));
+    }
+}
+
+fn handle_connection(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers until the blank line; we only route on the request line.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut stream = stream;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let body = render_prometheus();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/metrics/json" => {
+            let body = render_jsonl();
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        "/events" => {
+            let since = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("since="))
+                        .and_then(|v| v.parse::<u64>().ok())
+                })
+                .unwrap_or(0);
+            let body = render_event_batch_json(&journal().since(since));
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_events_and_404() {
+        let _g = crate::test_switch_guard();
+        let c = crate::registry::counter("obs_test_http_total", "http test counter");
+        c.add(3);
+        crate::set_tracing_enabled(true);
+        crate::journal::event(crate::journal::EventKind::SlotTick, 1, 2);
+        crate::set_tracing_enabled(false);
+
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("# TYPE obs_test_http_total counter"),
+            "{body}"
+        );
+
+        let (status, body) = get(addr, "/metrics/json");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"name\":\"obs_test_http_total\""), "{body}");
+
+        let (status, body) = get(addr, "/events?since=0");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"dropped\":"), "{body}");
+        assert!(body.contains("\"kind\":\"slot_tick\""), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the sharded-metric merge math: merging per-shard
+//! snapshots must be order-independent and must equal recording the same
+//! stream unsharded. This is what makes the registry's sharding a pure
+//! performance trick — no observable effect on reported values.
+
+use bdisk_obs::registry::{Counter, Histogram, HistogramSnapshot, SHARDS};
+use proptest::prelude::*;
+
+/// Bounds shared by every histogram in these tests (`'static` as the
+/// registry requires).
+static BOUNDS: &[u64] = &[1, 4, 16, 64, 256];
+
+/// Records `values` into fresh per-"shard" snapshots per `assignment`,
+/// then merges them in the given `order`.
+fn merged_in_order(values: &[u64], assignment: &[usize], order: &[usize]) -> HistogramSnapshot {
+    // Build SHARDS standalone histograms standing in for per-shard state
+    // (each recorded from one thread here, so all writes land in one
+    // shard of each standalone histogram; snapshot() collapses them).
+    let shards: Vec<Histogram> = (0..SHARDS)
+        .map(|_| Histogram::with_bounds(BOUNDS))
+        .collect();
+    for (v, &s) in values.iter().zip(assignment) {
+        shards[s % SHARDS].record(*v);
+    }
+    let snaps: Vec<HistogramSnapshot> = shards.iter().map(|h| h.snapshot()).collect();
+    let mut out = snaps[order[0] % SHARDS].clone();
+    let mut taken = [false; SHARDS];
+    taken[order[0] % SHARDS] = true;
+    for &o in &order[1..] {
+        let idx = o % SHARDS;
+        if !taken[idx] {
+            taken[idx] = true;
+            out.merge(&snaps[idx]);
+        }
+    }
+    for (idx, t) in taken.iter().enumerate() {
+        if !t {
+            out.merge(&snaps[idx]);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// A sharded counter's total equals the unsharded sum no matter how
+    /// the adds are spread across threads.
+    #[test]
+    fn counter_shards_sum_to_unsharded(adds in proptest::collection::vec(0u64..1000, 1..64)) {
+        let sharded = Counter::new();
+        let expected: u64 = adds.iter().sum();
+        // Spread the adds over several threads so multiple shards engage.
+        std::thread::scope(|scope| {
+            for chunk in adds.chunks(8) {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for &n in chunk {
+                        sharded.add(n);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(sharded.value(), expected);
+        prop_assert_eq!(sharded.shard_values().iter().sum::<u64>(), expected);
+    }
+
+    /// Merging per-shard histogram snapshots gives the same result in any
+    /// merge order, and equals recording the whole stream unsharded.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        values in proptest::collection::vec(0u64..1000, 1..128),
+        assignment in proptest::collection::vec(0usize..SHARDS, 128),
+        order_a in proptest::collection::vec(0usize..SHARDS, SHARDS),
+        order_b in proptest::collection::vec(0usize..SHARDS, SHARDS),
+    ) {
+        let merged_a = merged_in_order(&values, &assignment, &order_a);
+        let merged_b = merged_in_order(&values, &assignment, &order_b);
+        prop_assert_eq!(&merged_a, &merged_b, "merge order changed the result");
+
+        let unsharded = Histogram::with_bounds(BOUNDS);
+        for &v in &values {
+            unsharded.record(v);
+        }
+        let expected = unsharded.snapshot();
+        prop_assert_eq!(&merged_a, &expected, "sharding changed the recorded totals");
+    }
+
+    /// A histogram recorded from genuinely concurrent threads still
+    /// snapshots to exactly the sequential totals.
+    #[test]
+    fn concurrent_histogram_equals_sequential(
+        values in proptest::collection::vec(0u64..500, 1..96),
+    ) {
+        let concurrent = Histogram::with_bounds(BOUNDS);
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(16) {
+                let concurrent = &concurrent;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        concurrent.record(v);
+                    }
+                });
+            }
+        });
+        let sequential = Histogram::with_bounds(BOUNDS);
+        for &v in &values {
+            sequential.record(v);
+        }
+        prop_assert_eq!(concurrent.snapshot(), sequential.snapshot());
+    }
+}

@@ -50,6 +50,7 @@ pub mod config;
 pub mod core;
 pub mod metrics;
 pub mod model;
+pub mod obs;
 pub mod population;
 pub mod prefetch;
 pub mod runner;
@@ -60,6 +61,7 @@ pub use config::{SimConfig, SimError};
 pub use core::ClientCore;
 pub use metrics::{AccessLocation, Measurements, SimOutcome};
 pub use model::{simulate, simulate_program, ClientModel};
+pub use obs::register_metrics;
 pub use population::{simulate_population, ClientSpec, PopulationOutcome};
 pub use prefetch::simulate_prefetch;
 pub use runner::{

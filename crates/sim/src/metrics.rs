@@ -27,6 +27,8 @@ pub struct SimOutcome {
     pub p50: f64,
     /// Response-time 95th percentile.
     pub p95: f64,
+    /// Response-time 99th percentile (the tail the mean hides).
+    pub p99: f64,
     /// Largest observed response time.
     pub max_response_time: f64,
     /// Requests measured after warm-up.
@@ -73,6 +75,9 @@ impl Measurements {
             AccessLocation::Cache => self.locations.bump(0),
             AccessLocation::Disk(d) => self.locations.bump(d + 1),
         }
+        let m = crate::obs::metrics();
+        m.requests.inc();
+        m.response_time.record(response as u64);
     }
 
     /// Summarizes the run into a [`SimOutcome`].
@@ -85,6 +90,7 @@ impl Measurements {
             access_fractions: self.locations.fractions(),
             p50: self.hist.quantile(0.5).unwrap_or(0.0),
             p95: self.hist.quantile(0.95).unwrap_or(0.0),
+            p99: self.hist.quantile(0.99).unwrap_or(0.0),
             max_response_time: self.stats.max().unwrap_or(0.0),
             measured_requests: self.stats.count(),
             end_time,
@@ -109,6 +115,8 @@ mod tests {
         assert_eq!(out.hit_rate, 0.25);
         assert_eq!(out.access_fractions, vec![0.25, 0.25, 0.0, 0.5]);
         assert_eq!(out.max_response_time, 30.0);
+        assert!(out.p50 <= out.p95 && out.p95 <= out.p99);
+        assert_eq!(out.p99, 30.0);
         assert_eq!(out.end_time, 123.0);
         assert!(out.ci_half_width.is_some());
     }

@@ -167,7 +167,12 @@ pub fn simulate_program(
     executor.spawn_at(Time::ZERO, client);
     executor.run_to_completion();
     let mut states = executor.into_states();
-    Ok(states.remove(0).into_outcome())
+    let outcome = states.remove(0).into_outcome();
+    let m = crate::obs::metrics();
+    m.runs.inc();
+    m.measured_requests.add(outcome.measured_requests);
+    m.virtual_time.set_max(outcome.end_time as i64);
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -278,7 +283,8 @@ mod tests {
         let layout = DiskLayout::with_delta(&[50, 450], 3).unwrap();
         let out = simulate(&small_cfg(), &layout, 8).unwrap();
         assert!(out.p50 <= out.p95);
-        assert!(out.p95 <= out.max_response_time + 1.0);
+        assert!(out.p95 <= out.p99);
+        assert!(out.p99 <= out.max_response_time + 1.0);
         assert!(out.max_response_time <= layout.total_pages() as f64 * 4.0);
     }
 

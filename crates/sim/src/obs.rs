@@ -1,0 +1,60 @@
+//! Simulator telemetry: request throughput, response-time distribution,
+//! and run-level progress.
+//!
+//! The per-request metrics are recorded inside [`crate::Measurements`], so
+//! they cover every driver of [`crate::ClientCore`] — the discrete-event
+//! simulator *and* the live engine's clients — with one instrumentation
+//! point. Run-level metrics (`bd_sim_runs_total`, `bd_sim_virtual_time`)
+//! are fed by [`crate::simulate_program`].
+
+use std::sync::OnceLock;
+
+use bdisk_obs::registry::{self, Counter, Gauge, Histogram, RESPONSE_BOUNDS};
+
+/// Simulator-layer metric handles.
+pub(crate) struct SimMetrics {
+    /// `bd_sim_requests_total`
+    pub requests: &'static Counter,
+    /// `bd_sim_response_time`
+    pub response_time: &'static Histogram,
+    /// `bd_sim_runs_total`
+    pub runs: &'static Counter,
+    /// `bd_sim_measured_requests_total`
+    pub measured_requests: &'static Counter,
+    /// `bd_sim_virtual_time`
+    pub virtual_time: &'static Gauge,
+}
+
+pub(crate) fn metrics() -> &'static SimMetrics {
+    static M: OnceLock<SimMetrics> = OnceLock::new();
+    M.get_or_init(|| SimMetrics {
+        requests: registry::counter(
+            "bd_sim_requests_total",
+            "Measured client requests recorded (simulated and live)",
+        ),
+        response_time: registry::histogram(
+            "bd_sim_response_time",
+            "Measured response times in broadcast units",
+            RESPONSE_BOUNDS,
+        ),
+        runs: registry::counter(
+            "bd_sim_runs_total",
+            "Completed discrete-event simulation runs",
+        ),
+        measured_requests: registry::counter(
+            "bd_sim_measured_requests_total",
+            "Requests measured by completed simulation runs",
+        ),
+        virtual_time: registry::gauge(
+            "bd_sim_virtual_time",
+            "Largest virtual end time reached by any completed run, in broadcast units",
+        ),
+    })
+}
+
+/// Eagerly registers the simulator metrics (idempotent); call when starting
+/// a metrics server so `/metrics` shows the `bd_sim_*` family before
+/// traffic.
+pub fn register_metrics() {
+    let _ = metrics();
+}
