@@ -43,6 +43,7 @@ use std::thread::JoinHandle;
 use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
+use crate::faults::{FaultCounts, FaultInjector, FaultPlan, InjectedFrame};
 use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
 
 /// Process-wide queue-id source, so journal events can name the subscriber
@@ -295,6 +296,10 @@ pub struct InMemoryBus {
     /// Subscribers registered minus disconnects observed at flushes.
     active: usize,
     fanout: Fanout,
+    /// When set, the channel fault choke point for every broadcast slot.
+    injector: Option<FaultInjector>,
+    /// Reusable injector output buffer (fault path only).
+    fault_out: Vec<InjectedFrame>,
 }
 
 /// Delivers one batch to every queue, evicting in place (`swap_remove`, no
@@ -392,7 +397,26 @@ impl InMemoryBus {
             pending: Vec::with_capacity(tuning.batch),
             active: 0,
             fanout,
+            injector: None,
+            fault_out: Vec::new(),
         }
+    }
+
+    /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
+    /// this bus's broadcasts run under. A zero plan leaves the broadcast
+    /// path bit-identical — and allocation-identical — to never having
+    /// called this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Faults injected so far (zero when no plan is installed).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
     }
 
     /// Adds a subscriber; call before starting the engine (frames sent
@@ -479,7 +503,24 @@ impl InMemoryBus {
 
 impl Transport for InMemoryBus {
     fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
-        self.pending.push(frame);
+        if let Some(mut injector) = self.injector.take() {
+            let mut out = std::mem::take(&mut self.fault_out);
+            out.clear();
+            injector.step(frame, &mut out);
+            self.injector = Some(injector);
+            for injected in out.drain(..) {
+                // The bus has no wire encoding, so in-flight bit damage is
+                // modeled at its observable effect: the receiver's CRC
+                // check discards the frame, i.e. it is withheld here. A
+                // client sees the identical sequence gap either way.
+                if injected.corrupt.is_none() {
+                    self.pending.push(injected.frame);
+                }
+            }
+            self.fault_out = out;
+        } else {
+            self.pending.push(frame);
+        }
         if self.pending.len() >= self.batch {
             self.flush()
         } else {
@@ -676,6 +717,38 @@ mod tests {
         assert_eq!(second.max_queue, 2);
         bus.finish();
         assert_eq!(consumer.join().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn erasure_plan_withholds_exactly_the_planned_slots() {
+        use crate::faults::ChannelFault;
+        let plan = FaultPlan::erasure_only(21, 0.25);
+        let mut bus = InMemoryBus::new(64, Backpressure::Block);
+        bus.set_fault_plan(plan);
+        let sub = bus.subscribe();
+        for seq in 0..40 {
+            bus.broadcast(frame(seq));
+        }
+        bus.finish();
+        let expect: Vec<u64> = (0..40)
+            .filter(|&s| plan.channel_fault(s) == ChannelFault::Deliver)
+            .collect();
+        assert!(expect.len() < 40, "seed must erase something");
+        assert_eq!(drain(sub), expect);
+        assert_eq!(bus.fault_counts().erased, 40 - expect.len() as u64);
+    }
+
+    #[test]
+    fn none_plan_is_inert() {
+        let mut bus = InMemoryBus::new(16, Backpressure::Block);
+        bus.set_fault_plan(FaultPlan::none());
+        let sub = bus.subscribe();
+        for seq in 0..5 {
+            bus.broadcast(frame(seq));
+        }
+        bus.finish();
+        assert_eq!(drain(sub), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bus.fault_counts(), FaultCounts::default());
     }
 
     #[test]

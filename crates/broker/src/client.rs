@@ -7,6 +7,7 @@
 //! response times are directly comparable to — and, on a lossless feed with
 //! jitter-free think times, bit-identical to — the simulator's.
 
+use bdisk_obs::journal::{event, EventKind};
 use bdisk_sched::{BroadcastProgram, DiskLayout, PageId, Slot};
 use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
 
@@ -22,6 +23,21 @@ pub struct LiveClientResult {
     pub measurements: Measurements,
     /// Frames this client consumed before finishing.
     pub frames_seen: u64,
+    /// Contiguous frame-sequence gaps this client observed (lost frames,
+    /// however caused: erasure, CRC discard, or an outage).
+    pub gaps: u64,
+    /// Total slots swallowed by those gaps.
+    pub gap_slots: u64,
+    /// Stale (reordered/delayed) frames discarded because virtual time
+    /// never rewinds.
+    pub late_frames: u64,
+    /// Pending pages whose broadcast was lost and that were recovered at a
+    /// later periodic broadcast.
+    pub recoveries: u64,
+    /// Longest recovery wait (slots from the lost broadcast to the
+    /// periodic reappearance that recovered it). At most one broadcast
+    /// period per consecutive loss of the same page.
+    pub max_recovery_wait: u64,
 }
 
 /// One client of the live broadcast: seeded request stream, cache policy,
@@ -33,6 +49,16 @@ pub struct LiveClient {
     next_due: f64,
     /// A missed request waiting for its page: `(page, requested_at)`.
     pending: Option<(PageId, f64)>,
+    /// The slot at which the pending page's broadcast was lost in a gap,
+    /// if it was — the anchor for recovery-wait accounting.
+    pending_missed_at: Option<u64>,
+    /// Next frame sequence this client expects (`None` before any frame).
+    expected_seq: Option<u64>,
+    gaps: u64,
+    gap_slots: u64,
+    late_frames: u64,
+    recoveries: u64,
+    max_recovery_wait: u64,
     done: bool,
     end_time: f64,
     frames_seen: u64,
@@ -53,6 +79,13 @@ impl LiveClient {
             program,
             next_due: 0.0,
             pending: None,
+            pending_missed_at: None,
+            expected_seq: None,
+            gaps: 0,
+            gap_slots: 0,
+            late_frames: 0,
+            recoveries: 0,
+            max_recovery_wait: 0,
             done: false,
             end_time: 0.0,
             frames_seen: 0,
@@ -63,12 +96,21 @@ impl LiveClient {
     /// target is reached (further frames are ignored).
     ///
     /// The protocol per frame, in order:
-    /// 1. If a missed request is pending and this slot carries its page,
+    /// 1. Resync on the frame's absolute sequence number: a jump forward is
+    ///    a *gap* (lost frames — erased, CRC-discarded, or an outage); a
+    ///    jump backward is a stale reordered frame and is dropped, because
+    ///    virtual time never rewinds.
+    /// 2. If a missed request is pending and this slot carries its page,
     ///    complete it (response = now − request time) and schedule the next
     ///    request after the think time.
-    /// 2. Issue every request that has come due by now. Cache hits complete
+    /// 3. Issue every request that has come due by now. Cache hits complete
     ///    immediately (response 0, as in the simulator); a miss satisfied by
     ///    this very slot completes now; any other miss becomes pending.
+    ///
+    /// Recovery is the paper's: nothing is retransmitted. A client whose
+    /// pending page was lost in a gap simply keeps listening — the page
+    /// comes around again within one broadcast period, and the extra wait
+    /// is attributed to loss (`bd_recovery_wait_slots`, `Recovery` event).
     pub fn on_frame(&mut self, frame: &Frame) -> bool {
         if self.done {
             return true;
@@ -76,6 +118,35 @@ impl LiveClient {
         self.frames_seen += 1;
         crate::obs::client().frames_seen.inc();
         let (seq, slot) = (frame.seq, frame.slot);
+        if let Some(expected) = self.expected_seq {
+            if seq < expected {
+                self.late_frames += 1;
+                return false;
+            }
+            if seq > expected {
+                let gap_len = seq - expected;
+                self.gaps += 1;
+                self.gap_slots += gap_len;
+                crate::obs::recovery().gaps.inc();
+                event(EventKind::FrameGap, expected, gap_len);
+                if let Some((page, _)) = self.pending {
+                    if self.pending_missed_at.is_none() {
+                        // Did the gap swallow the pending page's broadcast?
+                        // Every page airs at least once per period, so
+                        // scanning the gap's first period of slots finds
+                        // the earliest lost occurrence if there is one.
+                        let scan_end = (expected + self.program.period() as u64).min(seq);
+                        for s in expected..scan_end {
+                            if self.program.slot_at(s) == Slot::Page(page) {
+                                self.pending_missed_at = Some(s);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.expected_seq = Some(seq + 1);
         let t = seq as f64;
 
         if let Some((page, requested_at)) = self.pending {
@@ -112,6 +183,16 @@ impl LiveClient {
 
     /// Completes a missed request with the page arriving at time `t`.
     fn receive(&mut self, page: PageId, requested_at: f64, t: f64) -> bool {
+        if let Some(missed) = self.pending_missed_at.take() {
+            // The page's earlier broadcast was lost; this periodic
+            // reappearance is the recovery. Attribute the extra wait.
+            let wait = (t as u64).saturating_sub(missed);
+            self.recoveries += 1;
+            self.max_recovery_wait = self.max_recovery_wait.max(wait);
+            crate::obs::recovery().recovery_wait.record(wait);
+            bdisk_cache::obs::record_loss_delayed_miss();
+            event(EventKind::Recovery, page.0 as u64, wait);
+        }
         self.core.insert(page, t);
         let disk = self.program.disk_of(page);
         if self
@@ -156,6 +237,16 @@ impl LiveClient {
         self.core.measuring()
     }
 
+    /// Contiguous frame-sequence gaps observed so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Loss-delayed recoveries completed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
     /// Consumes the client, producing its results.
     pub fn into_results(self) -> LiveClientResult {
         let frames_seen = self.frames_seen;
@@ -164,6 +255,11 @@ impl LiveClient {
             outcome,
             measurements,
             frames_seen,
+            gaps: self.gaps,
+            gap_slots: self.gap_slots,
+            late_frames: self.late_frames,
+            recoveries: self.recoveries,
+            max_recovery_wait: self.max_recovery_wait,
         }
     }
 }
@@ -219,6 +315,85 @@ mod tests {
             assert_eq!(out.end_time, sim.end_time, "{policy:?} end time diverged");
             assert_eq!(out.access_fractions, sim.access_fractions);
         }
+    }
+
+    /// Satellite: a dropped frame produces exactly one gap event — a
+    /// contiguous run of lost slots is one gap (of that length), not one
+    /// gap per slot, and a stale reordered frame is not a gap at all.
+    #[test]
+    fn dropped_frame_produces_exactly_one_gap() {
+        let (cfg, layout, program) = setup(PolicyKind::Lru);
+        let mut live = LiveClient::new(&cfg, &layout, program.clone(), 7).unwrap();
+        let f = |seq: u64| Frame::bare(seq, program.slot_at(seq));
+
+        live.on_frame(&f(0));
+        live.on_frame(&f(1));
+        assert_eq!(live.gaps(), 0);
+
+        live.on_frame(&f(3)); // slot 2 lost: one gap of one slot
+        assert_eq!(live.gaps(), 1);
+
+        live.on_frame(&f(7)); // slots 4..6 lost: ONE gap of three slots
+        assert_eq!(live.gaps(), 2);
+
+        live.on_frame(&f(5)); // stale reordered frame: dropped, no gap
+        assert_eq!(live.gaps(), 2);
+
+        live.on_frame(&f(8)); // back in sequence: no gap
+        assert_eq!(live.gaps(), 2);
+
+        let results = live.into_results();
+        assert_eq!(results.gaps, 2);
+        assert_eq!(results.gap_slots, 1 + 3);
+        assert_eq!(results.late_frames, 1);
+    }
+
+    /// A gap that swallows the pending page's broadcast is recovered at
+    /// the page's next periodic appearance, and the wait is attributed.
+    #[test]
+    fn lost_pending_page_recovers_at_next_period() {
+        let (cfg, layout, program) = setup(PolicyKind::Lru);
+        let period = program.period() as u64;
+        let mut live = LiveClient::new(&cfg, &layout, program.clone(), 7).unwrap();
+
+        // Walk frames until a request goes pending on some page, then find
+        // that page's next broadcast slot and skip past it (lose it).
+        let mut seq = 0u64;
+        let lost_at = loop {
+            assert!(
+                !live.on_frame(&Frame::bare(seq, program.slot_at(seq))),
+                "client finished before a miss went pending"
+            );
+            if let Some((page, _)) = live.pending {
+                let miss = (seq + 1..seq + 1 + period)
+                    .find(|&s| program.slot_at(s) == Slot::Page(page))
+                    .expect("page airs within one period");
+                break miss;
+            }
+            seq += 1;
+            assert!(seq < 10_000_000, "no request ever went pending");
+        };
+
+        // Resume the feed just past the lost broadcast.
+        let mut t = lost_at + 1;
+        while live.recoveries() == 0 {
+            live.on_frame(&Frame::bare(t, program.slot_at(t)));
+            t += 1;
+            assert!(
+                t < lost_at + 2 + 2 * period,
+                "pending page not recovered within the next period"
+            );
+        }
+        let results = live.into_results();
+        assert_eq!(results.recoveries, 1);
+        assert!(results.max_recovery_wait >= 1);
+        assert!(
+            results.max_recovery_wait <= period,
+            "single lost broadcast must recover within one period \
+             (waited {} of period {})",
+            results.max_recovery_wait,
+            period
+        );
     }
 
     #[test]

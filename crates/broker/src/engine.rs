@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use bdisk_obs::journal::{event, EventKind};
 use bdisk_sched::{BroadcastProgram, Slot};
 
+use crate::faults::{FaultPlan, FAULT_CODE_OVERRUN};
 use crate::transport::{DeliveryStats, PagePayloads, Transport};
 
 /// Engine run parameters.
@@ -18,10 +19,25 @@ pub struct EngineConfig {
     pub slot_duration: Duration,
     /// Stop early once every client has disconnected (or finished).
     pub stop_when_no_clients: bool,
+    /// With [`Self::stop_when_no_clients`], keep broadcasting this many
+    /// consecutive zero-client slots before actually stopping. Under fault
+    /// plans that kill connections, a momentarily empty client set is
+    /// usually a fleet mid-reconnect — the slot clock must keep ticking so
+    /// rejoining clients resync into an unperturbed schedule. 0 (the
+    /// default) stops at the first zero-client observation, the pre-fault
+    /// behavior.
+    pub no_client_grace_slots: u64,
     /// Bytes of page payload carried by each page frame (`PageSize`,
     /// paper Table 2). Payloads are generated once per run and shared by
     /// refcount across every subscriber. 0 sends bare frames.
     pub page_size: usize,
+    /// Engine-level fault schedule: only the `overrun` rate applies here
+    /// (channel faults live in the transport's injector — see
+    /// `InMemoryBus::set_fault_plan` / `TcpTransport::set_fault_plan`).
+    /// An overrun slot is broadcast one extra slot-duration late; slot
+    /// deadlines are absolute (`start + seq * slot_duration`), so the
+    /// delay never accumulates into clock drift.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -30,7 +46,9 @@ impl Default for EngineConfig {
             max_slots: u64::MAX,
             slot_duration: Duration::ZERO,
             stop_when_no_clients: true,
+            no_client_grace_slots: 0,
             page_size: 64,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -52,6 +70,8 @@ pub struct EngineReport {
     pub bytes_sent: u64,
     /// Largest per-client backlog observed at any point (frames).
     pub max_client_lag: usize,
+    /// Slot deadlines overrun by injected engine faults.
+    pub overruns: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Broadcast rate actually achieved.
@@ -96,6 +116,8 @@ impl BroadcastEngine {
         let start = Instant::now();
         let mut totals = DeliveryStats::default();
         let mut slots_sent = 0u64;
+        let mut overruns = 0u64;
+        let mut no_client_slots = 0u64;
         let m = crate::obs::engine();
         // One payload buffer per page for the whole run; every frame (and
         // every subscriber) shares it by refcount.
@@ -105,8 +127,15 @@ impl BroadcastEngine {
             if seq >= self.cfg.max_slots {
                 break;
             }
-            if self.cfg.stop_when_no_clients && transport.active_clients() == 0 {
-                break;
+            if self.cfg.stop_when_no_clients {
+                if transport.active_clients() == 0 {
+                    if no_client_slots >= self.cfg.no_client_grace_slots {
+                        break;
+                    }
+                    no_client_slots += 1;
+                } else {
+                    no_client_slots = 0;
+                }
             }
             if !self.cfg.slot_duration.is_zero() {
                 let deadline = start + self.cfg.slot_duration * seq as u32;
@@ -114,6 +143,20 @@ impl BroadcastEngine {
                 if deadline > now {
                     std::thread::sleep(deadline - now);
                 }
+            }
+            if self.cfg.fault_plan.overrun_at(seq) {
+                // Miss this slot's deadline by one slot duration (a fixed
+                // sliver when free-running). Deadlines are absolute, so
+                // later slots re-align instead of inheriting the drift.
+                overruns += 1;
+                crate::faults::metrics().overruns.inc();
+                event(EventKind::FaultInjected, seq, FAULT_CODE_OVERRUN);
+                let stall = if self.cfg.slot_duration.is_zero() {
+                    Duration::from_micros(100)
+                } else {
+                    self.cfg.slot_duration
+                };
+                std::thread::sleep(stall);
             }
             let stats = transport.broadcast(payloads.frame(seq, slot));
             m.slots.inc();
@@ -147,6 +190,7 @@ impl BroadcastEngine {
             clients_disconnected: totals.disconnected,
             bytes_sent: totals.bytes,
             max_client_lag: totals.max_queue,
+            overruns,
             elapsed,
             slots_per_sec: if elapsed.as_secs_f64() > 0.0 {
                 slots_sent as f64 / elapsed.as_secs_f64()
@@ -229,6 +273,51 @@ mod tests {
         }
         assert_eq!(report.bytes_sent, bytes);
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn grace_slots_keep_broadcasting_through_zero_clients() {
+        let engine = BroadcastEngine::new(
+            program(),
+            EngineConfig {
+                no_client_grace_slots: 5,
+                ..EngineConfig::default()
+            },
+        );
+        // No subscribers at all: the engine still ticks out the grace
+        // window before concluding the fleet is gone for good.
+        let mut bus = InMemoryBus::new(4, Backpressure::DropNewest);
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, 5);
+        assert_eq!(report.overruns, 0);
+    }
+
+    #[test]
+    fn overruns_delay_slots_without_drifting_the_clock() {
+        use crate::faults::FaultPlan;
+        let engine = BroadcastEngine::new(
+            program(),
+            EngineConfig {
+                max_slots: 10,
+                slot_duration: Duration::from_millis(1),
+                stop_when_no_clients: false,
+                fault_plan: FaultPlan {
+                    seed: 9,
+                    overrun: 1.0,
+                    ..FaultPlan::none()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let mut bus = InMemoryBus::new(64, Backpressure::DropNewest);
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, 10);
+        assert_eq!(report.overruns, 10);
+        // Every slot stalls one extra slot-duration past its absolute
+        // deadline, but deadlines never compound: the run takes about 2x
+        // the schedule, not quadratically more.
+        assert!(report.elapsed >= Duration::from_millis(10));
+        assert!(report.elapsed < Duration::from_millis(250));
     }
 
     #[test]

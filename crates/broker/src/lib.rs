@@ -39,6 +39,7 @@
 pub mod bus;
 pub mod client;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod obs;
 pub mod tcp;
@@ -47,7 +48,8 @@ pub mod transport;
 pub use bus::{BusSubscription, BusTuning, InMemoryBus};
 pub use client::{LiveClient, LiveClientResult};
 pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
+pub use faults::{crc32, ChannelFault, FaultCounts, FaultInjector, FaultPlan};
 pub use metrics::{aggregate, LiveReport};
 pub use obs::register_metrics;
-pub use tcp::{TcpFrameReader, TcpTransport, TcpTransportConfig};
-pub use transport::{Backpressure, DeliveryStats, Frame, PagePayloads, Transport};
+pub use tcp::{ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport, TcpTransportConfig};
+pub use transport::{Backpressure, DeliveryStats, Frame, FrameError, PagePayloads, Transport};

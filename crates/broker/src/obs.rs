@@ -187,13 +187,53 @@ pub(crate) fn client() -> &'static ClientMetrics {
     })
 }
 
-/// Eagerly registers every broker metric (engine, bus, TCP, client) so a
-/// scrape of `/metrics` shows the full inventory before traffic arrives.
-/// Idempotent; call when starting a metrics server.
+/// Loss-recovery metrics: wire damage detected, gaps observed, reconnects
+/// survived, and how long recoveries waited for the next broadcast.
+pub(crate) struct RecoveryMetrics {
+    /// `bd_frames_corrupt_total`
+    pub frames_corrupt: &'static Counter,
+    /// `bd_reconnects_total`
+    pub reconnects: &'static Counter,
+    /// `bd_frame_gaps_total`
+    pub gaps: &'static Counter,
+    /// `bd_recovery_wait_slots`
+    pub recovery_wait: &'static Histogram,
+}
+
+pub(crate) fn recovery() -> &'static RecoveryMetrics {
+    static M: OnceLock<RecoveryMetrics> = OnceLock::new();
+    M.get_or_init(|| RecoveryMetrics {
+        frames_corrupt: registry::counter(
+            "bd_frames_corrupt_total",
+            "Frames discarded by receivers after CRC verification failed",
+        ),
+        reconnects: registry::counter(
+            "bd_reconnects_total",
+            "Client feed reconnects completed after a lost connection",
+        ),
+        gaps: registry::counter(
+            "bd_frame_gaps_total",
+            "Contiguous frame-sequence gaps detected by live clients",
+        ),
+        recovery_wait: registry::histogram(
+            "bd_recovery_wait_slots",
+            "Slots a client waited from a missed broadcast of a pending page \
+             to the next periodic broadcast that recovered it",
+            registry::RESPONSE_BOUNDS,
+        ),
+    })
+}
+
+/// Eagerly registers every broker metric (engine, bus, TCP, client, fault
+/// injection, loss recovery) so a scrape of `/metrics` shows the full
+/// inventory before traffic arrives. Idempotent; call when starting a
+/// metrics server.
 pub fn register_metrics() {
     let _ = engine();
     let _ = bus();
     let _ = tcp();
     let _ = client();
     let _ = shard_queue_depth(0);
+    let _ = recovery();
+    let _ = crate::faults::metrics();
 }

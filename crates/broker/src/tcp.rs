@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
-use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
+use crate::faults::{FaultCounts, FaultInjector, FaultPlan, InjectedFrame, SplitMix};
+use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, Transport, LEN_PREFIX};
 
 /// TCP transport tuning knobs.
 #[derive(Debug, Clone)]
@@ -82,6 +83,8 @@ fn write_coalesced<W: Write>(w: &mut W, bufs: &[Arc<[u8]>]) -> io::Result<()> {
 }
 
 struct Conn {
+    /// Stable id (accept order) — fault plans key per-client kills on it.
+    id: u64,
     tx: Sender<Arc<[u8]>>,
     writer: JoinHandle<()>,
 }
@@ -92,10 +95,13 @@ pub struct TcpTransport {
     cfg: TcpTransportConfig,
     incoming: Receiver<TcpStream>,
     conns: Vec<Conn>,
+    next_conn_id: u64,
     /// Writers of evicted connections, joined at finish.
     graveyard: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// When set, the channel fault choke point for every broadcast slot.
+    injector: Option<FaultInjector>,
 }
 
 impl TcpTransport {
@@ -133,15 +139,33 @@ impl TcpTransport {
             cfg,
             incoming,
             conns: Vec::new(),
+            next_conn_id: 0,
             graveyard: Vec::new(),
             stop,
             accept_thread: Some(accept_thread),
+            injector: None,
         })
     }
 
     /// The address clients connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
+    /// this transport's broadcasts run under. A zero plan leaves the
+    /// broadcast path bit-identical to never having called this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Faults injected so far (zero when no plan is installed).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
     }
 
     /// Registers any connections the accept thread has queued; returns the
@@ -174,37 +198,36 @@ impl TcpTransport {
                 }
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             });
-            self.conns.push(Conn { tx, writer });
+            let id = self.next_conn_id;
+            self.next_conn_id += 1;
+            self.conns.push(Conn { id, tx, writer });
             m.accepted.inc();
         }
         m.connections.set(self.conns.len() as i64);
         self.conns.len()
     }
 
-    /// Waits (polling) until at least `n` clients are connected. Returns
-    /// `false` on timeout. Call before starting a run so no client misses
-    /// the first slots.
+    /// Waits until at least `n` clients are connected, sleeping between
+    /// accept polls. Returns `false` promptly at the deadline — the final
+    /// sleep is clamped to the time remaining, so a timeout overshoots by
+    /// at most one poll, never a full poll interval. Call before starting
+    /// a run so no client misses the first slots.
     pub fn wait_for_clients(&mut self, n: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while self.poll_accept() < n {
-            if Instant::now() >= deadline {
+        loop {
+            if self.poll_accept() >= n {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            std::thread::sleep((deadline - now).min(Duration::from_millis(1)));
         }
-        true
     }
-}
 
-impl Transport for TcpTransport {
-    fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
-        self.poll_accept();
-        let mut stats = DeliveryStats::default();
-        if self.conns.is_empty() {
-            return stats;
-        }
-        // Encode once per slot; every connection's writer shares the bytes.
-        let wire = frame.encode_shared();
+    /// Fans one encoded wire frame out to every connection.
+    fn fan_out(&mut self, wire: &Arc<[u8]>, stats: &mut DeliveryStats) {
         let m = crate::obs::tcp();
         let mut i = 0;
         while i < self.conns.len() {
@@ -212,7 +235,7 @@ impl Transport for TcpTransport {
             // peak including the frame in flight.
             let backlog = self.conns[i].tx.len();
             m.writer_backlog.record(backlog as u64);
-            match self.conns[i].tx.try_send(Arc::clone(&wire)) {
+            match self.conns[i].tx.try_send(Arc::clone(wire)) {
                 Ok(()) => {
                     stats.delivered += 1;
                     stats.bytes += wire.len() as u64;
@@ -244,6 +267,64 @@ impl Transport for TcpTransport {
                 }
             }
         }
+    }
+}
+
+/// Encodes `frame` and flips one bit of the body chosen by `entropy` —
+/// never a length-prefix bit, so framing stays intact and the damage is
+/// the CRC's to catch.
+fn encode_corrupted(frame: &Frame, entropy: u64) -> Arc<[u8]> {
+    let mut bytes = frame.encode();
+    let body_bits = (bytes.len() - LEN_PREFIX) * 8;
+    let bit = (entropy % body_bits as u64) as usize;
+    bytes[LEN_PREFIX + bit / 8] ^= 1 << (bit % 8);
+    Arc::from(bytes)
+}
+
+impl Transport for TcpTransport {
+    fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
+        self.poll_accept();
+        let mut stats = DeliveryStats::default();
+        if let Some(mut inj) = self.injector.take() {
+            // Per-client kills first: a killed connection misses even this
+            // slot's frame, like a receiver whose link just died.
+            let seq = frame.seq;
+            let mut i = 0;
+            while i < self.conns.len() {
+                if inj.plan().kills_client(seq, self.conns[i].id) {
+                    inj.record_kill(seq, self.conns[i].id);
+                    stats.disconnected += 1;
+                    event(EventKind::Disconnect, self.conns[i].id, 1);
+                    let conn = self.conns.swap_remove(i);
+                    drop(conn.tx);
+                    self.graveyard.push(conn.writer);
+                } else {
+                    i += 1;
+                }
+            }
+            // Channel faults next: erase, corrupt, delay/reorder.
+            let mut out: Vec<InjectedFrame> = Vec::new();
+            inj.step(frame, &mut out);
+            if !self.conns.is_empty() {
+                for injected in out {
+                    let wire = match injected.corrupt {
+                        Some(entropy) => encode_corrupted(&injected.frame, entropy),
+                        None => injected.frame.encode_shared(),
+                    };
+                    self.fan_out(&wire, &mut stats);
+                }
+            }
+            self.injector = Some(inj);
+        } else {
+            if self.conns.is_empty() {
+                return stats;
+            }
+            // Encode once per slot; every connection's writer shares the
+            // bytes.
+            let wire = frame.encode_shared();
+            self.fan_out(&wire, &mut stats);
+        }
+        let m = crate::obs::tcp();
         m.bytes.add(stats.bytes);
         m.frames_dropped.add(stats.dropped);
         m.disconnects.add(stats.disconnected);
@@ -282,8 +363,13 @@ impl Drop for TcpTransport {
 }
 
 /// Client-side frame reader: connects and decodes the length-prefixed feed.
+///
+/// Frames whose CRC fails verification are *discarded and counted*, never
+/// surfaced: the receiver treats a damaged frame exactly like an erased
+/// one and recovers the page at its next periodic broadcast.
 pub struct TcpFrameReader {
     stream: TcpStream,
+    corrupt: u64,
 }
 
 impl TcpFrameReader {
@@ -291,36 +377,182 @@ impl TcpFrameReader {
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self { stream, corrupt: 0 })
     }
 
-    /// Reads the next frame; `Ok(None)` on a clean end of stream.
+    /// Frames discarded so far because their CRC failed.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt
+    }
+
+    /// Reads the next intact frame, silently skipping CRC failures;
+    /// `Ok(None)` on a clean end of stream.
     pub fn recv(&mut self) -> io::Result<Option<Frame>> {
-        let mut len_buf = [0u8; 4];
-        if let Err(e) = self.stream.read_exact(&mut len_buf) {
-            return match e.kind() {
-                io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset => Ok(None),
-                _ => Err(e),
-            };
-        }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        let mut body = vec![0u8; len];
-        match self.stream.read_exact(&mut body) {
-            Ok(()) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset
-                ) =>
-            {
-                // Truncated mid-frame (server shut down): treat as EOF.
-                return Ok(None);
+        loop {
+            let mut len_buf = [0u8; 4];
+            if let Err(e) = self.stream.read_exact(&mut len_buf) {
+                return match e.kind() {
+                    io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset => Ok(None),
+                    _ => Err(e),
+                };
             }
-            Err(e) => return Err(e),
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let mut body = vec![0u8; len];
+            match self.stream.read_exact(&mut body) {
+                Ok(()) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    // Truncated mid-frame (server shut down): treat as EOF.
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+            match Frame::decode(&body) {
+                Ok(frame) => return Ok(Some(frame)),
+                Err(FrameError::Corrupt { .. }) => {
+                    // Damaged in flight. Framing is intact (the length
+                    // prefix is outside the faultable body), so skip this
+                    // frame and keep reading; the sequence gap it leaves
+                    // is the client's recovery signal.
+                    self.corrupt += 1;
+                    crate::obs::recovery().frames_corrupt.inc();
+                    continue;
+                }
+                Err(FrameError::Truncated) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed frame",
+                    ));
+                }
+            }
         }
-        Frame::decode(&body)
-            .map(Some)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed frame"))
+    }
+}
+
+/// Reconnect behavior for a [`TcpClientFeed`]: capped exponential backoff
+/// with seeded jitter, bounded attempts per outage.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Connect attempts per outage before the feed gives up (end of feed).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt (doubles each retry).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed: the same seed replays the same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+/// A self-healing client feed: wraps [`TcpFrameReader`] and, when the
+/// connection dies mid-broadcast, reconnects with capped exponential
+/// backoff + jitter and resumes from whatever slot the server broadcasts
+/// next. Frames carry absolute slot sequence numbers, so the consumer
+/// resynchronizes on the first post-reconnect frame and sees the outage as
+/// an ordinary (if long) sequence gap — recovered page by page as the
+/// periodic program comes around.
+pub struct TcpClientFeed {
+    addr: SocketAddr,
+    policy: ReconnectPolicy,
+    /// Feed id for journal events (typically the client id).
+    id: u64,
+    rng: SplitMix,
+    reader: Option<TcpFrameReader>,
+    reconnects: u64,
+    corrupt: u64,
+}
+
+impl TcpClientFeed {
+    /// Connects to a broadcast server (initial connect retries under the
+    /// same backoff policy as reconnects, but is not counted as one).
+    pub fn connect(addr: SocketAddr, policy: ReconnectPolicy, id: u64) -> io::Result<Self> {
+        let seed = policy.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut feed = Self {
+            addr,
+            policy,
+            id,
+            rng: SplitMix::new(seed),
+            reader: None,
+            reconnects: 0,
+            corrupt: 0,
+        };
+        feed.reader = feed.attempt_connect();
+        if feed.reader.is_some() {
+            Ok(feed)
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "broadcast server unreachable",
+            ))
+        }
+    }
+
+    /// Completed reconnects (outages survived) so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// CRC-failed frames discarded so far, across all connections.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt + self.reader.as_ref().map_or(0, |r| r.corrupt_frames())
+    }
+
+    /// Connect with backoff; `None` when attempts are exhausted.
+    fn attempt_connect(&mut self) -> Option<TcpFrameReader> {
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let exp = self
+                    .policy
+                    .base_delay
+                    .saturating_mul(1u32 << (attempt - 1).min(16))
+                    .min(self.policy.max_delay);
+                // Jitter in [50%, 100%] of the backoff, seeded: replayable
+                // and never synchronized across a client fleet.
+                let jittered = exp.mul_f64(0.5 + 0.5 * self.rng.next_f64());
+                std::thread::sleep(jittered);
+            }
+            if let Ok(reader) = TcpFrameReader::connect(self.addr) {
+                return Some(reader);
+            }
+        }
+        None
+    }
+
+    /// Reads the next intact frame, transparently reconnecting on
+    /// connection loss; `None` when the feed is over (the server is gone
+    /// and backoff attempts are exhausted).
+    pub fn recv(&mut self) -> Option<Frame> {
+        loop {
+            let reader = self.reader.as_mut()?;
+            match reader.recv() {
+                Ok(Some(frame)) => return Some(frame),
+                Ok(None) | Err(_) => {
+                    // Connection lost (killed, reset, or server done):
+                    // bank its corrupt count and try to rejoin.
+                    self.corrupt += reader.corrupt_frames();
+                    self.reader = self.attempt_connect();
+                    if self.reader.is_some() {
+                        self.reconnects += 1;
+                        crate::obs::recovery().reconnects.inc();
+                        event(EventKind::Reconnect, self.id, self.reconnects);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -397,6 +629,53 @@ mod tests {
         fn flush(&mut self) -> io::Result<()> {
             Ok(())
         }
+    }
+
+    #[test]
+    fn wait_for_clients_times_out_promptly() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
+        let timeout = Duration::from_millis(100);
+        let start = Instant::now();
+        assert!(!transport.wait_for_clients(1, timeout));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= timeout, "returned before the deadline");
+        // The final sleep is clamped to the time remaining, so the return
+        // lands within scheduling noise of the deadline — not a full poll
+        // interval (or worse) past it.
+        assert!(
+            elapsed < timeout + Duration::from_millis(100),
+            "timeout overshot: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_are_skipped_and_counted() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
+        let addr = transport.local_addr();
+        // Corrupt every frame at seq 1 (deterministically, via a plan that
+        // corrupts everything and erases/delays nothing).
+        transport.set_fault_plan(FaultPlan {
+            seed: 3,
+            corruption: 1.0,
+            ..FaultPlan::none()
+        });
+        let reader = std::thread::spawn(move || {
+            let mut reader = TcpFrameReader::connect(addr).unwrap();
+            let mut frames = Vec::new();
+            while let Some(frame) = reader.recv().unwrap() {
+                frames.push(frame);
+            }
+            (frames, reader.corrupt_frames())
+        });
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        let payloads = PagePayloads::generate(4, 32);
+        for seq in 0..6u64 {
+            transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32 % 4))));
+        }
+        transport.finish();
+        let (frames, corrupt) = reader.join().unwrap();
+        assert!(frames.is_empty(), "every frame was damaged: {frames:?}");
+        assert_eq!(corrupt, 6, "all six damaged frames counted");
     }
 
     #[test]

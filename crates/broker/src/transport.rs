@@ -9,11 +9,47 @@ use bdisk_sched::{PageId, Slot};
 /// Page-id sentinel marking an empty (padding) slot on the wire.
 pub const EMPTY_SENTINEL: u32 = u32::MAX;
 
-/// Bytes of frame header following the length prefix: 8 (seq) + 4 (page).
-pub const HEADER_LEN: usize = 12;
+/// Bytes of frame header following the length prefix:
+/// 8 (seq) + 4 (page) + 4 (crc).
+pub const HEADER_LEN: usize = 16;
 
 /// Bytes of the length prefix itself.
 pub const LEN_PREFIX: usize = 4;
+
+/// Byte offset of the CRC32 field within a frame body (after seq + page).
+pub const CRC_OFFSET: usize = 12;
+
+/// Why a frame body failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body is shorter than the fixed header.
+    Truncated,
+    /// The CRC32 over seq + page + payload does not match the header's.
+    /// The frame was damaged in flight; receivers discard it and recover
+    /// the page at its next periodic broadcast.
+    Corrupt {
+        /// CRC carried in the frame header.
+        expected: u32,
+        /// CRC recomputed over the received bytes.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame body shorter than header"),
+            FrameError::Corrupt { expected, found } => {
+                write!(
+                    f,
+                    "frame CRC mismatch (header {expected:#010x}, computed {found:#010x})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 fn empty_payload() -> Arc<[u8]> {
     static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
@@ -55,9 +91,11 @@ impl Frame {
         LEN_PREFIX + HEADER_LEN + self.payload.len()
     }
 
-    /// Serializes the frame as `[u32 len][u64 seq][u32 page][payload]`, all
-    /// little-endian. `len` counts every byte after itself; `page` is
-    /// [`EMPTY_SENTINEL`] for padding slots.
+    /// Serializes the frame as `[u32 len][u64 seq][u32 page][u32 crc]
+    /// [payload]`, all little-endian. `len` counts every byte after
+    /// itself; `page` is [`EMPTY_SENTINEL`] for padding slots; `crc` is
+    /// CRC-32/ISO-HDLC over seq + page + payload, so any single-bit damage
+    /// to the body (outside the length prefix) is detected on decode.
     pub fn encode(&self) -> Vec<u8> {
         let len = (HEADER_LEN + self.payload.len()) as u32;
         let page = match self.slot {
@@ -68,7 +106,11 @@ impl Frame {
         buf.extend_from_slice(&len.to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
         buf.extend_from_slice(&page.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]); // crc placeholder
         buf.extend_from_slice(&self.payload);
+        let crc = body_crc(&buf[LEN_PREFIX..]);
+        buf[LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4]
+            .copy_from_slice(&crc.to_le_bytes());
         buf
     }
 
@@ -79,12 +121,20 @@ impl Frame {
         Arc::from(self.encode())
     }
 
-    /// Parses a frame body (everything after the length prefix). Returns
-    /// `None` if the body is shorter than the header. Bytes past the header
+    /// Parses and verifies a frame body (everything after the length
+    /// prefix). Fails with [`FrameError::Truncated`] when the body is
+    /// shorter than the header and [`FrameError::Corrupt`] when the CRC
+    /// over seq + page + payload disagrees with the header's — any
+    /// single-bit damage to the body is caught here. Bytes past the header
     /// become the frame's payload.
-    pub fn decode(body: &[u8]) -> Option<Frame> {
+    pub fn decode(body: &[u8]) -> Result<Frame, FrameError> {
         if body.len() < HEADER_LEN {
-            return None;
+            return Err(FrameError::Truncated);
+        }
+        let expected = u32::from_le_bytes(body[CRC_OFFSET..CRC_OFFSET + 4].try_into().unwrap());
+        let found = body_crc(body);
+        if found != expected {
+            return Err(FrameError::Corrupt { expected, found });
         }
         let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
         let page = u32::from_le_bytes(body[8..12].try_into().unwrap());
@@ -98,8 +148,26 @@ impl Frame {
         } else {
             empty_payload()
         };
-        Some(Frame { seq, slot, payload })
+        Ok(Frame { seq, slot, payload })
     }
+}
+
+/// CRC-32/ISO-HDLC over a frame body, skipping the CRC field itself
+/// (bytes `CRC_OFFSET..CRC_OFFSET + 4`).
+fn body_crc(body: &[u8]) -> u32 {
+    let mut state = crate::faults::crc32_init();
+    state = crate::faults::crc32_update(state, &body[..CRC_OFFSET]);
+    state = crate::faults::crc32_update(state, &body[HEADER_LEN..]);
+    crate::faults::crc32_finish(state)
+}
+
+/// True when `body` (a frame body, after the length prefix) carries a CRC
+/// consistent with its bytes. Lets transports check integrity without
+/// materializing a [`Frame`].
+pub fn body_crc_ok(body: &[u8]) -> bool {
+    body.len() >= HEADER_LEN
+        && body_crc(body)
+            == u32::from_le_bytes(body[CRC_OFFSET..CRC_OFFSET + 4].try_into().unwrap())
 }
 
 /// Pre-built page payloads, one shared buffer per page.
@@ -249,7 +317,7 @@ mod tests {
         let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
         assert_eq!(len, bytes.len() - 4);
         assert_eq!(bytes.len(), f.wire_len());
-        assert_eq!(Frame::decode(&bytes[4..]), Some(f));
+        assert_eq!(Frame::decode(&bytes[4..]), Ok(f));
     }
 
     #[test]
@@ -283,7 +351,7 @@ mod tests {
         let f = Frame::bare(7, Slot::Empty);
         let bytes = f.encode();
         assert_eq!(bytes.len(), 4 + HEADER_LEN);
-        assert_eq!(Frame::decode(&bytes[4..]), Some(f));
+        assert_eq!(Frame::decode(&bytes[4..]), Ok(f));
     }
 
     #[test]
@@ -302,7 +370,44 @@ mod tests {
 
     #[test]
     fn truncated_body_rejected() {
-        assert_eq!(Frame::decode(&[0u8; 5]), None);
+        assert_eq!(Frame::decode(&[0u8; 5]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn every_single_bit_corruption_detected() {
+        let payloads = PagePayloads::generate(8, 24);
+        let f = payloads.frame(77, Slot::Page(PageId(5)));
+        let bytes = f.encode();
+        let body = &bytes[LEN_PREFIX..];
+        assert!(body_crc_ok(body));
+        // Flip every bit of the body (header fields, CRC itself, payload):
+        // decode must reject each damaged copy.
+        for bit in 0..body.len() * 8 {
+            let mut damaged = body.to_vec();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                matches!(Frame::decode(&damaged), Err(FrameError::Corrupt { .. })),
+                "bit {bit} flip went undetected"
+            );
+            assert!(!body_crc_ok(&damaged));
+        }
+    }
+
+    #[test]
+    fn crc_covers_seq_and_page_not_just_payload() {
+        // Two frames with identical payloads but different headers must
+        // carry different CRCs (the checksum binds the sequence number).
+        let payloads = PagePayloads::generate(4, 16);
+        let a = payloads.frame(1, Slot::Page(PageId(2))).encode();
+        let b = payloads.frame(2, Slot::Page(PageId(2))).encode();
+        let crc = |buf: &[u8]| {
+            u32::from_le_bytes(
+                buf[LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4]
+                    .try_into()
+                    .unwrap(),
+            )
+        };
+        assert_ne!(crc(&a), crc(&b));
     }
 
     #[test]

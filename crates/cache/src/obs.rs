@@ -49,10 +49,32 @@ pub(crate) fn metrics() -> &'static CacheMetrics {
     })
 }
 
+/// `bd_cache_miss_loss_delayed_total`: misses whose fetch was delayed past
+/// the page's scheduled broadcast because that broadcast was lost on the
+/// channel. A subset of `bd_cache_misses_total` — subtracting it recovers
+/// the miss cost a lossless channel would have charged.
+fn loss_delayed_misses() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| {
+        registry::counter(
+            "bd_cache_miss_loss_delayed_total",
+            "Cache misses delayed past the page's scheduled broadcast by channel loss",
+        )
+    })
+}
+
+/// Records one miss whose fetch waited through a lost broadcast (the live
+/// client calls this when a gap swallowed its pending page and a later
+/// periodic broadcast recovered it).
+pub fn record_loss_delayed_miss() {
+    loss_delayed_misses().inc();
+}
+
 /// Eagerly registers the cache metrics (idempotent); call when starting a
 /// metrics server so `/metrics` shows the cache family before traffic.
 pub fn register_metrics() {
     let _ = metrics();
+    let _ = loss_delayed_misses();
     let _ = crate::lix::chain_len_histogram();
 }
 

@@ -203,7 +203,7 @@ pub fn run(scale: Scale, page_size: usize) {
 }
 
 /// Writes a tracked bench file into the current directory.
-fn emit(file: &str, contents: &str) {
+pub(crate) fn emit(file: &str, contents: &str) {
     std::fs::write(file, contents).unwrap_or_else(|e| panic!("cannot write {file}: {e}"));
     println!("  -> {file}");
 }

@@ -81,7 +81,7 @@ impl Default for LiveOptions {
 /// given, binds the HTTP endpoint — eager registration means `/metrics`
 /// shows the full inventory from the first scrape, not just what traffic
 /// has touched.
-fn start_metrics(opts: &LiveOptions) -> Option<bdisk_obs::MetricsServer> {
+pub(crate) fn start_metrics(opts: &LiveOptions) -> Option<bdisk_obs::MetricsServer> {
     bdisk_broker::register_metrics();
     bdisk_cache::register_metrics();
     bdisk_sim::register_metrics();
@@ -106,7 +106,7 @@ fn start_metrics(opts: &LiveOptions) -> Option<bdisk_obs::MetricsServer> {
 }
 
 /// Holds the metrics endpoint open after the run for late scrapers.
-fn linger(server: Option<bdisk_obs::MetricsServer>, secs: u64) {
+pub(crate) fn linger(server: Option<bdisk_obs::MetricsServer>, secs: u64) {
     if let Some(mut server) = server {
         if secs > 0 {
             println!(
@@ -355,7 +355,7 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
             let mut total: u64 = 0;
             let mut dropped: u64 = 0;
             let mut printed = 0usize;
-            let mut counts = [0u64; 8];
+            let mut counts = [0u64; 16];
             loop {
                 let finished = done.load(Ordering::Acquire);
                 let batch = journal.since(next);
@@ -363,7 +363,7 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
                 dropped += batch.dropped;
                 for ev in &batch.events {
                     total += 1;
-                    counts[ev.kind as usize & 7] += 1;
+                    counts[ev.kind as usize & 15] += 1;
                     if total <= CSV_MAX_EVENTS {
                         csv.push_str(&render_event_csv_row(ev));
                         csv.push('\n');
@@ -394,7 +394,7 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
         let (csv, total, dropped, counts) = tailer.join().expect("tailer must not panic");
 
         println!("\nevent totals over {} collected events:", total);
-        for kind in 0..7u8 {
+        for kind in 0..11u8 {
             if counts[kind as usize] > 0 {
                 let name = bdisk_obs::EventKind::from_u8(kind)
                     .map(|k| k.name())
@@ -406,9 +406,10 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
     })
     .expect("trace run must not panic");
 
-    if dropped > 0 {
-        println!("  (tailer outran by the ring: {dropped} events overwritten before collection)");
-    }
+    // The ring never blocks the broadcast path, so a slow tailer loses
+    // events; the reader's dropped count is part of the result, printed
+    // even when it's the happy zero.
+    println!("  reader dropped: {dropped} events overwritten before collection");
     if total > CSV_MAX_EVENTS {
         println!(
             "  (trace.csv truncated to the first {CSV_MAX_EVENTS} of {total} collected events)"
@@ -424,6 +425,10 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
     } else {
+        // Footer, not header: the dropped total is only known once the
+        // tailer has drained the ring after the run.
+        let mut csv = csv;
+        csv.push_str(&format!("# dropped={dropped}\n"));
         let path = dir.join("trace.csv");
         match std::fs::write(&path, csv) {
             Ok(()) => println!("  -> {}", path.display()),

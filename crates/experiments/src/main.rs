@@ -36,6 +36,7 @@
 //!   index    (1,m) air indexing access/tuning tradeoff (extension)
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
 //!   trace    short live run with the event journal tailed to stdout + CSV
+//!   faults   loss sweep + TCP chaos run under seeded fault injection
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
@@ -48,6 +49,7 @@
 mod bench;
 mod common;
 mod extensions;
+mod faults;
 mod figures;
 mod live;
 mod table1;
@@ -165,12 +167,13 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
         "index" => extensions::index(scale),
         "live" => live::run(scale, live_opts),
         "trace" => live::trace(scale, live_opts),
+        "faults" => faults::run(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "live",
+                "index", "live", "faults",
             ] {
                 run_one(e, scale, live_opts);
             }

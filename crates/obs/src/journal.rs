@@ -44,6 +44,18 @@ pub enum EventKind {
     /// A producer stalled on a full queue under `Backpressure::Block`
     /// (`a` = queue id, `b` = backlog at stall).
     BackpressureStall = 6,
+    /// A fault was injected into the broadcast (`a` = slot sequence,
+    /// `b` = fault code: 0 erase, 1 corrupt, 2 delay, 3 kill, 4 overrun).
+    FaultInjected = 7,
+    /// A client detected a gap in the frame sequence (`a` = first missed
+    /// slot sequence, `b` = gap length in slots).
+    FrameGap = 8,
+    /// A client recovered a lost page at its next periodic broadcast
+    /// (`a` = page id, `b` = slots waited since the missed broadcast).
+    Recovery = 9,
+    /// A TCP client feed reconnected after losing its connection
+    /// (`a` = feed id, `b` = connect attempts this outage).
+    Reconnect = 10,
 }
 
 impl EventKind {
@@ -57,6 +69,10 @@ impl EventKind {
             EventKind::CacheAdmit => "cache_admit",
             EventKind::CacheEvict => "cache_evict",
             EventKind::BackpressureStall => "backpressure_stall",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::FrameGap => "frame_gap",
+            EventKind::Recovery => "recovery",
+            EventKind::Reconnect => "reconnect",
         }
     }
 
@@ -70,6 +86,10 @@ impl EventKind {
             4 => EventKind::CacheAdmit,
             5 => EventKind::CacheEvict,
             6 => EventKind::BackpressureStall,
+            7 => EventKind::FaultInjected,
+            8 => EventKind::FrameGap,
+            9 => EventKind::Recovery,
+            10 => EventKind::Reconnect,
             _ => return None,
         })
     }
@@ -311,7 +331,13 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(EventKind::SlotTick.name(), "slot_tick");
         assert_eq!(EventKind::BackpressureStall.name(), "backpressure_stall");
+        assert_eq!(EventKind::FaultInjected.name(), "fault_injected");
+        assert_eq!(EventKind::FrameGap.name(), "frame_gap");
+        assert_eq!(EventKind::Recovery.name(), "recovery");
+        assert_eq!(EventKind::Reconnect.name(), "reconnect");
         assert_eq!(EventKind::from_u8(4), Some(EventKind::CacheAdmit));
+        assert_eq!(EventKind::from_u8(7), Some(EventKind::FaultInjected));
+        assert_eq!(EventKind::from_u8(10), Some(EventKind::Reconnect));
         assert_eq!(EventKind::from_u8(200), None);
     }
 }
