@@ -43,7 +43,7 @@ use std::thread::JoinHandle;
 use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
-use crate::faults::{FaultCounts, FaultInjector, FaultPlan, InjectedFrame};
+use crate::faults::{FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame};
 use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
 
 /// Process-wide queue-id source, so journal events can name the subscriber
@@ -296,10 +296,13 @@ pub struct InMemoryBus {
     /// Subscribers registered minus disconnects observed at flushes.
     active: usize,
     fanout: Fanout,
-    /// When set, the channel fault choke point for every broadcast slot.
-    injector: Option<FaultInjector>,
+    /// Per-channel fault choke points (default plan + overrides).
+    faults: FaultSwitchboard,
     /// Reusable injector output buffer (fault path only).
     fault_out: Vec<InjectedFrame>,
+    /// Per-channel fan-out counters, cached so steady state never touches
+    /// the registry.
+    channel_frames: crate::obs::ChannelCounters,
 }
 
 /// Delivers one batch to every queue, evicting in place (`swap_remove`, no
@@ -397,26 +400,32 @@ impl InMemoryBus {
             pending: Vec::with_capacity(tuning.batch),
             active: 0,
             fanout,
-            injector: None,
+            faults: FaultSwitchboard::new(),
             fault_out: Vec::new(),
+            channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
         }
     }
 
     /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
-    /// this bus's broadcasts run under. A zero plan leaves the broadcast
-    /// path bit-identical — and allocation-identical — to never having
-    /// called this.
+    /// this bus's broadcasts run under, on **every** channel — clearing any
+    /// per-channel overrides. A zero plan leaves the broadcast path
+    /// bit-identical — and allocation-identical — to never having called
+    /// this. Channel `c`'s injector keys its decisions to `c`, so channels
+    /// sharing one plan still fault independently.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.injector = if plan.is_none() {
-            None
-        } else {
-            Some(FaultInjector::new(plan))
-        };
+        self.faults.set_default(plan);
     }
 
-    /// Faults injected so far (zero when no plan is installed).
+    /// Overrides the fault plan for one broadcast channel (other channels
+    /// keep the [`Self::set_fault_plan`] default, or run clean without
+    /// one).
+    pub fn set_channel_fault_plan(&mut self, channel: u16, plan: FaultPlan) {
+        self.faults.set_channel(channel, plan);
+    }
+
+    /// Faults injected so far, summed over every channel's injector.
     pub fn fault_counts(&self) -> FaultCounts {
-        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
+        self.faults.counts()
     }
 
     /// Adds a subscriber; call before starting the engine (frames sent
@@ -503,19 +512,24 @@ impl InMemoryBus {
 
 impl Transport for InMemoryBus {
     fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
-        if let Some(mut injector) = self.injector.take() {
+        self.channel_frames.get(frame.channel).inc();
+        if self.faults.active() {
             let mut out = std::mem::take(&mut self.fault_out);
             out.clear();
-            injector.step(frame, &mut out);
-            self.injector = Some(injector);
-            for injected in out.drain(..) {
-                // The bus has no wire encoding, so in-flight bit damage is
-                // modeled at its observable effect: the receiver's CRC
-                // check discards the frame, i.e. it is withheld here. A
-                // client sees the identical sequence gap either way.
-                if injected.corrupt.is_none() {
-                    self.pending.push(injected.frame);
+            if let Some(inj) = self.faults.injector_mut(frame.channel) {
+                inj.step(frame, &mut out);
+                for injected in out.drain(..) {
+                    // The bus has no wire encoding, so in-flight bit damage
+                    // is modeled at its observable effect: the receiver's
+                    // CRC check discards the frame, i.e. it is withheld
+                    // here. A client sees the identical sequence gap either
+                    // way.
+                    if injected.corrupt.is_none() {
+                        self.pending.push(injected.frame);
+                    }
                 }
+            } else {
+                self.pending.push(frame);
             }
             self.fault_out = out;
         } else {

@@ -6,9 +6,25 @@
 //! places the client at virtual time `seq` (broadcast units), so all
 //! response times are directly comparable to — and, on a lossless feed with
 //! jitter-free think times, bit-identical to — the simulator's.
+//!
+//! ## Multi-channel tuning
+//!
+//! Against a multi-channel [`BroadcastPlan`] the client models the paper's
+//! single-tuner receiver exactly like the simulator: a miss on a page that
+//! lives on the currently-tuned channel waits in place; a miss on another
+//! channel retunes, forfeiting the slot in flight and paying the switch
+//! penalty — the earliest receivable slot starts at `⌊t⌋ + 1 +
+//! switch_slots`, anchored on the request time. Because the engine airs
+//! every channel's slot for a given `seq` in channel order, and (with a
+//! positive think time) a request-issuing chain always begins on the first
+//! frame of a sequence number, the live decision point sees exactly the
+//! frames the simulator's `next_arrival` assumes are still receivable. (At
+//! `think_time == 0` a chain can begin mid-sequence and the live client may
+//! observe one fewer same-`seq` slot than the model; the paper's default
+//! think time is 2.0.)
 
 use bdisk_obs::journal::{event, EventKind};
-use bdisk_sched::{BroadcastProgram, DiskLayout, PageId, Slot};
+use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId, Slot};
 use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
 
 use crate::bus::BusSubscription;
@@ -44,7 +60,14 @@ pub struct LiveClientResult {
 /// warm-up, and measurement — fed by frames instead of a virtual clock.
 pub struct LiveClient {
     core: ClientCore,
-    program: BroadcastProgram,
+    plan: BroadcastPlan,
+    /// Channel the single tuner is currently listening to.
+    tuned: u16,
+    /// Retune penalty in broadcast units (from [`SimConfig::switch_slots`]).
+    switch_slots: f64,
+    /// Earliest sequence the pending page may be received at — past the
+    /// retune penalty window after a cross-channel miss (0 otherwise).
+    min_receive_seq: u64,
     /// Virtual time at which the next request becomes due.
     next_due: f64,
     /// A missed request waiting for its page: `(page, requested_at)`.
@@ -52,7 +75,8 @@ pub struct LiveClient {
     /// The slot at which the pending page's broadcast was lost in a gap,
     /// if it was — the anchor for recovery-wait accounting.
     pending_missed_at: Option<u64>,
-    /// Next frame sequence this client expects (`None` before any frame).
+    /// Next frame sequence this client expects on the tuned channel
+    /// (`None` before any frame and right after a retune).
     expected_seq: Option<u64>,
     gaps: u64,
     gap_slots: u64,
@@ -65,18 +89,36 @@ pub struct LiveClient {
 }
 
 impl LiveClient {
-    /// Builds the client for `cfg` with the given seed. Identical seeds and
-    /// configs produce the exact request stream of `bdisk_sim::simulate`.
+    /// Builds the client for `cfg` with the given seed, listening to the
+    /// single-channel broadcast of `program`. Identical seeds and configs
+    /// produce the exact request stream of `bdisk_sim::simulate`.
     pub fn new(
         cfg: &SimConfig,
         layout: &DiskLayout,
         program: BroadcastProgram,
         seed: u64,
     ) -> Result<Self, SimError> {
-        let core = ClientCore::new(cfg, layout, &program, seed)?;
+        Self::with_plan(cfg, layout, BroadcastPlan::single(program), seed)
+    }
+
+    /// Like [`LiveClient::new`] but against a multi-channel
+    /// [`BroadcastPlan`]. A 1-channel plan is bit-identical to [`new`]
+    /// with the wrapped program; the tuner starts on channel 0.
+    ///
+    /// [`new`]: LiveClient::new
+    pub fn with_plan(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        plan: BroadcastPlan,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let core = ClientCore::new_plan(cfg, layout, &plan, seed)?;
         Ok(Self {
             core,
-            program,
+            plan,
+            tuned: 0,
+            switch_slots: cfg.switch_slots,
+            min_receive_seq: 0,
             next_due: 0.0,
             pending: None,
             pending_missed_at: None,
@@ -96,16 +138,22 @@ impl LiveClient {
     /// target is reached (further frames are ignored).
     ///
     /// The protocol per frame, in order:
-    /// 1. Resync on the frame's absolute sequence number: a jump forward is
-    ///    a *gap* (lost frames — erased, CRC-discarded, or an outage); a
-    ///    jump backward is a stale reordered frame and is dropped, because
-    ///    virtual time never rewinds.
-    /// 2. If a missed request is pending and this slot carries its page,
-    ///    complete it (response = now − request time) and schedule the next
-    ///    request after the think time.
+    /// 1. Resync on the frame's absolute sequence number — only against
+    ///    frames of the tuned channel, since every channel numbers the same
+    ///    slot clock: a jump forward is a *gap* (lost frames — erased,
+    ///    CRC-discarded, or an outage); a jump backward is a stale
+    ///    reordered frame and is dropped, because virtual time never
+    ///    rewinds. A retune resets the expectation — switching channels is
+    ///    not a loss.
+    /// 2. If a missed request is pending and this slot carries its page
+    ///    (which implies the frame is on the page's channel — page ids
+    ///    partition across channels), complete it (response = now − request
+    ///    time) unless the slot is still inside the retune penalty window.
     /// 3. Issue every request that has come due by now. Cache hits complete
-    ///    immediately (response 0, as in the simulator); a miss satisfied by
-    ///    this very slot completes now; any other miss becomes pending.
+    ///    immediately (response 0, as in the simulator); a miss retunes
+    ///    first if the page lives on another channel; a miss satisfied by
+    ///    this very slot (and past any penalty) completes now; any other
+    ///    miss becomes pending.
     ///
     /// Recovery is the paper's: nothing is retransmitted. A client whose
     /// pending page was lost in a gap simply keeps listening — the page
@@ -118,42 +166,48 @@ impl LiveClient {
         self.frames_seen += 1;
         crate::obs::client().frames_seen.inc();
         let (seq, slot) = (frame.seq, frame.slot);
-        if let Some(expected) = self.expected_seq {
-            if seq < expected {
-                self.late_frames += 1;
-                return false;
-            }
-            if seq > expected {
-                let gap_len = seq - expected;
-                self.gaps += 1;
-                self.gap_slots += gap_len;
-                crate::obs::recovery().gaps.inc();
-                event(EventKind::FrameGap, expected, gap_len);
-                if let Some((page, _)) = self.pending {
-                    if self.pending_missed_at.is_none() {
-                        // Did the gap swallow the pending page's broadcast?
-                        // Every page airs at least once per period, so
-                        // scanning the gap's first period of slots finds
-                        // the earliest lost occurrence if there is one.
-                        let scan_end = (expected + self.program.period() as u64).min(seq);
-                        for s in expected..scan_end {
-                            if self.program.slot_at(s) == Slot::Page(page) {
-                                self.pending_missed_at = Some(s);
-                                break;
+        if frame.channel == self.tuned {
+            if let Some(expected) = self.expected_seq {
+                if seq < expected {
+                    self.late_frames += 1;
+                    return false;
+                }
+                if seq > expected {
+                    let gap_len = seq - expected;
+                    self.gaps += 1;
+                    self.gap_slots += gap_len;
+                    crate::obs::recovery().gaps.inc();
+                    event(EventKind::FrameGap, expected, gap_len);
+                    if let Some((page, _)) = self.pending {
+                        if self.pending_missed_at.is_none() {
+                            // Did the gap swallow the pending page's
+                            // broadcast? Every page airs at least once per
+                            // period on its channel, so scanning the gap's
+                            // first period of receivable slots finds the
+                            // earliest lost occurrence if there is one.
+                            let tuned = ChannelId(self.tuned);
+                            let start = expected.max(self.min_receive_seq);
+                            let scan_end = (expected + self.plan.period_of(tuned) as u64).min(seq);
+                            for s in start..scan_end {
+                                if self.plan.slot_at(tuned, s) == Slot::Page(page) {
+                                    self.pending_missed_at = Some(s);
+                                    break;
+                                }
                             }
                         }
                     }
                 }
             }
+            self.expected_seq = Some(seq + 1);
         }
-        self.expected_seq = Some(seq + 1);
         let t = seq as f64;
 
         if let Some((page, requested_at)) = self.pending {
-            if slot != Slot::Page(page) {
+            if slot != Slot::Page(page) || seq < self.min_receive_seq {
                 return false; // still waiting for the page
             }
             self.pending = None;
+            self.min_receive_seq = 0;
             if self.receive(page, requested_at, t) {
                 return true;
             }
@@ -168,14 +222,30 @@ impl LiveClient {
                     return self.finish_at(requested_at);
                 }
                 self.next_due = requested_at + self.core.think_delay();
-            } else if slot == Slot::Page(page) {
-                // The slot currently on the air is the page we need.
-                if self.receive(page, requested_at, t) {
-                    return true;
-                }
             } else {
-                self.pending = Some((page, requested_at));
-                break;
+                let home = self.plan.channel_of(page);
+                let min_seq = if home.0 == self.tuned {
+                    0
+                } else {
+                    // Single-tuner constraint, mirroring the simulator:
+                    // retuning forfeits the slot in flight and pays the
+                    // switch penalty — the earliest receivable slot starts
+                    // at ⌊t⌋ + 1 + switch_slots, anchored on the request
+                    // time.
+                    self.tuned = home.0;
+                    self.expected_seq = None;
+                    (requested_at.floor() + 1.0 + self.switch_slots).ceil() as u64
+                };
+                if slot == Slot::Page(page) && seq >= min_seq {
+                    // The slot currently on the air is the page we need.
+                    if self.receive(page, requested_at, t) {
+                        return true;
+                    }
+                } else {
+                    self.min_receive_seq = min_seq;
+                    self.pending = Some((page, requested_at));
+                    break;
+                }
             }
         }
         false
@@ -194,7 +264,7 @@ impl LiveClient {
             event(EventKind::Recovery, page.0 as u64, wait);
         }
         self.core.insert(page, t);
-        let disk = self.program.disk_of(page);
+        let disk = self.plan.disk_of(page);
         if self
             .core
             .complete_request(t - requested_at, AccessLocation::Disk(disk))
@@ -268,7 +338,7 @@ impl LiveClient {
 mod tests {
     use super::*;
     use bdisk_cache::PolicyKind;
-    use bdisk_sim::simulate;
+    use bdisk_sim::{simulate, simulate_plan};
 
     fn setup(policy: PolicyKind) -> (SimConfig, DiskLayout, BroadcastProgram) {
         let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
@@ -315,6 +385,115 @@ mod tests {
             assert_eq!(out.end_time, sim.end_time, "{policy:?} end time diverged");
             assert_eq!(out.access_fractions, sim.access_fractions);
         }
+    }
+
+    /// The multi-channel acceptance criterion: a live client fed every
+    /// channel's frames in engine order (per sequence number, channels
+    /// ascending) reproduces `simulate_plan` bit for bit — including the
+    /// single-tuner retune penalty — and a lossless feed with retunes
+    /// records no gaps or stale frames.
+    #[test]
+    fn two_channel_live_client_matches_simulator_exactly() {
+        for (policy, switch_slots) in [
+            (PolicyKind::Pix, 0.0),
+            (PolicyKind::Lix, 0.0),
+            (PolicyKind::Lru, 2.0),
+            (PolicyKind::Pix, 3.5),
+        ] {
+            let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+            let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+            let cfg = SimConfig {
+                access_range: 100,
+                region_size: 5,
+                cache_size: 20,
+                offset: 20,
+                noise: 0.3,
+                policy,
+                requests: 500,
+                warmup_requests: 100,
+                channels: 2,
+                switch_slots,
+                ..SimConfig::default()
+            };
+            let sim = simulate_plan(&cfg, &layout, plan.clone(), 11).unwrap();
+            let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 11).unwrap();
+            let mut done = false;
+            'feed: for seq in 0..10_000_000u64 {
+                for c in 0..plan.num_channels() as u16 {
+                    let slot = plan.slot_at(ChannelId(c), seq);
+                    if live.on_frame(&Frame::bare_on(seq, c, slot)) {
+                        done = true;
+                        break 'feed;
+                    }
+                }
+            }
+            assert!(done, "{policy:?}/switch={switch_slots}: never finished");
+            let results = live.into_results();
+            assert_eq!(results.gaps, 0, "{policy:?}: retunes counted as gaps");
+            assert_eq!(results.late_frames, 0, "{policy:?}: spurious staleness");
+            let out = results.outcome;
+            assert_eq!(
+                out.mean_response_time, sim.mean_response_time,
+                "{policy:?}/switch={switch_slots}: mean diverged"
+            );
+            assert_eq!(out.hit_rate, sim.hit_rate, "{policy:?}: hit rate diverged");
+            assert_eq!(out.end_time, sim.end_time, "{policy:?}: end time diverged");
+            assert_eq!(out.access_fractions, sim.access_fractions);
+        }
+    }
+
+    /// A cross-channel miss pays the retune penalty: an airing of the
+    /// wanted page inside the penalty window is forfeit, and the first
+    /// airing at or past `⌈⌊requested_at⌋ + 1 + switch_slots⌉` completes
+    /// the request.
+    #[test]
+    fn retune_penalty_defers_reception() {
+        let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        let cfg = SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 20,
+            offset: 20,
+            noise: 0.3,
+            policy: PolicyKind::Lru,
+            requests: 500,
+            warmup_requests: 100,
+            channels: 2,
+            switch_slots: 8.0,
+            ..SimConfig::default()
+        };
+        let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 7).unwrap();
+
+        // Feed engine-ordered frames until a miss retunes to the other
+        // channel. With an 8-slot penalty the earliest receivable slot is
+        // always in the future, so the request must go pending.
+        let mut retuned_at = None;
+        'feed: for seq in 0..1_000_000u64 {
+            for c in 0..plan.num_channels() as u16 {
+                let before = live.tuned;
+                let slot = plan.slot_at(ChannelId(c), seq);
+                assert!(!live.on_frame(&Frame::bare_on(seq, c, slot)));
+                if live.tuned != before && live.pending.is_some() {
+                    retuned_at = Some(seq);
+                    break 'feed;
+                }
+            }
+        }
+        let seq = retuned_at.expect("a cross-channel miss went pending");
+        let (page, _) = live.pending.unwrap();
+        let min = live.min_receive_seq;
+        assert!(min > seq, "penalty must push reception past the present");
+
+        // An airing inside the penalty window is forfeit...
+        assert!(!live.on_frame(&Frame::bare_on(min - 1, live.tuned, Slot::Page(page))));
+        assert!(live.pending.is_some(), "received inside the penalty window");
+        // ...and the first one at the window boundary completes it.
+        assert!(!live.on_frame(&Frame::bare_on(min, live.tuned, Slot::Page(page))));
+        assert!(
+            live.pending.is_none(),
+            "airing past the penalty not received"
+        );
     }
 
     /// Satellite: a dropped frame produces exactly one gap event — a

@@ -1,10 +1,12 @@
-//! The broadcast engine: walks the program's slot sequence on a wall-clock
-//! ticker and fans each slot out through a [`Transport`].
+//! The broadcast engine: walks a broadcast plan's slot sequence on a
+//! wall-clock ticker and fans each slot out through a [`Transport`] — one
+//! frame per channel per slot tick, all channels phase-locked to the same
+//! clock.
 
 use std::time::{Duration, Instant};
 
 use bdisk_obs::journal::{event, EventKind};
-use bdisk_sched::{BroadcastProgram, Slot};
+use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, Slot};
 
 use crate::faults::{FaultPlan, FAULT_CODE_OVERRUN};
 use crate::transport::{DeliveryStats, PagePayloads, Transport};
@@ -90,21 +92,34 @@ fn record_delivery(m: &crate::obs::EngineMetrics, stats: &DeliveryStats) {
     m.bytes.add(stats.bytes);
 }
 
-/// Drives a [`BroadcastProgram`] over a transport in real time.
+/// Drives a [`BroadcastPlan`] over a transport in real time. Slot tick
+/// `seq` airs one frame per channel (channel `c`'s frame is tagged with
+/// `c` on the wire), so a `C`-channel plan moves `C` frames per tick.
 pub struct BroadcastEngine {
-    program: BroadcastProgram,
+    plan: BroadcastPlan,
     cfg: EngineConfig,
 }
 
 impl BroadcastEngine {
-    /// Creates an engine for `program` with the given run parameters.
+    /// Creates a single-channel engine for `program` with the given run
+    /// parameters — identical to wrapping it in a one-channel plan.
     pub fn new(program: BroadcastProgram, cfg: EngineConfig) -> Self {
-        Self { program, cfg }
+        Self::with_plan(BroadcastPlan::single(program), cfg)
     }
 
-    /// The program being broadcast.
+    /// Creates an engine broadcasting every channel of `plan`.
+    pub fn with_plan(plan: BroadcastPlan, cfg: EngineConfig) -> Self {
+        Self { plan, cfg }
+    }
+
+    /// Channel 0's program (the whole broadcast on a single-channel plan).
     pub fn program(&self) -> &BroadcastProgram {
-        &self.program
+        self.plan.program(ChannelId(0))
+    }
+
+    /// The plan being broadcast.
+    pub fn plan(&self) -> &BroadcastPlan {
+        &self.plan
     }
 
     /// Broadcasts slots until `max_slots` is reached or (when configured)
@@ -120,10 +135,17 @@ impl BroadcastEngine {
         let mut no_client_slots = 0u64;
         let m = crate::obs::engine();
         // One payload buffer per page for the whole run; every frame (and
-        // every subscriber) shares it by refcount.
-        let payloads = PagePayloads::generate(self.program.num_pages(), self.cfg.page_size);
+        // every subscriber) shares it by refcount. Pages are plan-global,
+        // so one buffer set serves every channel.
+        let payloads = PagePayloads::generate(self.plan.num_pages(), self.cfg.page_size);
+        let channels = self.plan.num_channels();
+        // Per-channel slot counters, materialized before the loop so the
+        // steady state never touches the registry (or the allocator).
+        let by_channel: Vec<_> = (0..channels as u16)
+            .map(crate::obs::slots_by_channel)
+            .collect();
 
-        for (seq, slot) in self.program.slots_from(0) {
+        for seq in 0.. {
             if seq >= self.cfg.max_slots {
                 break;
             }
@@ -158,18 +180,22 @@ impl BroadcastEngine {
                 };
                 std::thread::sleep(stall);
             }
-            let stats = transport.broadcast(payloads.frame(seq, slot));
             m.slots.inc();
-            record_delivery(m, &stats);
-            event(
-                EventKind::SlotTick,
-                seq,
-                match slot {
-                    Slot::Page(page) => page.0 as u64,
-                    Slot::Empty => u64::MAX,
-                },
-            );
-            totals.absorb(stats);
+            for (c, counter) in by_channel.iter().enumerate() {
+                let slot = self.plan.slot_at(ChannelId(c as u16), seq);
+                let stats = transport.broadcast(payloads.frame_on(seq, c as u16, slot));
+                counter.inc();
+                record_delivery(m, &stats);
+                event(
+                    EventKind::SlotTick,
+                    seq,
+                    match slot {
+                        Slot::Page(page) => page.0 as u64,
+                        Slot::Empty => u64::MAX,
+                    },
+                );
+                totals.absorb(stats);
+            }
             m.active_clients.set(transport.active_clients() as i64);
             slots_sent = seq + 1;
         }
@@ -184,7 +210,7 @@ impl BroadcastEngine {
         let elapsed = start.elapsed();
         EngineReport {
             slots_sent,
-            major_cycles: slots_sent / self.program.period() as u64,
+            major_cycles: slots_sent / self.plan.max_period() as u64,
             frames_delivered: totals.delivered,
             frames_dropped: totals.dropped,
             clients_disconnected: totals.disconnected,

@@ -201,24 +201,35 @@ impl FaultPlan {
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// The channel's decision for the frame of slot `seq`. Pure in
-    /// `(self, seq)`: both transports, and any replay, get the same answer.
-    /// Because each kind draws from its own hash stream and fires when the
-    /// draw falls below the rate, raising one rate only *adds* faults — it
-    /// never moves or removes the faults of a lower rate (coupled
-    /// sampling).
+    /// The channel's decision for the frame of slot `seq` on broadcast
+    /// channel 0 — shorthand for [`FaultPlan::channel_fault_on`], kept
+    /// because single-channel deployments are the common case.
     pub fn channel_fault(&self, seq: u64) -> ChannelFault {
-        if self.erasure > 0.0 && self.unit(domain::ERASE, seq, 0) < self.erasure {
+        self.channel_fault_on(seq, 0)
+    }
+
+    /// The decision for the frame of slot `seq` on broadcast channel
+    /// `channel`. Pure in `(self, seq, channel)`: both transports, and any
+    /// replay, get the same answer. Because each kind draws from its own
+    /// hash stream and fires when the draw falls below the rate, raising
+    /// one rate only *adds* faults — it never moves or removes the faults
+    /// of a lower rate (coupled sampling). Channel 0 draws are bit-identical
+    /// to the pre-multi-channel schedule (the channel term vanishes), so
+    /// single-channel fault replays are stable across versions.
+    pub fn channel_fault_on(&self, seq: u64, channel: u16) -> ChannelFault {
+        // Zero for channel 0 — keeps the legacy single-channel stream.
+        let ch = (channel as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        if self.erasure > 0.0 && self.unit(domain::ERASE, seq, ch) < self.erasure {
             return ChannelFault::Erase;
         }
-        if self.corruption > 0.0 && self.unit(domain::CORRUPT, seq, 0) < self.corruption {
+        if self.corruption > 0.0 && self.unit(domain::CORRUPT, seq, ch) < self.corruption {
             return ChannelFault::Corrupt {
-                entropy: mix64(self.seed ^ mix64(domain::ENTROPY) ^ seq),
+                entropy: mix64(self.seed ^ mix64(domain::ENTROPY) ^ seq ^ ch),
             };
         }
-        if self.delay > 0.0 && self.unit(domain::DELAY, seq, 0) < self.delay {
+        if self.delay > 0.0 && self.unit(domain::DELAY, seq, ch) < self.delay {
             let span = self.max_delay_slots.max(1);
-            let slots = 1 + mix64(self.seed ^ mix64(domain::DELAY) ^ mix64(seq)) % span;
+            let slots = 1 + mix64(self.seed ^ mix64(domain::DELAY) ^ mix64(seq) ^ ch) % span;
             return ChannelFault::Delay { slots };
         }
         ChannelFault::Deliver
@@ -255,6 +266,16 @@ impl FaultCounts {
     pub fn total(&self) -> u64 {
         self.erased + self.corrupted + self.delayed + self.killed + self.overruns
     }
+
+    /// Adds another injector's totals into this one (aggregating across
+    /// channels or transports).
+    pub fn absorb(&mut self, other: FaultCounts) {
+        self.erased += other.erased;
+        self.corrupted += other.corrupted;
+        self.delayed += other.delayed;
+        self.killed += other.killed;
+        self.overruns += other.overruns;
+    }
 }
 
 /// One slot's worth of injector output: the frame plus, when the channel
@@ -278,6 +299,11 @@ pub struct InjectedFrame {
 /// withholding the frame, producing the same client-visible gap).
 pub struct FaultInjector {
     plan: FaultPlan,
+    /// Broadcast channel this injector's decisions are keyed to.
+    channel: u16,
+    /// Per-channel injected-fault counter
+    /// (`bd_fault_injected_by_channel_total{channel=...}`).
+    by_channel: &'static bdisk_obs::Counter,
     /// Frames the channel is holding back: `(due_seq, frame)`.
     delayed: Vec<(u64, Frame)>,
     /// Faults applied so far.
@@ -285,11 +311,21 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// An injector executing `plan` (validated).
+    /// An injector executing `plan` on broadcast channel 0 (validated).
     pub fn new(plan: FaultPlan) -> Self {
+        Self::for_channel(plan, 0)
+    }
+
+    /// An injector executing `plan` keyed to broadcast channel `channel`:
+    /// every slot decision hashes the channel in, so channels with the same
+    /// plan still fault independently (and channel 0 replays the legacy
+    /// single-channel schedule bit-for-bit).
+    pub fn for_channel(plan: FaultPlan, channel: u16) -> Self {
         plan.validate();
         Self {
             plan,
+            channel,
+            by_channel: crate::obs::fault_channel_counter(channel),
             delayed: Vec::new(),
             counts: FaultCounts::default(),
         }
@@ -300,6 +336,11 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// The broadcast channel this injector is keyed to.
+    pub fn channel(&self) -> u16 {
+        self.channel
+    }
+
     /// Applies the channel fault for slot `frame.seq` and releases any
     /// held frames that are now due, pushing everything the medium should
     /// carry this slot into `out` (possibly nothing: erasure or delay).
@@ -307,7 +348,7 @@ impl FaultInjector {
     /// frame always lands *after* newer traffic — a true reorder.
     pub fn step(&mut self, frame: Frame, out: &mut Vec<InjectedFrame>) {
         let seq = frame.seq;
-        let fault = self.plan.channel_fault(seq);
+        let fault = self.plan.channel_fault_on(seq, self.channel);
         match fault {
             ChannelFault::Deliver => out.push(InjectedFrame {
                 frame,
@@ -316,11 +357,13 @@ impl FaultInjector {
             ChannelFault::Erase => {
                 self.counts.erased += 1;
                 metrics().erased.inc();
+                self.by_channel.inc();
                 event(EventKind::FaultInjected, seq, fault.code());
             }
             ChannelFault::Corrupt { entropy } => {
                 self.counts.corrupted += 1;
                 metrics().corrupted.inc();
+                self.by_channel.inc();
                 event(EventKind::FaultInjected, seq, fault.code());
                 out.push(InjectedFrame {
                     frame,
@@ -330,6 +373,7 @@ impl FaultInjector {
             ChannelFault::Delay { slots } => {
                 self.counts.delayed += 1;
                 metrics().delayed.inc();
+                self.by_channel.inc();
                 event(EventKind::FaultInjected, seq, fault.code());
                 self.delayed.push((seq + slots, frame));
             }
@@ -355,6 +399,7 @@ impl FaultInjector {
     pub fn record_kill(&mut self, seq: u64, client: u64) {
         self.counts.killed += 1;
         metrics().killed.inc();
+        self.by_channel.inc();
         event(EventKind::FaultInjected, seq, FAULT_CODE_KILL);
         let _ = client;
     }
@@ -363,6 +408,7 @@ impl FaultInjector {
     pub fn record_overrun(&mut self, seq: u64) {
         self.counts.overruns += 1;
         metrics().overruns.inc();
+        self.by_channel.inc();
         event(EventKind::FaultInjected, seq, FAULT_CODE_OVERRUN);
     }
 
@@ -371,6 +417,120 @@ impl FaultInjector {
     /// makes no delivery promise for frames in flight at shutdown.
     pub fn in_flight(&self) -> usize {
         self.delayed.len()
+    }
+}
+
+/// One channel's lazily-resolved fault choke point.
+enum ChannelInjector {
+    /// No frame seen on this channel yet.
+    Unresolved,
+    /// Resolved: this channel runs fault-free.
+    Clean,
+    /// Resolved: this channel's frames pass through an injector.
+    Faulty(FaultInjector),
+}
+
+/// Routes each broadcast channel's frames to its own [`FaultInjector`]:
+/// a default plan applies to every channel, with optional per-channel
+/// overrides (real multi-channel media degrade per transponder, not
+/// uniformly). Injectors materialize on a channel's first frame and key
+/// their decisions to the channel, so channels sharing one plan still
+/// fault independently — and channel 0 replays the legacy single-channel
+/// schedule bit-for-bit.
+pub(crate) struct FaultSwitchboard {
+    default_plan: Option<FaultPlan>,
+    channel_plans: Vec<Option<FaultPlan>>,
+    injectors: Vec<ChannelInjector>,
+    /// True when any installed plan can fault; guards the whole fault
+    /// path, keeping a zero plan bit- and allocation-identical to none.
+    active: bool,
+}
+
+impl FaultSwitchboard {
+    pub fn new() -> Self {
+        Self {
+            default_plan: None,
+            channel_plans: Vec::new(),
+            injectors: Vec::new(),
+            active: false,
+        }
+    }
+
+    /// Installs (or, with [`FaultPlan::is_none`], removes) the default
+    /// plan on every channel, clearing per-channel overrides and resetting
+    /// materialized injectors.
+    pub fn set_default(&mut self, plan: FaultPlan) {
+        plan.validate();
+        self.default_plan = if plan.is_none() { None } else { Some(plan) };
+        self.channel_plans.clear();
+        self.injectors.clear();
+        self.refresh_active();
+    }
+
+    /// Overrides the plan for one channel (other channels keep the
+    /// default, or run clean without one).
+    pub fn set_channel(&mut self, channel: u16, plan: FaultPlan) {
+        plan.validate();
+        let idx = channel as usize;
+        if self.channel_plans.len() <= idx {
+            self.channel_plans.resize(idx + 1, None);
+        }
+        self.channel_plans[idx] = Some(plan);
+        if self.injectors.len() > idx {
+            self.injectors[idx] = ChannelInjector::Unresolved;
+        }
+        self.refresh_active();
+    }
+
+    fn refresh_active(&mut self) {
+        self.active = self.default_plan.is_some()
+            || self
+                .channel_plans
+                .iter()
+                .any(|p| p.map(|p| !p.is_none()).unwrap_or(false));
+    }
+
+    /// True when at least one channel has a plan that can fault.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Faults injected so far, summed over every channel's injector.
+    pub fn counts(&self) -> FaultCounts {
+        let mut total = FaultCounts::default();
+        for slot in &self.injectors {
+            if let ChannelInjector::Faulty(inj) = slot {
+                total.absorb(inj.counts);
+            }
+        }
+        total
+    }
+
+    /// The injector for `channel` (materializing it on first use), or
+    /// `None` when the channel runs fault-free.
+    pub fn injector_mut(&mut self, channel: u16) -> Option<&mut FaultInjector> {
+        let idx = channel as usize;
+        while self.injectors.len() <= idx {
+            self.injectors.push(ChannelInjector::Unresolved);
+        }
+        if matches!(self.injectors[idx], ChannelInjector::Unresolved) {
+            let plan = self
+                .channel_plans
+                .get(idx)
+                .copied()
+                .flatten()
+                .or(self.default_plan);
+            self.injectors[idx] = match plan {
+                Some(p) if !p.is_none() => {
+                    ChannelInjector::Faulty(FaultInjector::for_channel(p, channel))
+                }
+                _ => ChannelInjector::Clean,
+            };
+        }
+        match &mut self.injectors[idx] {
+            ChannelInjector::Faulty(inj) => Some(inj),
+            _ => None,
+        }
     }
 }
 

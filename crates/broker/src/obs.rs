@@ -111,6 +111,70 @@ pub(crate) fn shard_queue_depth(shard: usize) -> &'static Gauge {
     )
 }
 
+/// Per-channel slots aired by the engine
+/// (`bd_slots_by_channel_total{channel=...}`).
+pub(crate) fn slots_by_channel(channel: u16) -> &'static Counter {
+    registry::counter_labeled(
+        "bd_slots_by_channel_total",
+        "Broadcast slots aired by the engine, per channel",
+        "channel",
+        channel.to_string(),
+    )
+}
+
+/// Per-channel frames entering transport fan-out
+/// (`bd_fanout_frames_by_channel_total{channel=...}`).
+pub(crate) fn fanout_by_channel(channel: u16) -> &'static Counter {
+    registry::counter_labeled(
+        "bd_fanout_frames_by_channel_total",
+        "Frames handed to transport fan-out (bus or TCP), per channel",
+        "channel",
+        channel.to_string(),
+    )
+}
+
+/// Per-channel injected faults
+/// (`bd_fault_injected_by_channel_total{channel=...}`).
+pub(crate) fn fault_channel_counter(channel: u16) -> &'static Counter {
+    registry::counter_labeled(
+        "bd_fault_injected_by_channel_total",
+        "Faults injected into the broadcast, per channel",
+        "channel",
+        channel.to_string(),
+    )
+}
+
+/// Lazily-grown cache of one labelled family's per-channel counter
+/// handles. The registry lookup allocates (it formats the label value), so
+/// hot paths hold one of these and pay that cost once per channel, on
+/// first sighting — steady-state traffic is a pointer index plus an atomic
+/// add, preserving the zero-allocation broadcast invariant.
+pub(crate) struct ChannelCounters {
+    make: fn(u16) -> &'static Counter,
+    handles: Vec<&'static Counter>,
+}
+
+impl ChannelCounters {
+    /// A cache over `make` (one of the `*_by_channel` constructors above).
+    pub(crate) fn new(make: fn(u16) -> &'static Counter) -> Self {
+        Self {
+            make,
+            handles: Vec::new(),
+        }
+    }
+
+    /// The counter for `channel`, materializing handles up to it on first
+    /// use.
+    pub(crate) fn get(&mut self, channel: u16) -> &'static Counter {
+        let idx = channel as usize;
+        while self.handles.len() <= idx {
+            let next = self.handles.len() as u16;
+            self.handles.push((self.make)(next));
+        }
+        self.handles[idx]
+    }
+}
+
 /// TCP transport metrics.
 pub(crate) struct TcpMetrics {
     /// `bd_tcp_connections`
@@ -234,6 +298,9 @@ pub fn register_metrics() {
     let _ = tcp();
     let _ = client();
     let _ = shard_queue_depth(0);
+    let _ = slots_by_channel(0);
+    let _ = fanout_by_channel(0);
+    let _ = fault_channel_counter(0);
     let _ = recovery();
     let _ = crate::faults::metrics();
 }

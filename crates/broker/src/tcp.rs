@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
-use crate::faults::{FaultCounts, FaultInjector, FaultPlan, InjectedFrame, SplitMix};
+use crate::faults::{FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame, SplitMix};
 use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, Transport, LEN_PREFIX};
 
 /// TCP transport tuning knobs.
@@ -100,8 +100,10 @@ pub struct TcpTransport {
     graveyard: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    /// When set, the channel fault choke point for every broadcast slot.
-    injector: Option<FaultInjector>,
+    /// Per-channel fault choke points (default plan + overrides).
+    faults: FaultSwitchboard,
+    /// Per-channel fan-out counters, cached off the registry.
+    channel_frames: crate::obs::ChannelCounters,
 }
 
 impl TcpTransport {
@@ -143,7 +145,8 @@ impl TcpTransport {
             graveyard: Vec::new(),
             stop,
             accept_thread: Some(accept_thread),
-            injector: None,
+            faults: FaultSwitchboard::new(),
+            channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
         })
     }
 
@@ -153,19 +156,23 @@ impl TcpTransport {
     }
 
     /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
-    /// this transport's broadcasts run under. A zero plan leaves the
-    /// broadcast path bit-identical to never having called this.
+    /// this transport's broadcasts run under, on **every** channel
+    /// (clearing per-channel overrides). A zero plan leaves the broadcast
+    /// path bit-identical to never having called this.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.injector = if plan.is_none() {
-            None
-        } else {
-            Some(FaultInjector::new(plan))
-        };
+        self.faults.set_default(plan);
     }
 
-    /// Faults injected so far (zero when no plan is installed).
+    /// Overrides the fault plan for one broadcast channel (other channels
+    /// keep the [`Self::set_fault_plan`] default, or run clean without
+    /// one).
+    pub fn set_channel_fault_plan(&mut self, channel: u16, plan: FaultPlan) {
+        self.faults.set_channel(channel, plan);
+    }
+
+    /// Faults injected so far, summed over every channel's injector.
     pub fn fault_counts(&self) -> FaultCounts {
-        self.injector.as_ref().map(|i| i.counts).unwrap_or_default()
+        self.faults.counts()
     }
 
     /// Registers any connections the accept thread has queued; returns the
@@ -285,26 +292,39 @@ impl Transport for TcpTransport {
     fn broadcast(&mut self, frame: Frame) -> DeliveryStats {
         self.poll_accept();
         let mut stats = DeliveryStats::default();
-        if let Some(mut inj) = self.injector.take() {
-            // Per-client kills first: a killed connection misses even this
-            // slot's frame, like a receiver whose link just died.
+        self.channel_frames.get(frame.channel).inc();
+        if self.faults.active() {
             let seq = frame.seq;
-            let mut i = 0;
-            while i < self.conns.len() {
-                if inj.plan().kills_client(seq, self.conns[i].id) {
-                    inj.record_kill(seq, self.conns[i].id);
-                    stats.disconnected += 1;
-                    event(EventKind::Disconnect, self.conns[i].id, 1);
-                    let conn = self.conns.swap_remove(i);
-                    drop(conn.tx);
-                    self.graveyard.push(conn.writer);
-                } else {
-                    i += 1;
-                }
-            }
-            // Channel faults next: erase, corrupt, delay/reorder.
             let mut out: Vec<InjectedFrame> = Vec::new();
-            inj.step(frame, &mut out);
+            match self.faults.injector_mut(frame.channel) {
+                Some(inj) => {
+                    // Per-client kills first: a killed connection misses
+                    // even this slot's frame, like a receiver whose link
+                    // just died. Evaluated against the frame's channel plan
+                    // (the same client on the same seq evicts once even
+                    // when several channels agree — the first frame wins).
+                    let mut i = 0;
+                    while i < self.conns.len() {
+                        if inj.plan().kills_client(seq, self.conns[i].id) {
+                            inj.record_kill(seq, self.conns[i].id);
+                            stats.disconnected += 1;
+                            event(EventKind::Disconnect, self.conns[i].id, 1);
+                            let conn = self.conns.swap_remove(i);
+                            drop(conn.tx);
+                            self.graveyard.push(conn.writer);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    // Channel faults next: erase, corrupt, delay/reorder.
+                    inj.step(frame, &mut out);
+                }
+                // This channel runs clean under the installed plans.
+                None => out.push(InjectedFrame {
+                    frame,
+                    corrupt: None,
+                }),
+            }
             if !self.conns.is_empty() {
                 for injected in out {
                     let wire = match injected.corrupt {
@@ -314,7 +334,6 @@ impl Transport for TcpTransport {
                     self.fan_out(&wire, &mut stats);
                 }
             }
-            self.injector = Some(inj);
         } else {
             if self.conns.is_empty() {
                 return stats;

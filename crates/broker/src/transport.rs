@@ -10,21 +10,23 @@ use bdisk_sched::{PageId, Slot};
 pub const EMPTY_SENTINEL: u32 = u32::MAX;
 
 /// Bytes of frame header following the length prefix:
-/// 8 (seq) + 4 (page) + 4 (crc).
-pub const HEADER_LEN: usize = 16;
+/// 8 (seq) + 2 (channel) + 4 (page) + 4 (crc). Wire format v2: the frame
+/// carries the broadcast channel it was aired on.
+pub const HEADER_LEN: usize = 18;
 
 /// Bytes of the length prefix itself.
 pub const LEN_PREFIX: usize = 4;
 
-/// Byte offset of the CRC32 field within a frame body (after seq + page).
-pub const CRC_OFFSET: usize = 12;
+/// Byte offset of the CRC32 field within a frame body (after
+/// seq + channel + page).
+pub const CRC_OFFSET: usize = 14;
 
 /// Why a frame body failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameError {
     /// The body is shorter than the fixed header.
     Truncated,
-    /// The CRC32 over seq + page + payload does not match the header's.
+    /// The CRC32 over seq + channel + page + payload does not match the header's.
     /// The frame was damaged in flight; receivers discard it and recover
     /// the page at its next periodic broadcast.
     Corrupt {
@@ -68,6 +70,9 @@ fn empty_payload() -> Arc<[u8]> {
 pub struct Frame {
     /// Absolute slot sequence number since the engine started.
     pub seq: u64,
+    /// Broadcast channel this frame was aired on (0 on a single-channel
+    /// plan).
+    pub channel: u16,
     /// The page broadcast in this slot (or padding).
     pub slot: Slot,
     /// Shared page content (empty for padding slots).
@@ -75,11 +80,18 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// A payload-less frame (metadata only). Padding slots and unit tests
-    /// use this; the shared empty buffer means no per-frame allocation.
+    /// A payload-less frame (metadata only) on channel 0. Padding slots and
+    /// unit tests use this; the shared empty buffer means no per-frame
+    /// allocation.
     pub fn bare(seq: u64, slot: Slot) -> Self {
+        Frame::bare_on(seq, 0, slot)
+    }
+
+    /// A payload-less frame on an explicit channel.
+    pub fn bare_on(seq: u64, channel: u16, slot: Slot) -> Self {
         Frame {
             seq,
+            channel,
             slot,
             payload: empty_payload(),
         }
@@ -91,11 +103,12 @@ impl Frame {
         LEN_PREFIX + HEADER_LEN + self.payload.len()
     }
 
-    /// Serializes the frame as `[u32 len][u64 seq][u32 page][u32 crc]
-    /// [payload]`, all little-endian. `len` counts every byte after
-    /// itself; `page` is [`EMPTY_SENTINEL`] for padding slots; `crc` is
-    /// CRC-32/ISO-HDLC over seq + page + payload, so any single-bit damage
-    /// to the body (outside the length prefix) is detected on decode.
+    /// Serializes the frame as `[u32 len][u64 seq][u16 chan][u32 page]
+    /// [u32 crc][payload]`, all little-endian (wire format v2). `len`
+    /// counts every byte after itself; `page` is [`EMPTY_SENTINEL`] for
+    /// padding slots; `crc` is CRC-32/ISO-HDLC over seq + channel + page +
+    /// payload, so any single-bit damage to the body (outside the length
+    /// prefix) is detected on decode.
     pub fn encode(&self) -> Vec<u8> {
         let len = (HEADER_LEN + self.payload.len()) as u32;
         let page = match self.slot {
@@ -105,6 +118,7 @@ impl Frame {
         let mut buf = Vec::with_capacity(self.wire_len());
         buf.extend_from_slice(&len.to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.extend_from_slice(&self.channel.to_le_bytes());
         buf.extend_from_slice(&page.to_le_bytes());
         buf.extend_from_slice(&[0u8; 4]); // crc placeholder
         buf.extend_from_slice(&self.payload);
@@ -137,7 +151,8 @@ impl Frame {
             return Err(FrameError::Corrupt { expected, found });
         }
         let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
-        let page = u32::from_le_bytes(body[8..12].try_into().unwrap());
+        let channel = u16::from_le_bytes(body[8..10].try_into().unwrap());
+        let page = u32::from_le_bytes(body[10..14].try_into().unwrap());
         let slot = if page == EMPTY_SENTINEL {
             Slot::Empty
         } else {
@@ -148,12 +163,17 @@ impl Frame {
         } else {
             empty_payload()
         };
-        Ok(Frame { seq, slot, payload })
+        Ok(Frame {
+            seq,
+            channel,
+            slot,
+            payload,
+        })
     }
 }
 
-/// CRC-32/ISO-HDLC over a frame body, skipping the CRC field itself
-/// (bytes `CRC_OFFSET..CRC_OFFSET + 4`).
+/// CRC-32/ISO-HDLC over a frame body (seq + channel + page + payload),
+/// skipping the CRC field itself (bytes `CRC_OFFSET..CRC_OFFSET + 4`).
 fn body_crc(body: &[u8]) -> u32 {
     let mut state = crate::faults::crc32_init();
     state = crate::faults::crc32_update(state, &body[..CRC_OFFSET]);
@@ -206,14 +226,25 @@ impl PagePayloads {
         self.pages.first().map_or(0, |p| p.len())
     }
 
-    /// The frame for slot `seq` carrying `slot`, sharing the page's
-    /// pre-built payload (empty for padding slots). Zero allocations.
+    /// The channel-0 frame for slot `seq` carrying `slot`, sharing the
+    /// page's pre-built payload (empty for padding slots). Zero
+    /// allocations.
     pub fn frame(&self, seq: u64, slot: Slot) -> Frame {
+        self.frame_on(seq, 0, slot)
+    }
+
+    /// Like [`PagePayloads::frame`] but on an explicit channel.
+    pub fn frame_on(&self, seq: u64, channel: u16, slot: Slot) -> Frame {
         let payload = match slot {
             Slot::Page(p) => Arc::clone(&self.pages[p.index()]),
             Slot::Empty => Arc::clone(&self.empty),
         };
-        Frame { seq, slot, payload }
+        Frame {
+            seq,
+            channel,
+            slot,
+            payload,
+        }
     }
 }
 
@@ -408,6 +439,37 @@ mod tests {
             )
         };
         assert_ne!(crc(&a), crc(&b));
+    }
+
+    #[test]
+    fn channel_round_trips_and_is_crc_bound() {
+        let payloads = PagePayloads::generate(4, 16);
+        let f = payloads.frame_on(9, 3, Slot::Page(PageId(1)));
+        assert_eq!(f.channel, 3);
+        let bytes = f.encode();
+        let decoded = Frame::decode(&bytes[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.channel, 3);
+        assert_eq!(decoded, f);
+        // Same seq/page/payload on another channel: different CRC — the
+        // checksum binds the channel field too.
+        let other = payloads.frame_on(9, 4, Slot::Page(PageId(1))).encode();
+        let crc = |buf: &[u8]| {
+            u32::from_le_bytes(
+                buf[LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4]
+                    .try_into()
+                    .unwrap(),
+            )
+        };
+        assert_ne!(crc(&bytes), crc(&other));
+        // The channel-0 helpers stay aliases of the explicit form.
+        assert_eq!(
+            payloads.frame(9, Slot::Page(PageId(1))),
+            payloads.frame_on(9, 0, Slot::Page(PageId(1)))
+        );
+        assert_eq!(
+            Frame::bare(5, Slot::Empty),
+            Frame::bare_on(5, 0, Slot::Empty)
+        );
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! `repro channels` — the multi-channel broadcast sweep.
+//!
+//! Sweeps the paper's D5 configuration (⟨500, 2000, 2500⟩, Δ = 3 — the
+//! fixed 5000-page set) striped across 1–4 broadcast channels and measures
+//! mean response time for PIX, LIX, and LRU at the Figure 13 caching
+//! operating point (CacheSize = Offset = 500, Noise = 30%), at zero switch
+//! cost. Alongside the simulation it evaluates the plan's *analytic*
+//! expected delay under the region-Zipf access distribution.
+//!
+//! Two invariants are asserted in-process (failing the run, and CI):
+//!
+//! * the analytic expected delay is non-increasing in the channel count —
+//!   striping only shrinks per-channel periods; and
+//! * at zero switch cost the simulated mean response time is non-increasing
+//!   in the channel count for PIX and LIX (exact at full scale, a small
+//!   slack at `--quick` statistics).
+//!
+//! A final stage runs the live broadcast engine on a 2-channel plan over
+//! the lossless in-memory bus and checks every client against
+//! `simulate_plan` **bit-exactly** — the multi-channel extension of the
+//! `repro live` parity contract — which also exercises the per-channel
+//! metric families (`bd_slots_by_channel_total` and friends).
+//!
+//! Artifacts: `results/channels.csv` and the tracked, shape-validated
+//! `BENCH_channels.json`.
+
+use bdisk_broker::{
+    aggregate, Backpressure, BroadcastEngine, BusTuning, EngineConfig, InMemoryBus, LiveClient,
+};
+use bdisk_cache::PolicyKind;
+use bdisk_sched::BroadcastPlan;
+use bdisk_sim::{seeds_from_base, simulate_plan, SimConfig, SimOutcome};
+use bdisk_workload::RegionZipf;
+
+use crate::bench::{self, json};
+use crate::common::{self, Scale};
+use crate::live::{linger, start_metrics, LiveOptions};
+
+/// Channel counts swept.
+const CHANNEL_COUNTS: [usize; 4] = [1, 2, 3, 4];
+
+/// Policies compared across channel counts.
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Pix, PolicyKind::Lix, PolicyKind::Lru];
+
+/// Bit-identical tolerance for the 2-channel live parity stage.
+const PARITY_TOLERANCE: f64 = 1e-9;
+
+/// The Figure 13 caching config at `channels`, zero switch cost.
+fn config(scale: Scale, policy: PolicyKind, channels: usize) -> SimConfig {
+    SimConfig {
+        channels,
+        switch_slots: 0.0,
+        ..common::caching_config(scale, policy, 0.30)
+    }
+}
+
+/// Runs the sweep, the assertions, the artifacts, and the live parity stage.
+pub fn run(scale: Scale, opts: &LiveOptions) {
+    let server = start_metrics(opts);
+    let layout = common::layout("D5", 3);
+    let seeds = scale.seeds();
+
+    println!(
+        "\n=== channels: D5, Delta=3, Noise=30%, {} channels x {{PIX, LIX, LRU}}, switch cost 0 ===",
+        CHANNEL_COUNTS.len()
+    );
+
+    // Analytic access distribution: the region-Zipf logical probabilities
+    // under the identity mapping (offset 0, noise 0), padded with zeros to
+    // the full 5000-page set. Any fixed distribution works for the
+    // monotonicity claim; this one matches the workload's skew.
+    let base = common::base_config(scale);
+    let zipf = RegionZipf::new(base.access_range, base.region_size, base.theta);
+    let mut probs = zipf.probs().to_vec();
+    probs.resize(layout.total_pages(), 0.0);
+
+    let mut analytic = Vec::new();
+    let mut sim_means: Vec<Vec<f64>> = vec![Vec::new(); POLICIES.len()];
+    for &channels in &CHANNEL_COUNTS {
+        let plan = BroadcastPlan::generate(&layout, channels).expect("paper layout stripes");
+        analytic.push(plan.expected_delay(&probs));
+
+        // All (policy, seed) points of this channel count in parallel,
+        // sharing the one generated plan.
+        let points: Vec<(usize, u64)> = POLICIES
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+            .collect();
+        let outcomes: Vec<SimOutcome> = bdisk_sim::sweep(
+            points.clone(),
+            common::threads(),
+            |&(pi, seed): &(usize, u64)| {
+                let cfg = config(scale, POLICIES[pi], channels);
+                simulate_plan(&cfg, &layout, plan.clone(), seed)
+                    .expect("channel sweep run must succeed")
+            },
+        );
+        for (pi, _) in POLICIES.iter().enumerate() {
+            let per_policy: Vec<f64> = points
+                .iter()
+                .zip(&outcomes)
+                .filter(|((i, _), _)| *i == pi)
+                .map(|(_, o)| o.mean_response_time)
+                .collect();
+            sim_means[pi].push(per_policy.iter().sum::<f64>() / per_policy.len() as f64);
+        }
+    }
+
+    let xs: Vec<String> = CHANNEL_COUNTS.iter().map(|c| c.to_string()).collect();
+    let mut series = vec![("analytic".to_string(), analytic.clone())];
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        series.push((policy.name().to_lowercase(), sim_means[pi].clone()));
+    }
+    common::print_table(
+        "mean response vs broadcast channels (D5, Delta=3)",
+        "channels",
+        &xs,
+        &series,
+    );
+    common::write_csv("channels.csv", "channels", &xs, &series);
+
+    // Striping only shrinks per-channel periods, so the analytic delay of
+    // the fixed layout must be non-increasing in the channel count.
+    assert_non_increasing("analytic expected delay", &analytic, 1e-9);
+
+    // At zero switch cost the simulated means must not get worse either;
+    // full scale is averaged over enough requests to assert exactly, quick
+    // runs get a small statistical slack.
+    let slack = match scale {
+        Scale::Full => 1e-9,
+        Scale::Quick => 0.05,
+    };
+    for (pi, policy) in POLICIES.iter().enumerate() {
+        if matches!(policy, PolicyKind::Pix | PolicyKind::Lix) {
+            assert_non_increasing_rel(
+                &format!("{} simulated mean", policy.name()),
+                &sim_means[pi],
+                slack,
+            );
+        }
+    }
+    println!(
+        "monotonicity: OK — delay non-increasing 1→{} channels",
+        CHANNEL_COUNTS.len()
+    );
+
+    // --- live parity on a 2-channel plan ---
+    let live_gap = live_parity(scale, opts, &layout);
+
+    let mode = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let rows: Vec<String> = CHANNEL_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "    {{\"channels\": {c}, \"analytic_delay\": {:.4}, \
+                 \"pix_mean\": {:.4}, \"lix_mean\": {:.4}, \"lru_mean\": {:.4}}}",
+                analytic[i], sim_means[0][i], sim_means[1][i], sim_means[2][i]
+            )
+        })
+        .collect();
+    let channels_json = format!(
+        "{{\n  \"schema\": \"bdisk-bench-channels/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"operating_point\": {{\n    \"config\": \"D5\", \"delta\": 3, \"noise\": 0.3, \
+         \"cache_size\": 500, \"switch_slots\": 0.0, \"seeds\": {}\n  }},\n  \
+         \"sweep\": [\n{}\n  ],\n  \
+         \"live_parity\": {{\"channels\": 2, \"worst_gap\": {live_gap:.3e}, \
+         \"tolerance\": {PARITY_TOLERANCE:e}}}\n}}\n",
+        seeds.len(),
+        rows.join(",\n"),
+    );
+    bench::emit("BENCH_channels.json", &channels_json);
+    validate(&channels_json, CHANNEL_COUNTS.len());
+
+    linger(server, opts.serve_secs);
+}
+
+/// Asserts `values` never increases (absolute slack).
+fn assert_non_increasing(what: &str, values: &[f64], slack: f64) {
+    for w in values.windows(2) {
+        assert!(
+            w[1] <= w[0] + slack,
+            "{what} must be non-increasing in channel count: {values:?}"
+        );
+    }
+}
+
+/// Asserts `values` never increases by more than `rel` relative slack.
+fn assert_non_increasing_rel(what: &str, values: &[f64], rel: f64) {
+    for w in values.windows(2) {
+        assert!(
+            w[1] <= w[0] * (1.0 + rel),
+            "{what} must be non-increasing in channel count: {values:?}"
+        );
+    }
+}
+
+/// The live engine on a 2-channel plan over the lossless bus: every client
+/// must be bit-identical to its `simulate_plan` twin. Returns the worst
+/// observed gap (for the tracked JSON).
+fn live_parity(scale: Scale, opts: &LiveOptions, layout: &bdisk_sched::DiskLayout) -> f64 {
+    let plan = BroadcastPlan::generate(layout, 2).expect("2-channel D5 plan");
+    let seeds = seeds_from_base(common::context().base_seed, POLICIES.len());
+    let roster: Vec<(PolicyKind, u64)> = POLICIES.iter().copied().zip(seeds).collect();
+
+    println!(
+        "\n=== channels: live parity — {} clients on a 2-channel plan over the bus ===",
+        roster.len()
+    );
+
+    let mut bus = InMemoryBus::with_tuning(512, Backpressure::Block, BusTuning::throughput());
+    let subs: Vec<_> = roster.iter().map(|_| bus.subscribe()).collect();
+    let mut clients: Vec<LiveClient> = roster
+        .iter()
+        .map(|&(policy, seed)| {
+            LiveClient::with_plan(&config(scale, policy, 2), layout, plan.clone(), seed)
+                .expect("live client config is valid")
+        })
+        .collect();
+
+    let engine = BroadcastEngine::with_plan(
+        plan.clone(),
+        EngineConfig {
+            page_size: opts.page_size,
+            ..EngineConfig::default()
+        },
+    );
+    let report = crossbeam::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(subs)
+            .map(|(client, sub)| scope.spawn(move |_| client.run(sub)))
+            .collect();
+        let report = engine.run(&mut bus);
+        for h in handles {
+            h.join().expect("client thread must not panic");
+        }
+        report
+    })
+    .expect("live parity run must not panic");
+
+    let results: Vec<_> = clients.into_iter().map(|c| c.into_results()).collect();
+    let mut worst_gap: f64 = 0.0;
+    for (&(policy, seed), result) in roster.iter().zip(&results) {
+        let cfg = config(scale, policy, 2);
+        let sim = simulate_plan(&cfg, layout, plan.clone(), seed).expect("simulator run");
+        let out = &result.outcome;
+        for (live_v, sim_v) in [
+            (out.mean_response_time, sim.mean_response_time),
+            (out.hit_rate, sim.hit_rate),
+            (out.end_time, sim.end_time),
+        ] {
+            worst_gap = worst_gap.max((live_v - sim_v).abs());
+        }
+        assert!(
+            worst_gap < PARITY_TOLERANCE,
+            "{policy:?}/seed {seed}: 2-channel live diverged from simulate_plan \
+             (gap {worst_gap:.3e})"
+        );
+    }
+    let fleet = aggregate(report, results);
+    println!(
+        "parity: EXACT — {} clients, {} measured requests, worst gap {worst_gap:.3e} \
+         (tolerance {PARITY_TOLERANCE:e})",
+        roster.len(),
+        fleet.measured_requests
+    );
+    worst_gap
+}
+
+/// Shape check for `BENCH_channels.json`; panics (failing CI) on regression.
+fn validate(text: &str, expected_points: usize) {
+    let v = json::parse(text).expect("BENCH_channels.json must parse");
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("bdisk-bench-channels/v1"),
+        "channels bench schema tag"
+    );
+    let op = v.get("operating_point").expect("operating_point object");
+    for key in ["delta", "noise", "cache_size", "switch_slots", "seeds"] {
+        assert!(
+            op.get(key).and_then(json::Value::as_f64).is_some(),
+            "operating_point.{key} must be a number"
+        );
+    }
+    let sweep = v
+        .get("sweep")
+        .and_then(json::Value::as_array)
+        .expect("sweep array");
+    assert_eq!(sweep.len(), expected_points, "one row per channel count");
+    let mut last = f64::INFINITY;
+    for row in sweep {
+        for key in [
+            "channels",
+            "analytic_delay",
+            "pix_mean",
+            "lix_mean",
+            "lru_mean",
+        ] {
+            let n = row
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .unwrap_or_else(|| panic!("sweep row needs numeric {key}"));
+            assert!(n > 0.0, "sweep row {key} must be positive");
+        }
+        let a = row
+            .get("analytic_delay")
+            .and_then(json::Value::as_f64)
+            .unwrap();
+        assert!(a <= last + 1e-9, "analytic_delay must be non-increasing");
+        last = a;
+    }
+    let parity = v.get("live_parity").expect("live_parity object");
+    let gap = parity
+        .get("worst_gap")
+        .and_then(json::Value::as_f64)
+        .expect("live_parity.worst_gap must be a number");
+    let tol = parity
+        .get("tolerance")
+        .and_then(json::Value::as_f64)
+        .expect("live_parity.tolerance must be a number");
+    assert!(gap < tol, "recorded live parity gap exceeds tolerance");
+}

@@ -127,6 +127,8 @@ pub fn base_config(scale: Scale) -> SimConfig {
         alpha: 0.25,
         batch_size: 500,
         page_size: 64,
+        channels: 1,
+        switch_slots: 0.0,
     }
 }
 

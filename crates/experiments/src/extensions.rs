@@ -143,6 +143,7 @@ pub fn design(scale: Scale) {
             max_disks: 3,
             max_delta: 7,
             max_candidates: 40,
+            max_channels: 1,
         },
     )
     .expect("optimizer runs");

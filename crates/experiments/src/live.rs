@@ -22,8 +22,8 @@ use bdisk_broker::{
     LiveClientResult, TcpFrameReader, TcpTransport, TcpTransportConfig,
 };
 use bdisk_cache::PolicyKind;
-use bdisk_sched::BroadcastProgram;
-use bdisk_sim::{seeds_from_base, simulate_program, SimConfig, SimOutcome};
+use bdisk_sched::BroadcastPlan;
+use bdisk_sim::{seeds_from_base, simulate_plan, SimConfig, SimOutcome};
 
 use crate::common::{self, Scale};
 
@@ -56,6 +56,9 @@ pub struct LiveOptions {
     pub transport: LiveTransport,
     /// Concurrent clients (at least 4, one per policy).
     pub clients: usize,
+    /// Broadcast channels to stripe the layout across (default 1 — the
+    /// paper's single channel; parity stays bit-exact at any count).
+    pub channels: usize,
     /// Bytes of page payload per frame (`PageSize`, paper Table 2).
     pub page_size: usize,
     /// Serve `GET /metrics` and `GET /events` on this address during the run.
@@ -70,6 +73,7 @@ impl Default for LiveOptions {
         Self {
             transport: LiveTransport::Bus,
             clients: 16,
+            channels: 1,
             page_size: 64,
             metrics_addr: None,
             serve_secs: 0,
@@ -137,7 +141,7 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
     let server = start_metrics(opts);
     let n_clients = opts.clients.max(POLICIES.len());
     let layout = common::layout("D5", 3);
-    let program = BroadcastProgram::generate(&layout).expect("paper layout is valid");
+    let plan = BroadcastPlan::generate(&layout, opts.channels).expect("paper layout is valid");
     let seeds = seeds_from_base(common::context().base_seed, n_clients);
 
     // Client i runs policy i mod 4 with its own derived seed.
@@ -146,17 +150,18 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         .collect();
 
     println!(
-        "\n=== live broadcast: D5, Delta=3, Noise=30%, {} clients over {} ===",
+        "\n=== live broadcast: D5, Delta=3, Noise=30%, {} clients over {}, {} channel(s) ===",
         n_clients,
         match opts.transport {
             LiveTransport::Bus => "in-memory bus",
             LiveTransport::Tcp => "loopback TCP",
-        }
+        },
+        opts.channels
     );
 
     let (report, results) = match opts.transport {
-        LiveTransport::Bus => run_bus(scale, opts, &roster, &layout, &program),
-        LiveTransport::Tcp => run_tcp(scale, opts, &roster, &layout, &program),
+        LiveTransport::Bus => run_bus(scale, opts, &roster, &layout, &plan),
+        LiveTransport::Tcp => run_tcp(scale, opts, &roster, &layout, &plan),
     };
 
     println!(
@@ -189,9 +194,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         roster.clone(),
         common::threads(),
         |&(policy, seed): &(PolicyKind, u64)| {
-            let cfg = config(scale, policy);
-            simulate_program(&cfg, &layout, program.clone(), seed)
-                .expect("simulator run must succeed")
+            let cfg = config(scale, policy, plan.num_channels());
+            simulate_plan(&cfg, &layout, plan.clone(), seed).expect("simulator run must succeed")
         },
     );
 
@@ -326,7 +330,8 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
     };
     let n_clients = trace_opts.clients.max(POLICIES.len());
     let layout = common::layout("D5", 3);
-    let program = BroadcastProgram::generate(&layout).expect("paper layout is valid");
+    let plan =
+        BroadcastPlan::generate(&layout, trace_opts.channels).expect("paper layout is valid");
     let seeds = seeds_from_base(common::context().base_seed, n_clients);
     let roster: Vec<(PolicyKind, u64)> = (0..n_clients)
         .map(|i| (POLICIES[i % POLICIES.len()], seeds[i]))
@@ -389,7 +394,7 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
             }
         });
 
-        let (report, results) = run_bus(scale, &trace_opts, &roster, &layout, &program);
+        let (report, results) = run_bus(scale, &trace_opts, &roster, &layout, &plan);
         done.store(true, Ordering::Release);
         let (csv, total, dropped, counts) = tailer.join().expect("tailer must not panic");
 
@@ -439,9 +444,13 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
     linger(server, opts.serve_secs);
 }
 
-/// The Figure 13 caching config for one policy.
-fn config(scale: Scale, policy: PolicyKind) -> SimConfig {
-    common::caching_config(scale, policy, 0.30)
+/// The Figure 13 caching config for one policy at `channels`.
+fn config(scale: Scale, policy: PolicyKind, channels: usize) -> SimConfig {
+    SimConfig {
+        channels,
+        switch_slots: 0.0,
+        ..common::caching_config(scale, policy, 0.30)
+    }
 }
 
 fn run_bus(
@@ -449,7 +458,7 @@ fn run_bus(
     opts: &LiveOptions,
     roster: &[(PolicyKind, u64)],
     layout: &bdisk_sched::DiskLayout,
-    program: &BroadcastProgram,
+    plan: &BroadcastPlan,
 ) -> (bdisk_broker::EngineReport, Vec<LiveClientResult>) {
     // The zero-copy fast path: batched flushes + worker-shard fan-out. The
     // bus stays lossless (Block), so parity with the simulator is exact.
@@ -458,13 +467,14 @@ fn run_bus(
     let mut clients: Vec<LiveClient> = roster
         .iter()
         .map(|&(policy, seed)| {
-            LiveClient::new(&config(scale, policy), layout, program.clone(), seed)
+            let cfg = config(scale, policy, plan.num_channels());
+            LiveClient::with_plan(&cfg, layout, plan.clone(), seed)
                 .expect("live client config is valid")
         })
         .collect();
 
-    let engine = BroadcastEngine::new(
-        program.clone(),
+    let engine = BroadcastEngine::with_plan(
+        plan.clone(),
         EngineConfig {
             page_size: opts.page_size,
             ..EngineConfig::default()
@@ -493,7 +503,7 @@ fn run_tcp(
     opts: &LiveOptions,
     roster: &[(PolicyKind, u64)],
     layout: &bdisk_sched::DiskLayout,
-    program: &BroadcastProgram,
+    plan: &BroadcastPlan,
 ) -> (bdisk_broker::EngineReport, Vec<LiveClientResult>) {
     let mut transport = TcpTransport::bind(TcpTransportConfig {
         queue_capacity: 8192,
@@ -506,13 +516,13 @@ fn run_tcp(
     let handles: Vec<_> = roster
         .iter()
         .map(|&(policy, seed)| {
-            let cfg = config(scale, policy);
+            let cfg = config(scale, policy, plan.num_channels());
             let layout = layout.clone();
-            let program = program.clone();
+            let plan = plan.clone();
             std::thread::spawn(move || {
                 let mut reader = TcpFrameReader::connect(addr).expect("connect to broker");
                 let mut client =
-                    LiveClient::new(&cfg, &layout, program, seed).expect("valid client config");
+                    LiveClient::with_plan(&cfg, &layout, plan, seed).expect("valid client config");
                 while let Ok(Some(frame)) = reader.recv() {
                     if client.on_frame(&frame) {
                         break;
@@ -527,8 +537,8 @@ fn run_tcp(
         transport.wait_for_clients(roster.len(), Duration::from_secs(30)),
         "clients failed to connect"
     );
-    let engine = BroadcastEngine::new(
-        program.clone(),
+    let engine = BroadcastEngine::with_plan(
+        plan.clone(),
         EngineConfig {
             page_size: opts.page_size,
             ..EngineConfig::default()

@@ -11,6 +11,7 @@
 //!   --seed N           base seed for derived sweep seeds (default 101)
 //!   --transport T      live: bus (default, lossless) or tcp
 //!   --clients N        live: concurrent clients (default 16, min 4)
+//!   --channels N       live: broadcast channels to stripe across (default 1)
 //!   --page-size N      live/bench: payload bytes per page frame (default 64)
 //!   --metrics-addr A   live/trace: serve GET /metrics and /events on HOST:PORT
 //!   --serve-secs N     live: keep serving metrics N seconds after the run ends
@@ -34,6 +35,7 @@
 //!   design   automated broadcast-program designer (extension)
 //!   updates  volatile data / invalidation vs stale reads (extension)
 //!   index    (1,m) air indexing access/tuning tradeoff (extension)
+//!   channels multi-channel striping sweep + 2-channel live parity
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
 //!   trace    short live run with the event journal tailed to stdout + CSV
 //!   faults   loss sweep + TCP chaos run under seeded fault injection
@@ -47,6 +49,7 @@
 //! bit-identical.
 
 mod bench;
+mod channels;
 mod common;
 mod extensions;
 mod faults;
@@ -102,6 +105,16 @@ fn parse_args() -> (Scale, LiveOptions, Vec<String>) {
                     &flag_value(&mut iter, "--clients"),
                     "--clients expects a positive integer",
                 )
+            }
+            "--channels" => {
+                live_opts.channels = parse_or_die(
+                    &flag_value(&mut iter, "--channels"),
+                    "--channels expects a positive integer",
+                );
+                if live_opts.channels == 0 {
+                    eprintln!("--channels expects a positive integer");
+                    std::process::exit(2);
+                }
             }
             "--page-size" => {
                 live_opts.page_size = parse_or_die(
@@ -165,6 +178,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
         "design" => extensions::design(scale),
         "updates" => extensions::updates(scale),
         "index" => extensions::index(scale),
+        "channels" => channels::run(scale, live_opts),
         "live" => live::run(scale, live_opts),
         "trace" => live::trace(scale, live_opts),
         "faults" => faults::run(scale, live_opts),
@@ -173,7 +187,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "live", "faults",
+                "index", "channels", "live", "faults",
             ] {
                 run_one(e, scale, live_opts);
             }

@@ -10,7 +10,7 @@
 //!   atomic add on a per-thread shard) and allocation-free, so the
 //!   steady-state broadcast hot path stays zero-alloc with metrics enabled
 //!   (`crates/broker/tests/alloc_free.rs` pins this).
-//! * [`journal`] — a bounded **ring-buffer event journal** of structured
+//! * [`journal`](mod@journal) — a bounded **ring-buffer event journal** of structured
 //!   events (slot tick, enqueue, drop, disconnect, cache admit/evict,
 //!   backpressure stall) with monotone sequence numbers. Overflow is
 //!   explicit — the oldest events are overwritten and a drop count is

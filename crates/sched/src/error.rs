@@ -31,6 +31,14 @@ pub enum SchedError {
     UnorderedFrequencies,
     /// The program would be empty (no pages at all).
     EmptyProgram,
+    /// A broadcast plan must have at least one channel.
+    NoChannels,
+    /// Striping the layout left a channel with no pages (more channels than
+    /// the largest disk can populate).
+    EmptyChannel {
+        /// Index (0-based) of the offending channel.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -56,6 +64,13 @@ impl fmt::Display for SchedError {
                 "relative frequencies must be non-increasing (disk 1 is the fastest)"
             ),
             SchedError::EmptyProgram => write!(f, "broadcast program contains no pages"),
+            SchedError::NoChannels => write!(f, "a broadcast plan needs at least one channel"),
+            SchedError::EmptyChannel { channel } => {
+                write!(
+                    f,
+                    "channel {channel} has no pages (too many channels for this layout)"
+                )
+            }
         }
     }
 }

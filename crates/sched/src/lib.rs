@@ -40,6 +40,7 @@ pub mod error;
 pub mod generate;
 pub mod index;
 pub mod optimizer;
+pub mod plan;
 pub mod program;
 
 pub use disk::DiskLayout;
@@ -47,6 +48,7 @@ pub use error::SchedError;
 pub use generate::{flat_program, random_program, skewed_program};
 pub use index::IndexedBroadcast;
 pub use optimizer::{optimize_layout, OptimizedLayout, OptimizerConfig};
+pub use plan::{BroadcastPlan, ChannelId};
 pub use program::{BroadcastProgram, PageId, Slot};
 
 /// Least common multiple of two positive integers.

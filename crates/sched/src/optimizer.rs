@@ -10,12 +10,21 @@
 //! no-cache expected delay
 //!
 //! ```text
-//! E[delay] = Σ_p  prob(p) · period / (2 · rel_freq(disk(p)))
+//! E[delay] = Σ_p  prob(p) · period(channel(p)) / (2 · rel_freq(disk(p)))
 //! ```
 //!
 //! which is exact for multi-disk programs because their per-page
 //! inter-arrival times are fixed. The period accounts for chunk padding, so
 //! configurations that waste many slots are penalized automatically.
+//!
+//! With [`OptimizerConfig::max_channels`] > 1 the search also considers
+//! striping the layout across multiple broadcast channels (the
+//! [`crate::BroadcastPlan`] generalization): each candidate is evaluated
+//! per channel with the exact per-channel period the striped sub-layout
+//! would produce, so the objective still matches the generated plan to
+//! machine precision. Per-page frequency is then per-channel: a page's
+//! airings per unit time are its disk's relative frequency over its *own
+//! channel's* (shorter) period.
 
 use crate::disk::DiskLayout;
 use crate::error::SchedError;
@@ -31,6 +40,9 @@ pub struct OptimizerConfig {
     /// Cap on candidate partition boundaries; when the page count exceeds
     /// this, boundaries are restricted to evenly spaced positions.
     pub max_candidates: usize,
+    /// Largest broadcast-channel count to consider. 1 (the default)
+    /// restricts the search to the paper's single-channel setting.
+    pub max_channels: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -39,6 +51,7 @@ impl Default for OptimizerConfig {
             max_disks: 3,
             max_delta: 7,
             max_candidates: 48,
+            max_channels: 1,
         }
     }
 }
@@ -50,13 +63,33 @@ pub struct OptimizedLayout {
     pub layout: DiskLayout,
     /// The Δ that produced its frequencies.
     pub delta: u64,
+    /// Number of broadcast channels the layout should be striped across
+    /// (1 = the paper's single channel).
+    pub channels: usize,
     /// Its analytic expected delay, in broadcast units.
     pub expected_delay: f64,
 }
 
-/// Finds the layout (disk count, Δ, partition boundaries) minimizing the
-/// analytic no-cache expected delay for the given per-page access
-/// probabilities.
+/// Immutable inputs of one (disk count, Δ, channel count) search slice.
+struct SearchCtx<'a> {
+    candidates: &'a [usize],
+    /// Plain prefix sums of probability mass (`prefix[x]` = mass of pages
+    /// `0..x`).
+    prefix: &'a [f64],
+    /// For `channels > 1`: per-residue strided prefix sums —
+    /// `stripes[r][x]` = mass of pages `p < x` with `p ≡ r (mod channels)`.
+    stripes: Option<&'a [Vec<f64>]>,
+    channels: usize,
+    freqs: &'a [u64],
+    /// Chunk counts per disk for the single-channel fast path.
+    num_chunks: &'a [u64],
+    max_chunks: u64,
+    delta: u64,
+}
+
+/// Finds the layout (disk count, Δ, partition boundaries, and — when
+/// `cfg.max_channels > 1` — channel count) minimizing the analytic no-cache
+/// expected delay for the given per-page access probabilities.
 ///
 /// `probs[p]` is the access probability of page `p` *in broadcast order*
 /// (hottest first — the precondition of the Section 2.2 algorithm; pass a
@@ -69,6 +102,9 @@ pub fn optimize_layout(
     if probs.is_empty() {
         return Err(SchedError::EmptyProgram);
     }
+    if cfg.max_channels == 0 {
+        return Err(SchedError::NoChannels);
+    }
     let n = probs.len();
 
     // Prefix sums of probability mass for O(1) range mass.
@@ -78,6 +114,20 @@ pub fn optimize_layout(
         prefix.push(prefix.last().unwrap() + p);
     }
     let total_mass: f64 = prefix[n];
+
+    // Strided prefix sums per channel count > 1: stripes_by_c[c - 2][r][x].
+    let max_channels = cfg.max_channels.min(n);
+    let stripes_by_c: Vec<Vec<Vec<f64>>> = (2..=max_channels)
+        .map(|c| {
+            let mut tables = vec![vec![0.0; n + 1]; c];
+            for (r, table) in tables.iter_mut().enumerate() {
+                for x in 0..n {
+                    table[x + 1] = table[x] + if x % c == r { probs[x] } else { 0.0 };
+                }
+            }
+            tables
+        })
+        .collect();
 
     // Candidate boundaries (positions where one disk may end), excluding 0
     // and n, thinned to at most max_candidates.
@@ -90,72 +140,74 @@ pub fn optimize_layout(
             .collect()
     };
 
-    // Flat broadcast is the K = 1 baseline.
+    // Flat single-channel broadcast is the K = 1, C = 1 baseline.
     let mut best = OptimizedLayout {
         layout: DiskLayout::new(vec![n], vec![1])?,
         delta: 0,
+        channels: 1,
         expected_delay: total_mass * n as f64 / 2.0,
     };
 
     let max_disks = cfg.max_disks.min(n);
-    for k in 2..=max_disks {
-        for delta in 1..=cfg.max_delta {
-            // rel_freq(i) = (k − i)·Δ + 1, disks 1..=k.
-            let freqs: Vec<u64> = (1..=k as u64).map(|i| (k as u64 - i) * delta + 1).collect();
-            let max_chunks = freqs.iter().copied().fold(1u64, lcm);
-            let num_chunks: Vec<u64> = freqs.iter().map(|&f| max_chunks / f).collect();
+    for channels in 1..=max_channels {
+        let stripes = (channels > 1).then(|| stripes_by_c[channels - 2].as_slice());
 
-            let mut bounds = vec![0usize; k + 1];
-            bounds[k] = n;
-            search_boundaries(
-                &candidates,
-                &prefix,
-                &freqs,
-                &num_chunks,
-                max_chunks,
-                &mut bounds,
-                1,
-                0,
-                delta,
-                &mut best,
-            );
+        if channels > 1 {
+            // Flat layout striped across the channels (K = 1).
+            let ctx = SearchCtx {
+                candidates: &candidates,
+                prefix: &prefix,
+                stripes,
+                channels,
+                freqs: &[1],
+                num_chunks: &[1],
+                max_chunks: 1,
+                delta: 0,
+            };
+            consider(&ctx, &[0, n], &mut best);
+        }
+
+        for k in 2..=max_disks {
+            for delta in 1..=cfg.max_delta {
+                // rel_freq(i) = (k − i)·Δ + 1, disks 1..=k.
+                let freqs: Vec<u64> = (1..=k as u64).map(|i| (k as u64 - i) * delta + 1).collect();
+                let max_chunks = freqs.iter().copied().fold(1u64, lcm);
+                let num_chunks: Vec<u64> = freqs.iter().map(|&f| max_chunks / f).collect();
+
+                let ctx = SearchCtx {
+                    candidates: &candidates,
+                    prefix: &prefix,
+                    stripes,
+                    channels,
+                    freqs: &freqs,
+                    num_chunks: &num_chunks,
+                    max_chunks,
+                    delta,
+                };
+                let mut bounds = vec![0usize; k + 1];
+                bounds[k] = n;
+                search_boundaries(&ctx, &mut bounds, 1, 0, &mut best);
+            }
         }
     }
     Ok(best)
 }
 
-/// Recursively chooses `bounds[level..k]` from `candidates`, evaluating the
-/// full configuration at the leaves.
-#[allow(clippy::too_many_arguments)]
+/// Recursively chooses `bounds[level..k]` from the candidate set, evaluating
+/// the full configuration at the leaves.
 fn search_boundaries(
-    candidates: &[usize],
-    prefix: &[f64],
-    freqs: &[u64],
-    num_chunks: &[u64],
-    max_chunks: u64,
+    ctx: &SearchCtx<'_>,
     bounds: &mut Vec<usize>,
     level: usize,
     min_candidate_idx: usize,
-    delta: u64,
     best: &mut OptimizedLayout,
 ) {
-    let k = freqs.len();
+    let k = ctx.freqs.len();
     if level == k {
-        if let Some(delay) = evaluate(prefix, freqs, num_chunks, max_chunks, bounds) {
-            if delay < best.expected_delay {
-                let sizes: Vec<usize> = (0..k).map(|i| bounds[i + 1] - bounds[i]).collect();
-                if let Ok(layout) = DiskLayout::new(sizes, freqs.to_vec()) {
-                    *best = OptimizedLayout {
-                        layout,
-                        delta,
-                        expected_delay: delay,
-                    };
-                }
-            }
-        }
+        consider(ctx, bounds, best);
         return;
     }
-    for (ci, &c) in candidates.iter().enumerate().skip(min_candidate_idx) {
+    for (ci, &c) in ctx.candidates.iter().enumerate().skip(min_candidate_idx) {
         if c <= bounds[level - 1] {
             continue;
         }
@@ -163,23 +215,42 @@ fn search_boundaries(
             break;
         }
         bounds[level] = c;
-        search_boundaries(
-            candidates,
-            prefix,
-            freqs,
-            num_chunks,
-            max_chunks,
-            bounds,
-            level + 1,
-            ci + 1,
-            delta,
-            best,
-        );
+        search_boundaries(ctx, bounds, level + 1, ci + 1, best);
     }
 }
 
-/// Analytic expected delay of a fully specified configuration, or `None`
-/// when a disk would be empty.
+/// Evaluates one fully specified configuration and replaces `best` when it
+/// improves on it.
+fn consider(ctx: &SearchCtx<'_>, bounds: &[usize], best: &mut OptimizedLayout) {
+    let delay = if ctx.channels == 1 {
+        evaluate(
+            ctx.prefix,
+            ctx.freqs,
+            ctx.num_chunks,
+            ctx.max_chunks,
+            bounds,
+        )
+    } else {
+        evaluate_channels(ctx, bounds)
+    };
+    if let Some(delay) = delay {
+        if delay < best.expected_delay {
+            let k = ctx.freqs.len();
+            let sizes: Vec<usize> = (0..k).map(|i| bounds[i + 1] - bounds[i]).collect();
+            if let Ok(layout) = DiskLayout::new(sizes, ctx.freqs.to_vec()) {
+                *best = OptimizedLayout {
+                    layout,
+                    delta: ctx.delta,
+                    channels: ctx.channels,
+                    expected_delay: delay,
+                };
+            }
+        }
+    }
+}
+
+/// Analytic expected delay of a fully specified single-channel
+/// configuration, or `None` when a disk would be empty.
 fn evaluate(
     prefix: &[f64],
     freqs: &[u64],
@@ -207,6 +278,58 @@ fn evaluate(
     Some(delay)
 }
 
+/// Analytic expected delay of a configuration striped across
+/// `ctx.channels` channels, exactly mirroring
+/// [`crate::BroadcastPlan::generate`]: channel `c` receives in-disk offsets
+/// `≡ c (mod channels)` of every disk, disks that contribute no pages drop
+/// out, and the channel's period comes from the LCM of the *remaining*
+/// frequencies. `None` when a disk or a channel would be empty.
+fn evaluate_channels(ctx: &SearchCtx<'_>, bounds: &[usize]) -> Option<f64> {
+    let k = ctx.freqs.len();
+    let chans = ctx.channels;
+    let stripes = ctx.stripes.expect("stripes precomputed for channels > 1");
+    for i in 0..k {
+        if bounds[i + 1] == bounds[i] {
+            return None;
+        }
+    }
+
+    let mut delay = 0.0;
+    let mut ch_freqs: Vec<u64> = Vec::with_capacity(k);
+    let mut ch_counts: Vec<usize> = Vec::with_capacity(k);
+    let mut ch_masses: Vec<f64> = Vec::with_capacity(k);
+    for c in 0..chans {
+        ch_freqs.clear();
+        ch_counts.clear();
+        ch_masses.clear();
+        for i in 0..k {
+            let size = bounds[i + 1] - bounds[i];
+            if size <= c {
+                continue; // disk too small to reach this channel
+            }
+            let count = (size - c).div_ceil(chans);
+            let r = (bounds[i] + c) % chans;
+            let mass = stripes[r][bounds[i + 1]] - stripes[r][bounds[i]];
+            ch_freqs.push(ctx.freqs[i]);
+            ch_counts.push(count);
+            ch_masses.push(mass);
+        }
+        if ch_freqs.is_empty() {
+            return None; // empty channel: plan generation would reject it
+        }
+        let max_chunks = ch_freqs.iter().copied().fold(1u64, lcm);
+        let mut minor_len = 0usize;
+        for (j, &f) in ch_freqs.iter().enumerate() {
+            minor_len += ch_counts[j].div_ceil((max_chunks / f) as usize);
+        }
+        let period = max_chunks as usize * minor_len;
+        for (j, &f) in ch_freqs.iter().enumerate() {
+            delay += ch_masses[j] * period as f64 / (2.0 * f as f64);
+        }
+    }
+    Some(delay)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +349,7 @@ mod tests {
         let best = optimize_layout(&probs, &OptimizerConfig::default()).unwrap();
         assert_eq!(best.layout.num_disks(), 1);
         assert_eq!(best.delta, 0);
+        assert_eq!(best.channels, 1);
         assert!((best.expected_delay - 5.0).abs() < 1e-9);
     }
 
@@ -269,6 +393,7 @@ mod tests {
             max_disks: 3,
             max_delta: 4,
             max_candidates: 20,
+            max_channels: 1,
         };
         let best = optimize_layout(&probs, &cfg).unwrap();
         let program = crate::BroadcastProgram::generate(&best.layout).unwrap();
@@ -288,8 +413,65 @@ mod tests {
     }
 
     #[test]
+    fn channel_objective_matches_generated_plan() {
+        // With channels in the search space, the objective must equal the
+        // true expected delay of the striped plan the winner generates.
+        let probs = zipf_probs(60, 0.95);
+        let cfg = OptimizerConfig {
+            max_disks: 3,
+            max_delta: 4,
+            max_candidates: 20,
+            max_channels: 3,
+        };
+        let best = optimize_layout(&probs, &cfg).unwrap();
+        assert!(best.channels >= 2, "more channels should win: {best:?}");
+        let plan = crate::BroadcastPlan::generate(&best.layout, best.channels).unwrap();
+        let expect = plan.expected_delay(&probs);
+        assert!(
+            (expect - best.expected_delay).abs() < 1e-6,
+            "analytic {} vs plan {}",
+            best.expected_delay,
+            expect
+        );
+    }
+
+    #[test]
+    fn more_channels_never_hurt() {
+        // The C = 1 space is a subset of the C ≤ 4 space, and striping only
+        // shrinks periods: the optimum must be non-increasing in
+        // max_channels.
+        let probs = zipf_probs(80, 0.95);
+        let mut last = f64::INFINITY;
+        for max_channels in 1..=4 {
+            let cfg = OptimizerConfig {
+                max_disks: 3,
+                max_delta: 4,
+                max_candidates: 16,
+                max_channels,
+            };
+            let best = optimize_layout(&probs, &cfg).unwrap();
+            assert!(
+                best.expected_delay <= last + 1e-9,
+                "max_channels {} worsened delay: {} > {}",
+                max_channels,
+                best.expected_delay,
+                last
+            );
+            last = best.expected_delay;
+        }
+    }
+
+    #[test]
     fn empty_probs_rejected() {
         assert!(optimize_layout(&[], &OptimizerConfig::default()).is_err());
+        let cfg = OptimizerConfig {
+            max_channels: 0,
+            ..OptimizerConfig::default()
+        };
+        assert_eq!(
+            optimize_layout(&[1.0], &cfg).unwrap_err(),
+            SchedError::NoChannels
+        );
     }
 
     #[test]
@@ -299,6 +481,7 @@ mod tests {
             max_disks: 2,
             max_delta: 3,
             max_candidates: 8,
+            max_channels: 1,
         };
         let best = optimize_layout(&probs, &cfg).unwrap();
         assert!(best.expected_delay <= 250.0);

@@ -1,0 +1,401 @@
+//! Multi-channel broadcast plans.
+//!
+//! The paper superimposes its disks on **one** broadcast channel; a
+//! [`BroadcastPlan`] lifts that assumption. A plan is a [`ChannelId`]-indexed
+//! set of [`BroadcastProgram`]s driven off one slot clock (slot `k` airs one
+//! page per channel) plus a total page → (channel, disk) assignment: every
+//! page is broadcast on exactly one channel, so a single-tuner client that
+//! misses its cache retunes to the page's channel and waits for its next
+//! periodic broadcast there.
+//!
+//! Generation stripes each disk's pages round-robin across the channels
+//! (page `j` of a disk goes to channel `j mod C`), so hot disks are spread
+//! first and no channel is all-cold: every channel receives an
+//! approximately `1/C`-sized copy of the layout with the *same* relative
+//! frequencies, and its Section 2.2 program therefore has roughly `1/C` of
+//! the single-channel period. Expected delay shrinks accordingly, which the
+//! channel-count search in [`crate::optimizer`] exploits.
+//!
+//! With `channels = 1` the striping is the identity: the plan wraps the
+//! exact [`BroadcastProgram`] the single-channel generator produces, slot
+//! for slot, so every existing single-channel result is unchanged.
+//!
+//! Each channel's program uses *channel-local* page ids (dense, as
+//! [`BroadcastProgram::from_slots`] requires); the plan owns the
+//! local ↔ global translation and exposes only global [`PageId`]s.
+
+use crate::disk::DiskLayout;
+use crate::error::SchedError;
+use crate::program::{BroadcastProgram, PageId, Slot};
+
+/// Identifier of a broadcast channel (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u16);
+
+impl ChannelId {
+    /// The channel id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A multi-channel broadcast plan: one [`BroadcastProgram`] per channel and
+/// a total assignment of every page to exactly one (channel, disk) pair.
+#[derive(Debug, Clone)]
+pub struct BroadcastPlan {
+    /// Per-channel programs over channel-local page ids.
+    programs: Vec<BroadcastProgram>,
+    /// Global page → channel that broadcasts it.
+    page_channel: Vec<u16>,
+    /// Global page → its local id on its channel's program.
+    page_local: Vec<u32>,
+    /// Per channel: local id → global page.
+    global_of: Vec<Vec<u32>>,
+    /// Global page → disk (layout-level, shared by all channels).
+    page_disk: Vec<u16>,
+    /// Relative frequency of each disk in the source layout.
+    disk_freqs: Vec<u64>,
+}
+
+impl BroadcastPlan {
+    /// Generates a plan that stripes `layout` across `channels` channels.
+    ///
+    /// Page `j` of each disk goes to channel `j mod channels`, preserving
+    /// hottest-first order within every (disk, channel) cell; a channel's
+    /// layout keeps the relative frequencies of the disks that reach it.
+    /// `channels = 1` produces a plan whose single program is identical to
+    /// [`BroadcastProgram::generate`] for the same layout.
+    pub fn generate(layout: &DiskLayout, channels: usize) -> Result<Self, SchedError> {
+        if channels == 0 {
+            return Err(SchedError::NoChannels);
+        }
+        let total = layout.total_pages();
+        let mut page_channel = vec![0u16; total];
+        let mut page_local = vec![0u32; total];
+        let mut global_of: Vec<Vec<u32>> = vec![Vec::new(); channels];
+        let mut programs = Vec::with_capacity(channels);
+
+        for (c, globals) in global_of.iter_mut().enumerate() {
+            // Strided sub-layout: every disk contributes its pages at
+            // in-disk offsets ≡ c (mod channels); disks smaller than the
+            // channel count drop out of the later channels.
+            let mut sizes = Vec::new();
+            let mut freqs = Vec::new();
+            for disk in 0..layout.num_disks() {
+                let range = layout.page_range(disk);
+                let mut count = 0u32;
+                for p in (range.start + c..range.end).step_by(channels) {
+                    page_channel[p] = c as u16;
+                    page_local[p] = globals.len() as u32 + count;
+                    count += 1;
+                }
+                if count > 0 {
+                    for p in (range.start + c..range.end).step_by(channels) {
+                        globals.push(p as u32);
+                    }
+                    sizes.push(count as usize);
+                    freqs.push(layout.freqs()[disk]);
+                }
+            }
+            if sizes.is_empty() {
+                return Err(SchedError::EmptyChannel { channel: c });
+            }
+            let sub = DiskLayout::new(sizes, freqs)?;
+            programs.push(BroadcastProgram::generate(&sub)?);
+        }
+
+        let page_disk = (0..total)
+            .map(|p| layout.disk_of(PageId(p as u32)) as u16)
+            .collect();
+        Ok(Self {
+            programs,
+            page_channel,
+            page_local,
+            global_of,
+            page_disk,
+            disk_freqs: layout.freqs().to_vec(),
+        })
+    }
+
+    /// Wraps an existing single-channel program as a 1-channel plan.
+    ///
+    /// The page-id spaces coincide (local = global), so the plan is a
+    /// zero-cost view: every query delegates straight to `program`.
+    pub fn single(program: BroadcastProgram) -> Self {
+        let n = program.num_pages();
+        let page_disk = (0..n)
+            .map(|p| program.disk_of(PageId(p as u32)) as u16)
+            .collect();
+        let disk_freqs = program.disk_frequencies().to_vec();
+        Self {
+            page_channel: vec![0; n],
+            page_local: (0..n as u32).collect(),
+            global_of: vec![(0..n as u32).collect()],
+            page_disk,
+            disk_freqs,
+            programs: vec![program],
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total number of distinct pages across all channels.
+    pub fn num_pages(&self) -> usize {
+        self.page_channel.len()
+    }
+
+    /// Number of disks in the source layout.
+    pub fn num_disks(&self) -> usize {
+        self.disk_freqs.len().max(1)
+    }
+
+    /// Relative frequency of each disk in the source layout.
+    pub fn disk_frequencies(&self) -> &[u64] {
+        &self.disk_freqs
+    }
+
+    /// The channel that broadcasts `page`.
+    pub fn channel_of(&self, page: PageId) -> ChannelId {
+        ChannelId(self.page_channel[page.index()])
+    }
+
+    /// The disk (0-based, layout-level) that holds `page`.
+    pub fn disk_of(&self, page: PageId) -> usize {
+        self.page_disk[page.index()] as usize
+    }
+
+    /// The program for `channel` (page ids are channel-local; prefer the
+    /// plan-level queries, which speak global ids).
+    pub fn program(&self, channel: ChannelId) -> &BroadcastProgram {
+        &self.programs[channel.index()]
+    }
+
+    /// Period of `channel`'s program, in slots.
+    pub fn period_of(&self, channel: ChannelId) -> usize {
+        self.programs[channel.index()].period()
+    }
+
+    /// The longest channel period — an upper bound on any page's
+    /// inter-arrival time under this plan.
+    pub fn max_period(&self) -> usize {
+        self.programs.iter().map(|p| p.period()).max().unwrap_or(0)
+    }
+
+    /// The slot aired on `channel` at absolute slot sequence `seq`
+    /// (wrapping the channel's period), with the page translated to its
+    /// global id.
+    pub fn slot_at(&self, channel: ChannelId, seq: u64) -> Slot {
+        match self.programs[channel.index()].slot_at(seq) {
+            Slot::Page(local) => Slot::Page(self.global_page(channel, local)),
+            Slot::Empty => Slot::Empty,
+        }
+    }
+
+    /// Translates a channel-local page id back to its global id.
+    pub fn global_page(&self, channel: ChannelId, local: PageId) -> PageId {
+        PageId(self.global_of[channel.index()][local.index()])
+    }
+
+    /// Broadcasts of `page` per period *of its channel*.
+    pub fn frequency(&self, page: PageId) -> u64 {
+        let ch = self.page_channel[page.index()] as usize;
+        self.programs[ch].frequency(PageId(self.page_local[page.index()]))
+    }
+
+    /// The fixed inter-arrival gap of `page` on its channel, or `None` if
+    /// its broadcasts are not evenly spaced.
+    pub fn gap(&self, page: PageId) -> Option<f64> {
+        let ch = self.page_channel[page.index()] as usize;
+        self.programs[ch].gap(PageId(self.page_local[page.index()]))
+    }
+
+    /// The absolute time (slot start) at which `page` is next broadcast at
+    /// or after time `t`, on its assigned channel.
+    ///
+    /// Pages live on exactly one channel, so the cross-channel minimum the
+    /// single-tuner client needs is just this channel's `O(log f)` lookup.
+    pub fn next_arrival(&self, page: PageId, t: f64) -> f64 {
+        let ch = self.page_channel[page.index()] as usize;
+        self.programs[ch].next_arrival(PageId(self.page_local[page.index()]), t)
+    }
+
+    /// Analytic expected delay (broadcast units) of a request stream with
+    /// per-page weights `probs`, for a client already tuned to each page's
+    /// channel: `Σ_p probs[p] · Σ_g g²/(2·period)` over `p`'s gaps, which
+    /// reduces to `probs[p] · gap/2` for the fixed-gap programs this crate
+    /// generates. Weights beyond the plan's page count are ignored.
+    pub fn expected_delay(&self, probs: &[f64]) -> f64 {
+        let mut delay = 0.0;
+        for (p, &pr) in probs.iter().enumerate().take(self.num_pages()) {
+            let ch = self.page_channel[p] as usize;
+            let local = PageId(self.page_local[p]);
+            let period = self.programs[ch].period() as f64;
+            let wait: f64 = self.programs[ch]
+                .gaps(local)
+                .iter()
+                .map(|g| g * g / (2.0 * period))
+                .sum();
+            delay += pr * wait;
+        }
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d_small() -> DiskLayout {
+        DiskLayout::new(vec![4, 6, 8], vec![4, 2, 1]).unwrap()
+    }
+
+    #[test]
+    fn one_channel_plan_is_the_program() {
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 1).unwrap();
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        assert_eq!(plan.num_channels(), 1);
+        assert_eq!(plan.program(ChannelId(0)).slots(), program.slots());
+        for p in 0..layout.total_pages() as u32 {
+            let page = PageId(p);
+            assert_eq!(plan.channel_of(page), ChannelId(0));
+            assert_eq!(plan.disk_of(page), layout.disk_of(page));
+            assert_eq!(plan.frequency(page), program.frequency(page));
+            for t in [0.0, 3.5, 17.0, 100.25] {
+                assert_eq!(plan.next_arrival(page, t), program.next_arrival(page, t));
+            }
+        }
+    }
+
+    #[test]
+    fn single_wraps_program_identically() {
+        let layout = d_small();
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        let plan = BroadcastPlan::single(program.clone());
+        assert_eq!(plan.num_channels(), 1);
+        assert_eq!(plan.num_pages(), program.num_pages());
+        for seq in 0..2 * program.period() as u64 {
+            assert_eq!(plan.slot_at(ChannelId(0), seq), program.slot_at(seq));
+        }
+        assert_eq!(plan.disk_frequencies(), program.disk_frequencies());
+    }
+
+    #[test]
+    fn pages_partition_across_channels() {
+        let layout = d_small();
+        for channels in 1..=4 {
+            let plan = BroadcastPlan::generate(&layout, channels).unwrap();
+            assert_eq!(plan.num_channels(), channels);
+            // Every page lands on exactly one channel; the per-channel
+            // global translations partition the page set.
+            let mut seen = vec![false; layout.total_pages()];
+            for c in 0..channels {
+                let ch = ChannelId(c as u16);
+                let prog = plan.program(ch);
+                for local in 0..prog.num_pages() as u32 {
+                    let g = plan.global_page(ch, PageId(local));
+                    assert!(!seen[g.index()], "page {g} on two channels");
+                    seen[g.index()] = true;
+                    assert_eq!(plan.channel_of(g), ch);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "some page on no channel");
+        }
+    }
+
+    #[test]
+    fn striping_spreads_hot_disk_first() {
+        // Disk 1 has 4 pages; with 2 channels each channel gets 2 of them.
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        assert_eq!(plan.channel_of(PageId(0)), ChannelId(0));
+        assert_eq!(plan.channel_of(PageId(1)), ChannelId(1));
+        assert_eq!(plan.channel_of(PageId(2)), ChannelId(0));
+        assert_eq!(plan.channel_of(PageId(3)), ChannelId(1));
+        // Hot pages keep their high frequency on their channel.
+        assert_eq!(plan.frequency(PageId(0)), 4);
+        assert_eq!(plan.frequency(PageId(1)), 4);
+    }
+
+    #[test]
+    fn more_channels_shrink_expected_delay() {
+        let layout = DiskLayout::with_delta(&[8, 24, 32], 3).unwrap();
+        let n = layout.total_pages();
+        let probs = vec![1.0 / n as f64; n];
+        let mut last = f64::INFINITY;
+        for channels in 1..=4 {
+            let plan = BroadcastPlan::generate(&layout, channels).unwrap();
+            let d = plan.expected_delay(&probs);
+            assert!(
+                d <= last + 1e-9,
+                "delay increased at {channels} channels: {d} > {last}"
+            );
+            last = d;
+        }
+    }
+
+    #[test]
+    fn small_disks_drop_out_of_late_channels() {
+        // Disk 1 has a single page: channel 1 gets only disks 2 and 3.
+        let layout = DiskLayout::new(vec![1, 2, 8], vec![4, 2, 1]).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        assert_eq!(plan.channel_of(PageId(0)), ChannelId(0));
+        let ch1 = plan.program(ChannelId(1));
+        assert_eq!(ch1.num_pages(), 5); // pages 2, 4, 6, 8, 10
+        assert_eq!(plan.disk_of(PageId(2)), 1);
+        // The dropped disk does not distort disk accounting.
+        assert_eq!(plan.num_disks(), 3);
+    }
+
+    #[test]
+    fn too_many_channels_rejected() {
+        let layout = DiskLayout::new(vec![1, 1], vec![2, 1]).unwrap();
+        assert_eq!(
+            BroadcastPlan::generate(&layout, 3).unwrap_err(),
+            SchedError::EmptyChannel { channel: 1 }
+        );
+        assert_eq!(
+            BroadcastPlan::generate(&layout, 0).unwrap_err(),
+            SchedError::NoChannels
+        );
+    }
+
+    #[test]
+    fn slot_at_translates_to_global_ids() {
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 3).unwrap();
+        for c in 0..3u16 {
+            let ch = ChannelId(c);
+            for seq in 0..plan.period_of(ch) as u64 {
+                if let Slot::Page(g) = plan.slot_at(ch, seq) {
+                    assert_eq!(plan.channel_of(g), ch);
+                    assert!(g.index() < plan.num_pages());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_arrival_matches_slot_feed() {
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        for c in 0..2u16 {
+            let ch = ChannelId(c);
+            for seq in 0..2 * plan.period_of(ch) as u64 {
+                if let Slot::Page(g) = plan.slot_at(ch, seq) {
+                    assert_eq!(plan.next_arrival(g, seq as f64), seq as f64);
+                }
+            }
+        }
+    }
+}

@@ -48,6 +48,15 @@ pub struct SimConfig {
     /// real page payloads it ships, so it lives here with the other
     /// Table 2 knobs. 0 broadcasts bare (metadata-only) frames.
     pub page_size: usize,
+    /// Number of broadcast channels the layout is striped across
+    /// (`BroadcastPlan` generalization; 1 = the paper's single channel).
+    pub channels: usize,
+    /// Retune penalty in broadcast units a single-tuner client pays when a
+    /// cache miss sends it to a *different* channel: after deciding to
+    /// switch at time `t`, the earliest slot it can receive on the target
+    /// channel starts at `⌊t⌋ + 1 + switch_slots`. Irrelevant when
+    /// `channels == 1` (the client never switches).
+    pub switch_slots: f64,
 }
 
 impl Default for SimConfig {
@@ -67,6 +76,8 @@ impl Default for SimConfig {
             alpha: 0.25,
             batch_size: 500,
             page_size: 64,
+            channels: 1,
+            switch_slots: 0.0,
         }
     }
 }
@@ -110,6 +121,12 @@ impl SimConfig {
         }
         if self.batch_size == 0 {
             return Err(SimError::BadParameter("batch_size must be positive"));
+        }
+        if self.channels == 0 {
+            return Err(SimError::BadParameter("channels must be positive"));
+        }
+        if self.switch_slots < 0.0 || !self.switch_slots.is_finite() {
+            return Err(SimError::BadParameter("switch_slots must be non-negative"));
         }
         Ok(())
     }
@@ -250,6 +267,20 @@ mod tests {
                 "batch",
                 SimConfig {
                     batch_size: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "channels",
+                SimConfig {
+                    channels: 0,
+                    ..base.clone()
+                },
+            ),
+            (
+                "switch",
+                SimConfig {
+                    switch_slots: -1.0,
                     ..base.clone()
                 },
             ),

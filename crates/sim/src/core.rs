@@ -13,7 +13,7 @@
 //! predictions.
 
 use bdisk_cache::{build_policy, CachePolicy, PolicyContext};
-use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_sched::{BroadcastPlan, BroadcastProgram, DiskLayout, PageId};
 use bdisk_workload::{AccessGenerator, Mapping, RegionZipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,12 +59,59 @@ impl ClientCore {
         Self::with_workload(cfg, layout, program, zipf.probs(), mapping, rng)
     }
 
+    /// Like [`ClientCore::new`] but against a multi-channel
+    /// [`BroadcastPlan`]. The construction consumes random draws in exactly
+    /// the same order, so a 1-channel plan yields a core bit-identical to
+    /// [`ClientCore::new`] with the wrapped program.
+    pub fn new_plan(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        plan: &BroadcastPlan,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        cfg.validate(layout)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mapping = Mapping::build(layout, cfg.offset, cfg.noise, &mut rng);
+        let zipf = RegionZipf::new(cfg.access_range, cfg.region_size, cfg.theta);
+        Self::build(cfg, layout, plan.max_period(), zipf.probs(), mapping, rng)
+    }
+
     /// Builds the core with an explicit logical-page probability vector and
     /// mapping (used by the population model and custom workloads).
     pub fn with_workload(
         cfg: &SimConfig,
         layout: &DiskLayout,
         program: &BroadcastProgram,
+        logical_probs: &[f64],
+        mapping: Mapping,
+        rng: StdRng,
+    ) -> Result<Self, SimError> {
+        Self::build(cfg, layout, program.period(), logical_probs, mapping, rng)
+    }
+
+    /// Like [`ClientCore::with_workload`] but against a multi-channel plan.
+    pub fn with_workload_plan(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        plan: &BroadcastPlan,
+        logical_probs: &[f64],
+        mapping: Mapping,
+        rng: StdRng,
+    ) -> Result<Self, SimError> {
+        Self::build(cfg, layout, plan.max_period(), logical_probs, mapping, rng)
+    }
+
+    /// Shared construction: the wait horizon is the longest period any
+    /// channel can make a request wait (sizes the response histogram).
+    ///
+    /// Note the policy context speaks *aggregate* cross-channel frequency:
+    /// PIX/LIX's `X` is the page's disk-level relative frequency from the
+    /// layout, which striping preserves on every channel (a page's airings
+    /// per unit time scale uniformly with the channel count).
+    fn build(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        max_period: usize,
         logical_probs: &[f64],
         mapping: Mapping,
         rng: StdRng,
@@ -81,8 +128,7 @@ impl ClientCore {
         };
         let policy = build_policy(cfg.policy, cfg.cache_size, &ctx);
         let generator = AccessGenerator::from_probs(logical_probs, mapping);
-        let measurements =
-            Measurements::new(layout.num_disks(), cfg.batch_size, program.period() + 1);
+        let measurements = Measurements::new(layout.num_disks(), cfg.batch_size, max_period + 1);
 
         Ok(Self {
             generator,

@@ -13,7 +13,7 @@
 //! requests".
 
 use bdesim::{Action, Process, ProcessExecutor, Time};
-use bdisk_sched::{BroadcastProgram, DiskLayout, PageId};
+use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId};
 use bdisk_workload::{Mapping, RegionZipf};
 use rand::rngs::StdRng;
 
@@ -33,15 +33,24 @@ enum Phase {
 }
 
 /// The simulated client (one per run; the server is implicit in the
-/// broadcast program's arithmetic).
+/// broadcast plan's arithmetic).
 ///
 /// The request stream, cache policy, warm-up, and measurement logic all
 /// live in [`ClientCore`], shared with the live engine's clients; this
 /// wrapper adds the discrete-event waiting strategy (jump the clock to the
-/// page's next arrival).
+/// page's next arrival) and the **single-tuner constraint** of the
+/// multi-channel model: the client listens to one channel at a time. A miss
+/// on the tuned channel waits in place; a miss on another channel retunes —
+/// the earliest receivable slot on the target channel starts at
+/// `⌊t⌋ + 1 + switch_slots`, since the slot in flight at the switch instant
+/// is already lost. With one channel the client never switches and the
+/// model is bit-identical to the original single-program simulator.
 pub struct ClientModel {
     core: ClientCore,
-    program: BroadcastProgram,
+    plan: BroadcastPlan,
+    /// The channel the single tuner currently listens to.
+    tuned: ChannelId,
+    switch_slots: f64,
     phase: Phase,
     end_time: f64,
 }
@@ -56,12 +65,19 @@ impl ClientModel {
         seed: u64,
     ) -> Result<Self, SimError> {
         let core = ClientCore::new(cfg, layout, &program, seed)?;
-        Ok(Self {
-            core,
-            program,
-            phase: Phase::Request,
-            end_time: 0.0,
-        })
+        Ok(Self::assemble(cfg, core, BroadcastPlan::single(program)))
+    }
+
+    /// Builds the client against a multi-channel [`BroadcastPlan`]. The
+    /// tuner starts on channel 0.
+    pub fn new_plan(
+        cfg: &SimConfig,
+        layout: &DiskLayout,
+        plan: BroadcastPlan,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let core = ClientCore::new_plan(cfg, layout, &plan, seed)?;
+        Ok(Self::assemble(cfg, core, plan))
     }
 
     /// Builds the client with an explicit logical→physical mapping (used by
@@ -90,12 +106,18 @@ impl ClientModel {
         rng: StdRng,
     ) -> Result<Self, SimError> {
         let core = ClientCore::with_workload(cfg, layout, &program, logical_probs, mapping, rng)?;
-        Ok(Self {
+        Ok(Self::assemble(cfg, core, BroadcastPlan::single(program)))
+    }
+
+    fn assemble(cfg: &SimConfig, core: ClientCore, plan: BroadcastPlan) -> Self {
+        Self {
             core,
-            program,
+            plan,
+            tuned: ChannelId(0),
+            switch_slots: cfg.switch_slots,
             phase: Phase::Request,
             end_time: 0.0,
-        })
+        }
     }
 
     /// Consumes the client, producing the run's outcome.
@@ -119,7 +141,16 @@ impl Process for ClientModel {
                     }
                     Action::Sleep(Time::new(self.core.think_delay()))
                 } else {
-                    let arrival = self.program.next_arrival(page, t);
+                    let channel = self.plan.channel_of(page);
+                    let arrival = if channel == self.tuned {
+                        self.plan.next_arrival(page, t)
+                    } else {
+                        // Single-tuner constraint: retuning forfeits the
+                        // slot in flight and pays the switch penalty.
+                        self.tuned = channel;
+                        self.plan
+                            .next_arrival(page, t.floor() + 1.0 + self.switch_slots)
+                    };
                     self.phase = Phase::Receive {
                         page,
                         requested_at: t,
@@ -129,7 +160,7 @@ impl Process for ClientModel {
             }
             Phase::Receive { page, requested_at } => {
                 self.core.insert(page, t);
-                let disk = self.program.disk_of(page);
+                let disk = self.plan.disk_of(page);
                 self.phase = Phase::Request;
                 if self
                     .core
@@ -146,16 +177,18 @@ impl Process for ClientModel {
     }
 }
 
-/// Runs one full simulation: generates the program for `layout`, drives the
-/// client to completion, returns the steady-state outcome.
+/// Runs one full simulation: generates the broadcast plan for `layout`
+/// (striped across `cfg.channels` channels; 1 reproduces the paper's
+/// single-channel program bit for bit), drives the client to completion,
+/// returns the steady-state outcome.
 pub fn simulate(cfg: &SimConfig, layout: &DiskLayout, seed: u64) -> Result<SimOutcome, SimError> {
-    let program = BroadcastProgram::generate(layout)?;
-    simulate_program(cfg, layout, program, seed)
+    let plan = BroadcastPlan::generate(layout, cfg.channels)?;
+    simulate_plan(cfg, layout, plan, seed)
 }
 
 /// Like [`simulate`] but with a caller-supplied broadcast program (used for
 /// the skewed/random baselines and to reuse a generated program across
-/// seeds).
+/// seeds). Always single-channel: the program *is* the one channel.
 pub fn simulate_program(
     cfg: &SimConfig,
     layout: &DiskLayout,
@@ -163,6 +196,23 @@ pub fn simulate_program(
     seed: u64,
 ) -> Result<SimOutcome, SimError> {
     let client = ClientModel::new(cfg, layout, program, seed)?;
+    run_client(client)
+}
+
+/// Like [`simulate`] but with a caller-supplied multi-channel plan (used to
+/// reuse one generated plan across seeds and by the live broker's
+/// simulated-twin predictions).
+pub fn simulate_plan(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    plan: BroadcastPlan,
+    seed: u64,
+) -> Result<SimOutcome, SimError> {
+    let client = ClientModel::new_plan(cfg, layout, plan, seed)?;
+    run_client(client)
+}
+
+fn run_client(client: ClientModel) -> Result<SimOutcome, SimError> {
     let mut executor = ProcessExecutor::new();
     executor.spawn_at(Time::ZERO, client);
     executor.run_to_completion();
@@ -296,6 +346,69 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(simulate(&cfg, &layout, 0).is_err());
+    }
+
+    #[test]
+    fn one_channel_plan_matches_program_path() {
+        // The plan-based simulate() must be bit-identical to the original
+        // program-based path when channels = 1 (the refactor's contract).
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let cfg = SimConfig {
+            cache_size: 30,
+            offset: 30,
+            noise: 0.2,
+            policy: PolicyKind::Lix,
+            ..small_cfg()
+        };
+        let program = BroadcastProgram::generate(&layout).unwrap();
+        let via_program = simulate_program(&cfg, &layout, program, 21).unwrap();
+        let via_plan = simulate(&cfg, &layout, 21).unwrap();
+        assert_eq!(via_plan.mean_response_time, via_program.mean_response_time);
+        assert_eq!(via_plan.hit_rate, via_program.hit_rate);
+        assert_eq!(via_plan.end_time, via_program.end_time);
+        assert_eq!(via_plan.access_fractions, via_program.access_fractions);
+    }
+
+    #[test]
+    fn more_channels_cut_response_at_zero_switch_cost() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let mut last = f64::INFINITY;
+        for channels in [1usize, 2, 4] {
+            let cfg = SimConfig {
+                channels,
+                ..small_cfg()
+            };
+            let out = simulate(&cfg, &layout, 17).unwrap();
+            assert!(
+                out.mean_response_time < last,
+                "{channels} channels: {} not below {last}",
+                out.mean_response_time
+            );
+            last = out.mean_response_time;
+        }
+    }
+
+    #[test]
+    fn switch_penalty_increases_response() {
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let free = SimConfig {
+            channels: 2,
+            switch_slots: 0.0,
+            ..small_cfg()
+        };
+        let costly = SimConfig {
+            channels: 2,
+            switch_slots: 25.0,
+            ..small_cfg()
+        };
+        let a = simulate(&free, &layout, 29).unwrap();
+        let b = simulate(&costly, &layout, 29).unwrap();
+        assert!(
+            b.mean_response_time > a.mean_response_time,
+            "switch penalty should cost: {} vs {}",
+            b.mean_response_time,
+            a.mean_response_time
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn main() {
             max_disks: 3,
             max_delta: 7,
             max_candidates: 40,
+            max_channels: 1,
         },
     )
     .expect("optimizer runs");

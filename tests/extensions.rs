@@ -110,6 +110,7 @@ fn population_and_optimizer_compose() {
             max_disks: 3,
             max_delta: 5,
             max_candidates: 16,
+            max_channels: 1,
         },
     )
     .unwrap();

@@ -36,7 +36,7 @@ pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     size: L,
