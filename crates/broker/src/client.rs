@@ -23,6 +23,9 @@
 //! observe one fewer same-`seq` slot than the model; the paper's default
 //! think time is 2.0.)
 
+use std::sync::Arc;
+
+use bdisk_code::{ChannelCode, DecodeWindow, Decoded};
 use bdisk_obs::journal::{event, EventKind};
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId, Slot};
 use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
@@ -54,6 +57,26 @@ pub struct LiveClientResult {
     /// periodic reappearance that recovered it). At most one broadcast
     /// period per consecutive loss of the same page.
     pub max_recovery_wait: u64,
+    /// Of those recoveries, how many completed early from a decoded repair
+    /// symbol rather than waiting for the page's next periodic broadcast.
+    pub recoveries_coded: u64,
+    /// Repair symbols that decoded at least one lost page at this client.
+    pub symbols_decoded: u64,
+    /// Every recovery wait, in slots — raw samples for fleet-wide
+    /// percentile aggregation (p99, max). Empty on a lossless feed.
+    pub recovery_waits: Vec<u64>,
+}
+
+/// Client-side decode state for a coded plan: the per-channel symbol
+/// compositions and a bounded window of recent tuned-channel slots. `None`
+/// on uncoded plans, so `rate = 0` leaves every frame path untouched.
+struct CodedState {
+    /// Symbol specs per channel (indexed by channel id).
+    codes: Vec<ChannelCode>,
+    /// Recent tuned-channel slots, heard (with payload) or known-lost.
+    window: DecodeWindow,
+    /// Evictions already flushed to `bd_decode_window_evictions_total`.
+    evictions_seen: u64,
 }
 
 /// One client of the live broadcast: seeded request stream, cache policy,
@@ -83,6 +106,11 @@ pub struct LiveClient {
     late_frames: u64,
     recoveries: u64,
     max_recovery_wait: u64,
+    recoveries_coded: u64,
+    symbols_decoded: u64,
+    recovery_waits: Vec<u64>,
+    /// Decode state when the plan carries repair slots (`None` at rate 0).
+    coded: Option<CodedState>,
     done: bool,
     end_time: f64,
     frames_seen: u64,
@@ -113,6 +141,16 @@ impl LiveClient {
         seed: u64,
     ) -> Result<Self, SimError> {
         let core = ClientCore::new_plan(cfg, layout, &plan, seed)?;
+        // A coded plan gets a decode window spanning one (largest) period:
+        // a repair symbol only ever covers slots within its own period, so
+        // anything older can no longer be repaired anyway.
+        let coded = plan.coding().map(|cfg| CodedState {
+            codes: (0..plan.num_channels())
+                .map(|c| ChannelCode::build(plan.program(ChannelId(c as u16)), c as u16, cfg))
+                .collect(),
+            window: DecodeWindow::new(plan.max_period()),
+            evictions_seen: 0,
+        });
         Ok(Self {
             core,
             plan,
@@ -128,6 +166,10 @@ impl LiveClient {
             late_frames: 0,
             recoveries: 0,
             max_recovery_wait: 0,
+            recoveries_coded: 0,
+            symbols_decoded: 0,
+            recovery_waits: Vec::new(),
+            coded,
             done: false,
             end_time: 0.0,
             frames_seen: 0,
@@ -178,6 +220,21 @@ impl LiveClient {
                     self.gap_slots += gap_len;
                     crate::obs::recovery().gaps.inc();
                     event(EventKind::FrameGap, expected, gap_len);
+                    if let Some(state) = self.coded.as_mut() {
+                        // Mark the gap's receivable data slots known-lost:
+                        // a later repair symbol covering one reconstructs
+                        // it. Slots more than a period back are beyond any
+                        // symbol's coverage, so a long outage only replays
+                        // the last period.
+                        let tuned = ChannelId(self.tuned);
+                        let horizon = seq.saturating_sub(self.plan.period_of(tuned) as u64);
+                        let start = expected.max(self.min_receive_seq).max(horizon);
+                        for s in start..seq {
+                            if let Slot::Page(p) = self.plan.slot_at(tuned, s) {
+                                state.window.push_lost(s, p);
+                            }
+                        }
+                    }
                     if let Some((page, _)) = self.pending {
                         if self.pending_missed_at.is_none() {
                             // Did the gap swallow the pending page's
@@ -201,6 +258,63 @@ impl LiveClient {
             self.expected_seq = Some(seq + 1);
         }
         let t = seq as f64;
+
+        // Coded path: mirror this receivable tuned-channel slot into the
+        // decode window; a repair symbol may reconstruct known-lost pages
+        // on the spot. Uncoded plans (`rate = 0`) skip all of this.
+        let mut decoded: Vec<Decoded> = Vec::new();
+        if frame.channel == self.tuned && seq >= self.min_receive_seq {
+            if let Some(state) = self.coded.as_mut() {
+                match slot {
+                    Slot::Page(p) => {
+                        state.window.push_heard(seq, p, Arc::clone(&frame.payload));
+                    }
+                    Slot::Repair(id) => {
+                        let ch = ChannelId(frame.channel);
+                        if let Some(covers) = state.codes[ch.index()].covered_seqs(id, seq) {
+                            let covers = covers
+                                .into_iter()
+                                .map(|(s, local)| (s, self.plan.global_page(ch, local)))
+                                .collect();
+                            decoded = state.window.on_repair(covers, &frame.payload);
+                            if !decoded.is_empty() {
+                                self.symbols_decoded += 1;
+                                crate::obs::repair().symbols_decoded.inc();
+                            }
+                        }
+                    }
+                    Slot::Empty => {}
+                }
+                let ev = state.window.evictions();
+                if ev > state.evictions_seen {
+                    crate::obs::repair()
+                        .window_evictions
+                        .add(ev - state.evictions_seen);
+                    state.evictions_seen = ev;
+                }
+            }
+        }
+        for d in decoded {
+            // A decoded page completes the pending request early only when
+            // it reconstructs the airing the request actually missed (or a
+            // later one). Decodes of airings that predate the request stay
+            // in the window as data, never become a response.
+            let Some((page, requested_at)) = self.pending else {
+                break;
+            };
+            let Some(missed) = self.pending_missed_at else {
+                break;
+            };
+            if d.page == page && d.seq >= missed {
+                self.pending = None;
+                self.min_receive_seq = 0;
+                self.pending_missed_at = None;
+                self.record_recovery(page, (t as u64).saturating_sub(missed), true);
+                if self.complete_miss(page, requested_at, t) {
+                    return true;
+                }
+            }
+        }
 
         if let Some((page, requested_at)) = self.pending {
             if slot != Slot::Page(page) || seq < self.min_receive_seq {
@@ -234,6 +348,12 @@ impl LiveClient {
                     // time.
                     self.tuned = home.0;
                     self.expected_seq = None;
+                    if let Some(state) = self.coded.as_mut() {
+                        // The window holds the old channel's slots; no
+                        // symbol of the new channel covers them. Start
+                        // clean (a retune is not an eviction).
+                        state.window.reset();
+                    }
                     (requested_at.floor() + 1.0 + self.switch_slots).ceil() as u64
                 };
                 if slot == Slot::Page(page) && seq >= min_seq {
@@ -256,13 +376,35 @@ impl LiveClient {
         if let Some(missed) = self.pending_missed_at.take() {
             // The page's earlier broadcast was lost; this periodic
             // reappearance is the recovery. Attribute the extra wait.
-            let wait = (t as u64).saturating_sub(missed);
-            self.recoveries += 1;
-            self.max_recovery_wait = self.max_recovery_wait.max(wait);
-            crate::obs::recovery().recovery_wait.record(wait);
-            bdisk_cache::obs::record_loss_delayed_miss();
-            event(EventKind::Recovery, page.0 as u64, wait);
+            self.record_recovery(page, (t as u64).saturating_sub(missed), false);
         }
+        self.complete_miss(page, requested_at, t)
+    }
+
+    /// Accounts one loss recovery, split by how the page came back:
+    /// `coded` recoveries decoded a repair symbol, periodic ones waited
+    /// out the broadcast cycle. Both feed the same wait histogram — the
+    /// collapse of `bd_recovery_wait_slots` under a rising code rate is
+    /// what the repair subsystem buys.
+    fn record_recovery(&mut self, page: PageId, wait: u64, coded: bool) {
+        self.recoveries += 1;
+        let rm = crate::obs::repair();
+        if coded {
+            self.recoveries_coded += 1;
+            rm.recoveries_coded.inc();
+        } else {
+            rm.recoveries_periodic.inc();
+        }
+        self.max_recovery_wait = self.max_recovery_wait.max(wait);
+        self.recovery_waits.push(wait);
+        crate::obs::recovery().recovery_wait.record(wait);
+        bdisk_cache::obs::record_loss_delayed_miss();
+        event(EventKind::Recovery, page.0 as u64, wait);
+    }
+
+    /// Inserts the received (or reconstructed) page and completes the
+    /// outstanding request against it.
+    fn complete_miss(&mut self, page: PageId, requested_at: f64, t: f64) -> bool {
         self.core.insert(page, t);
         let disk = self.plan.disk_of(page);
         if self
@@ -330,6 +472,9 @@ impl LiveClient {
             late_frames: self.late_frames,
             recoveries: self.recoveries,
             max_recovery_wait: self.max_recovery_wait,
+            recoveries_coded: self.recoveries_coded,
+            symbols_decoded: self.symbols_decoded,
+            recovery_waits: self.recovery_waits,
         }
     }
 }
@@ -440,6 +585,154 @@ mod tests {
             assert_eq!(out.end_time, sim.end_time, "{policy:?}: end time diverged");
             assert_eq!(out.access_fractions, sim.access_fractions);
         }
+    }
+
+    /// The coded acceptance criterion: enabling repair coding on a
+    /// 2-channel plan leaves a lossless live client bit-identical to
+    /// `simulate_plan` on the same coded plan. Repair slots displace
+    /// padding and duplicate airings, never data timing the simulator
+    /// doesn't also see — and a lossless feed never decodes (every
+    /// symbol resolves with zero losses), so the coded machinery is
+    /// observably inert.
+    #[test]
+    fn coded_two_channel_live_client_matches_simulator_exactly() {
+        use bdisk_sched::CodingConfig;
+        for (codec_cfg, switch_slots) in [
+            (CodingConfig::xor(0.2, 4, 5), 0.0),
+            (CodingConfig::lt(0.15, 6, 9), 2.0),
+        ] {
+            let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+            let plan = BroadcastPlan::generate(&layout, 2)
+                .unwrap()
+                .with_coding(codec_cfg)
+                .unwrap();
+            assert!(plan.coding().is_some(), "rate must be high enough to code");
+            let cfg = SimConfig {
+                access_range: 100,
+                region_size: 5,
+                cache_size: 20,
+                offset: 20,
+                noise: 0.3,
+                policy: PolicyKind::Pix,
+                requests: 500,
+                warmup_requests: 100,
+                channels: 2,
+                switch_slots,
+                ..SimConfig::default()
+            };
+            let sim = simulate_plan(&cfg, &layout, plan.clone(), 11).unwrap();
+            let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 11).unwrap();
+            let mut done = false;
+            'feed: for seq in 0..10_000_000u64 {
+                for c in 0..plan.num_channels() as u16 {
+                    let slot = plan.slot_at(ChannelId(c), seq);
+                    if live.on_frame(&Frame::bare_on(seq, c, slot)) {
+                        done = true;
+                        break 'feed;
+                    }
+                }
+            }
+            assert!(done, "coded live client never finished");
+            let results = live.into_results();
+            assert_eq!(results.gaps, 0);
+            assert_eq!(results.recoveries, 0, "lossless feed must not recover");
+            assert_eq!(results.recoveries_coded, 0);
+            assert_eq!(results.symbols_decoded, 0, "lossless feed must not decode");
+            assert!(results.recovery_waits.is_empty());
+            let out = results.outcome;
+            assert_eq!(out.mean_response_time, sim.mean_response_time);
+            assert_eq!(out.hit_rate, sim.hit_rate);
+            assert_eq!(out.end_time, sim.end_time);
+            assert_eq!(out.access_fractions, sim.access_fractions);
+        }
+    }
+
+    /// A lost pending page on a coded plan is reconstructed by the next
+    /// covering repair symbol — a *coded* recovery, strictly earlier than
+    /// the page's next periodic airing would have been.
+    #[test]
+    fn coded_plan_recovers_lost_pending_page_early() {
+        use bdisk_code::ChannelCode;
+        use bdisk_sched::CodingConfig;
+        let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+        let coding = CodingConfig::xor(0.25, 4, 5);
+        let plan = BroadcastPlan::generate(&layout, 1)
+            .unwrap()
+            .with_coding(coding)
+            .unwrap();
+        let ch = ChannelId(0);
+        let prog = plan.program(ch);
+        assert!(prog.repair_slots() > 0);
+        let code = ChannelCode::build(prog, 0, plan.coding().unwrap());
+        let period = prog.period() as u64;
+        let cfg = SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 20,
+            offset: 20,
+            noise: 0.3,
+            policy: PolicyKind::Lru,
+            requests: 500,
+            warmup_requests: 100,
+            ..SimConfig::default()
+        };
+        let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 7).unwrap();
+
+        // Walk the feed until a request goes pending on a page whose next
+        // airing, if lost, is covered by a repair symbol airing *before*
+        // the page comes around again. Then lose exactly that airing.
+        let mut seq = 0u64;
+        let (lost_at, repair_at) = 'hunt: loop {
+            assert!(
+                !live.on_frame(&Frame::bare(seq, prog.slot_at(seq))),
+                "client finished before a coverable loss was found"
+            );
+            if let Some((page, _)) = live.pending {
+                let next_airing = (seq + 1..=seq + period)
+                    .find(|&s| prog.slot_at(s) == Slot::Page(page))
+                    .expect("page airs within one period");
+                let next_after = (next_airing + 1..=next_airing + period)
+                    .find(|&s| prog.slot_at(s) == Slot::Page(page))
+                    .unwrap();
+                // Does a repair symbol between the loss and the page's
+                // following airing cover the lost slot?
+                let covering = (next_airing + 1..next_after).find(|&s| {
+                    matches!(prog.slot_at(s), Slot::Repair(id)
+                        if code.covered_seqs(id, s)
+                            .is_some_and(|c| c.iter().any(|&(cs, _)| cs == next_airing)))
+                });
+                if let Some(r) = covering {
+                    break 'hunt (next_airing, r);
+                }
+            }
+            seq += 1;
+            assert!(seq < 10_000_000, "no coverable pending loss ever arose");
+        };
+
+        // Feed up to the lost airing (exclusive), skip it, and continue:
+        // the covering repair slot must complete the request.
+        for s in seq + 1..lost_at {
+            assert!(!live.on_frame(&Frame::bare(s, prog.slot_at(s))));
+        }
+        for s in lost_at + 1..=repair_at {
+            assert!(!live.on_frame(&Frame::bare(s, prog.slot_at(s))));
+        }
+        assert!(
+            live.pending.is_none(),
+            "repair symbol did not complete the request"
+        );
+        let results = live.into_results();
+        assert_eq!(results.recoveries, 1);
+        assert_eq!(
+            results.recoveries_coded, 1,
+            "recovery must be coded, not periodic"
+        );
+        assert_eq!(results.symbols_decoded, 1);
+        assert_eq!(results.recovery_waits, vec![repair_at - lost_at]);
+        assert!(
+            results.max_recovery_wait < period,
+            "coded recovery must beat the periodic wait"
+        );
     }
 
     /// A cross-channel miss pays the retune penalty: an airing of the

@@ -3,13 +3,42 @@
 //! frame per channel per slot tick, all channels phase-locked to the same
 //! clock.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bdisk_code::ChannelCode;
 use bdisk_obs::journal::{event, EventKind};
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, Slot};
 
 use crate::faults::{FaultPlan, FAULT_CODE_OVERRUN};
-use crate::transport::{DeliveryStats, PagePayloads, Transport};
+use crate::transport::{DeliveryStats, Frame, PagePayloads, Transport, REPAIR_FLAG};
+
+/// Per-channel repair-symbol payloads, precomputed once per run: channel
+/// `c`'s entry `r` is the XOR of the covered pages' payloads for repair
+/// symbol `r`. A symbol's page set is fixed per period offset, so the
+/// composition never changes across cycles — airing a repair slot is the
+/// same refcount bump a page slot pays.
+fn repair_tables(plan: &BroadcastPlan, payloads: &PagePayloads) -> Option<Vec<Vec<Arc<[u8]>>>> {
+    let cfg = plan.coding()?;
+    let tables = (0..plan.num_channels())
+        .map(|c| {
+            let ch = ChannelId(c as u16);
+            let code = ChannelCode::build(plan.program(ch), c as u16, cfg);
+            code.symbols()
+                .iter()
+                .map(|sym| {
+                    let mut buf = vec![0u8; payloads.page_size()];
+                    for &(_, local) in &sym.covers {
+                        let global = plan.global_page(ch, local);
+                        bdisk_code::xor_into(&mut buf, payloads.page(global));
+                    }
+                    Arc::from(buf)
+                })
+                .collect()
+        })
+        .collect();
+    Some(tables)
+}
 
 /// Engine run parameters.
 #[derive(Debug, Clone)]
@@ -138,6 +167,11 @@ impl BroadcastEngine {
         // every subscriber) shares it by refcount. Pages are plan-global,
         // so one buffer set serves every channel.
         let payloads = PagePayloads::generate(self.plan.num_pages(), self.cfg.page_size);
+        // Coded plans air parity symbols from a precomputed table (one
+        // shared buffer per symbol per channel); uncoded plans never touch
+        // this path.
+        let repair = repair_tables(&self.plan, &payloads);
+        let rm = crate::obs::repair();
         let channels = self.plan.num_channels();
         // Per-channel slot counters, materialized before the loop so the
         // steady state never touches the registry (or the allocator).
@@ -183,7 +217,19 @@ impl BroadcastEngine {
             m.slots.inc();
             for (c, counter) in by_channel.iter().enumerate() {
                 let slot = self.plan.slot_at(ChannelId(c as u16), seq);
-                let stats = transport.broadcast(payloads.frame_on(seq, c as u16, slot));
+                let frame = match (slot, &repair) {
+                    (Slot::Repair(r), Some(tables)) => {
+                        rm.slots_aired.inc();
+                        Frame {
+                            seq,
+                            channel: c as u16,
+                            slot,
+                            payload: Arc::clone(&tables[c][r.index()]),
+                        }
+                    }
+                    _ => payloads.frame_on(seq, c as u16, slot),
+                };
+                let stats = transport.broadcast(frame);
                 counter.inc();
                 record_delivery(m, &stats);
                 event(
@@ -192,6 +238,9 @@ impl BroadcastEngine {
                     match slot {
                         Slot::Page(page) => page.0 as u64,
                         Slot::Empty => u64::MAX,
+                        // Distinct from both page ids and the empty
+                        // sentinel: the wire encoding of the repair id.
+                        Slot::Repair(r) => (REPAIR_FLAG | r.0) as u64,
                     },
                 );
                 totals.absorb(stats);
@@ -293,12 +342,56 @@ mod tests {
                 bdisk_sched::Slot::Page(_) => {
                     assert_eq!(frame.payload.len(), 32, "page frames carry PageSize bytes")
                 }
-                bdisk_sched::Slot::Empty => assert!(frame.payload.is_empty()),
+                bdisk_sched::Slot::Empty | bdisk_sched::Slot::Repair(_) => {
+                    assert!(frame.payload.is_empty())
+                }
             }
             bytes += frame.wire_len() as u64;
         }
         assert_eq!(report.bytes_sent, bytes);
         assert!(bytes > 0);
+    }
+
+    #[test]
+    fn repair_frames_carry_symbol_xor_payloads() {
+        use bdisk_sched::CodingConfig;
+        let layout = DiskLayout::with_delta(&[4, 8, 12], 2).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 1)
+            .unwrap()
+            .with_coding(CodingConfig::xor(0.15, 4, 7))
+            .unwrap();
+        assert!(plan.repair_slots_of(ChannelId(0)) > 0);
+        let period = plan.max_period() as u64;
+        let engine = BroadcastEngine::with_plan(
+            plan.clone(),
+            EngineConfig {
+                max_slots: period,
+                stop_when_no_clients: false,
+                page_size: 32,
+                ..EngineConfig::default()
+            },
+        );
+        let mut bus = InMemoryBus::new(4096, Backpressure::DropNewest);
+        let mut sub = bus.subscribe();
+        let report = engine.run(&mut bus);
+        assert_eq!(report.slots_sent, period);
+
+        let payloads = PagePayloads::generate(plan.num_pages(), 32);
+        let ch = ChannelId(0);
+        let code = ChannelCode::build(plan.program(ch), 0, plan.coding().unwrap());
+        let mut repair_frames = 0usize;
+        while let Some(frame) = sub.recv() {
+            if let Slot::Repair(id) = frame.slot {
+                let spec = code.symbol(id).unwrap();
+                let mut expect = vec![0u8; 32];
+                for &(_, local) in &spec.covers {
+                    bdisk_code::xor_into(&mut expect, payloads.page(plan.global_page(ch, local)));
+                }
+                assert_eq!(&frame.payload[..], &expect[..]);
+                repair_frames += 1;
+            }
+        }
+        assert_eq!(repair_frames, plan.repair_slots_of(ch));
     }
 
     #[test]

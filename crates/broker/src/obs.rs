@@ -288,6 +288,48 @@ pub(crate) fn recovery() -> &'static RecoveryMetrics {
     })
 }
 
+/// Coded-repair metrics: repair symbols aired by the engine, decodes and
+/// window churn on the client side, and how recoveries split between the
+/// coded fast path and the periodic-wait fallback.
+pub(crate) struct RepairMetrics {
+    /// `bd_repair_slots_aired_total`
+    pub slots_aired: &'static Counter,
+    /// `bd_repair_symbols_decoded_total`
+    pub symbols_decoded: &'static Counter,
+    /// `bd_decode_window_evictions_total`
+    pub window_evictions: &'static Counter,
+    /// `bd_recovery_coded_total`
+    pub recoveries_coded: &'static Counter,
+    /// `bd_recovery_periodic_total`
+    pub recoveries_periodic: &'static Counter,
+}
+
+pub(crate) fn repair() -> &'static RepairMetrics {
+    static M: OnceLock<RepairMetrics> = OnceLock::new();
+    M.get_or_init(|| RepairMetrics {
+        slots_aired: registry::counter(
+            "bd_repair_slots_aired_total",
+            "Repair (parity/fountain) slots aired by the engine across all channels",
+        ),
+        symbols_decoded: registry::counter(
+            "bd_repair_symbols_decoded_total",
+            "Repair symbols that produced at least one decoded page at a live client",
+        ),
+        window_evictions: registry::counter(
+            "bd_decode_window_evictions_total",
+            "Decode-window entries or pending symbols aged out before they could help",
+        ),
+        recoveries_coded: registry::counter(
+            "bd_recovery_coded_total",
+            "Pending-page recoveries completed early from a decoded repair symbol",
+        ),
+        recoveries_periodic: registry::counter(
+            "bd_recovery_periodic_total",
+            "Pending-page recoveries that waited for the next periodic broadcast",
+        ),
+    })
+}
+
 /// Eagerly registers every broker metric (engine, bus, TCP, client, fault
 /// injection, loss recovery) so a scrape of `/metrics` shows the full
 /// inventory before traffic arrives. Idempotent; call when starting a
@@ -302,5 +344,6 @@ pub fn register_metrics() {
     let _ = fanout_by_channel(0);
     let _ = fault_channel_counter(0);
     let _ = recovery();
+    let _ = repair();
     let _ = crate::faults::metrics();
 }

@@ -4,10 +4,16 @@
 use std::sync::Arc;
 use std::sync::OnceLock;
 
-use bdisk_sched::{PageId, Slot};
+use bdisk_sched::{PageId, RepairId, Slot};
 
 /// Page-id sentinel marking an empty (padding) slot on the wire.
 pub const EMPTY_SENTINEL: u32 = u32::MAX;
+
+/// High bit of the page field marking a coded repair slot: the remaining
+/// 31 bits carry the [`RepairId`]. Checked *after* [`EMPTY_SENTINEL`]
+/// (which also has the high bit set), so page ids are limited to
+/// `0..2^31` and repair ids to `0..2^31 - 1` on the wire.
+pub const REPAIR_FLAG: u32 = 0x8000_0000;
 
 /// Bytes of frame header following the length prefix:
 /// 8 (seq) + 2 (channel) + 4 (page) + 4 (crc). Wire format v2: the frame
@@ -114,6 +120,7 @@ impl Frame {
         let page = match self.slot {
             Slot::Page(p) => p.0,
             Slot::Empty => EMPTY_SENTINEL,
+            Slot::Repair(r) => REPAIR_FLAG | r.0,
         };
         let mut buf = Vec::with_capacity(self.wire_len());
         buf.extend_from_slice(&len.to_le_bytes());
@@ -155,6 +162,8 @@ impl Frame {
         let page = u32::from_le_bytes(body[10..14].try_into().unwrap());
         let slot = if page == EMPTY_SENTINEL {
             Slot::Empty
+        } else if page & REPAIR_FLAG != 0 {
+            Slot::Repair(RepairId(page & !REPAIR_FLAG))
         } else {
             Slot::Page(PageId(page))
         };
@@ -234,10 +243,14 @@ impl PagePayloads {
     }
 
     /// Like [`PagePayloads::frame`] but on an explicit channel.
+    ///
+    /// Repair slots get the empty payload here: the symbol's XOR payload
+    /// comes from the engine's per-channel repair table (see
+    /// `engine::RepairTables`), which this type knows nothing about.
     pub fn frame_on(&self, seq: u64, channel: u16, slot: Slot) -> Frame {
         let payload = match slot {
             Slot::Page(p) => Arc::clone(&self.pages[p.index()]),
-            Slot::Empty => Arc::clone(&self.empty),
+            Slot::Empty | Slot::Repair(_) => Arc::clone(&self.empty),
         };
         Frame {
             seq,
@@ -245,6 +258,12 @@ impl PagePayloads {
             slot,
             payload,
         }
+    }
+
+    /// The payload table itself, indexed by page id (the repair-symbol
+    /// encoder XORs these).
+    pub fn page(&self, page: PageId) -> &Arc<[u8]> {
+        &self.pages[page.index()]
     }
 }
 
@@ -383,6 +402,28 @@ mod tests {
         let bytes = f.encode();
         assert_eq!(bytes.len(), 4 + HEADER_LEN);
         assert_eq!(Frame::decode(&bytes[4..]), Ok(f));
+    }
+
+    #[test]
+    fn repair_slot_round_trips_and_stays_distinct() {
+        // A repair frame round-trips through the flag bit with its payload.
+        let payload: Arc<[u8]> = vec![0xAB; 16].into();
+        let f = Frame {
+            seq: 42,
+            channel: 1,
+            slot: Slot::Repair(RepairId(7)),
+            payload,
+        };
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes[LEN_PREFIX..]), Ok(f));
+        // The empty sentinel has the high bit set too: decode must not
+        // confuse padding with a repair symbol, in either direction.
+        let e = Frame::bare(3, Slot::Empty);
+        let decoded = Frame::decode(&e.encode()[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.slot, Slot::Empty);
+        let r = Frame::bare(3, Slot::Repair(RepairId(0x7FFF_FFFE)));
+        let decoded = Frame::decode(&r.encode()[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.slot, Slot::Repair(RepairId(0x7FFF_FFFE)));
     }
 
     #[test]

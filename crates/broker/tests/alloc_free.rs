@@ -15,8 +15,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use bdisk_broker::{Backpressure, BusTuning, InMemoryBus, PagePayloads, Transport};
-use bdisk_sched::{PageId, Slot};
+use std::sync::Arc;
+
+use bdisk_broker::{Backpressure, BusTuning, Frame, InMemoryBus, PagePayloads, Transport};
+use bdisk_sched::{PageId, RepairId, Slot};
 
 struct CountingAlloc;
 
@@ -88,10 +90,33 @@ fn steady_state_broadcast_allocates_nothing() {
 
     // Steady state: 16 subscribers × 512 slots, zero allocations — frame
     // clones are refcount bumps and queue pushes land in pre-sized rings.
+    // A plan coded at rate 0 airs exactly this slot stream (coding is
+    // `None`, no repair slots exist), so this *is* the rate-0 invariant.
     let allocs = count_broadcast_allocs(&mut bus, &payloads, 512);
     assert_eq!(
         allocs, 0,
         "steady-state broadcast must not touch the allocator"
+    );
+
+    // Coded airing is alloc-free too: a repair frame shares its symbol
+    // buffer by refcount exactly like a page frame shares its payload —
+    // the engine precomputes the per-channel symbol tables once per run.
+    let symbol: Arc<[u8]> = vec![0u8; 64].into();
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for seq in 576..832u64 {
+        bus.broadcast(Frame {
+            seq,
+            channel: 0,
+            slot: Slot::Repair(RepairId(seq as u32 % 4)),
+            payload: Arc::clone(&symbol),
+        });
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        0,
+        "repair-slot broadcast must not touch the allocator"
     );
 
     bus.finish();

@@ -1,0 +1,383 @@
+//! The client-side decode window: a bounded ring over the tuned channel's
+//! data slots plus a small buffer of not-yet-decodable repair symbols,
+//! peeled belief-propagation style.
+//!
+//! Every data slot the client observes on its tuned channel enters the
+//! ring in one of two states: **heard** (the frame arrived; payload kept)
+//! or **known-lost** (the client detected a sequence gap and knows from
+//! the plan which pages the missing slots carried). Slots older than the
+//! ring's capacity are **unknown** — a repair symbol touching them is
+//! discarded rather than guessed at.
+//!
+//! A repair symbol decodes only when *exactly one* of its covered slots is
+//! known-lost and every other is heard (or previously decoded): the missing
+//! payload is the XOR of the symbol with the rest. This conservative rule
+//! is what keeps live-vs-sim parity bit-exact on lossless feeds — with no
+//! gaps there are no known-lost entries, so the decoder never fires and
+//! the client's observable behavior is byte-identical to the uncoded path.
+//! Symbols with two or more losses wait in the pending buffer; each
+//! successful decode re-peels them, so overlapping LT symbols resolve
+//! multi-loss patterns one page at a time.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bdisk_sched::PageId;
+
+use crate::xor_into;
+
+/// A page reconstructed from a repair symbol.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    /// The absolute slot sequence of the lost airing that was repaired.
+    pub seq: u64,
+    /// The reconstructed page (channel-local id, as the window was fed).
+    pub page: PageId,
+    /// The reconstructed payload.
+    pub payload: Arc<[u8]>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    seq: u64,
+    page: PageId,
+    /// `Some` = heard (or decoded), `None` = known-lost.
+    payload: Option<Arc<[u8]>>,
+}
+
+#[derive(Debug)]
+struct PendingSymbol {
+    covers: Vec<(u64, PageId)>,
+    payload: Vec<u8>,
+}
+
+enum Attempt {
+    /// Exactly one loss, everything else heard: repaired.
+    Decoded(Decoded),
+    /// Multiple losses still — keep the symbol for later peeling.
+    Wait,
+    /// No losses among the covers: the symbol has nothing left to do.
+    Resolved,
+    /// A covered slot is unknown (older than the ring or never observed):
+    /// the symbol can never decode safely.
+    Expired,
+}
+
+/// Bounded decode state for one tuned channel. See the module docs for
+/// the heard / known-lost / unknown contract.
+#[derive(Debug)]
+pub struct DecodeWindow {
+    capacity: usize,
+    pending_capacity: usize,
+    entries: VecDeque<Entry>,
+    pending: VecDeque<PendingSymbol>,
+    evictions: u64,
+}
+
+impl DecodeWindow {
+    /// How many undecodable repair symbols are buffered for peeling. Sized
+    /// for overlapping-window codes: at a repair spacing of ~4 slots this
+    /// spans several hundred data slots, so the peeling wavefront (which
+    /// advances from the *oldest* pending symbols toward the newest) is not
+    /// evicted out from under a resolvable chain.
+    const PENDING_CAPACITY: usize = 96;
+
+    /// A window remembering the last `capacity` data slots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            pending_capacity: Self::PENDING_CAPACITY,
+            entries: VecDeque::with_capacity(capacity.max(1) + 1),
+            pending: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Clears all state (used on retune: the new channel's sequence space
+    /// is unrelated). Deliberate resets are not counted as evictions.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.pending.clear();
+    }
+
+    /// Records a heard data frame.
+    pub fn push_heard(&mut self, seq: u64, page: PageId, payload: Arc<[u8]>) {
+        self.push(Entry {
+            seq,
+            page,
+            payload: Some(payload),
+        });
+    }
+
+    /// Records a known-lost data slot (the client saw a sequence gap and
+    /// derived the slot's page from the plan).
+    pub fn push_lost(&mut self, seq: u64, page: PageId) {
+        self.push(Entry {
+            seq,
+            page,
+            payload: None,
+        });
+    }
+
+    fn push(&mut self, entry: Entry) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.seq < entry.seq),
+            "window pushes must be in increasing seq order"
+        );
+        self.entries.push_back(entry);
+        if self.entries.len() > self.capacity {
+            let evicted = self.entries.pop_front().expect("non-empty");
+            if evicted.payload.is_none() {
+                // A loss left the window unrepaired — it is now unknown
+                // and no future symbol may decode it.
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Feeds a received repair symbol: `covers` is the symbol's covered
+    /// `(absolute seq, page)` set (from [`crate::ChannelCode::covered_seqs`])
+    /// and `payload` the symbol's wire payload. Returns every page this
+    /// symbol (plus any pending symbols it unblocked) reconstructed.
+    pub fn on_repair(&mut self, covers: Vec<(u64, PageId)>, payload: &[u8]) -> Vec<Decoded> {
+        let mut out = Vec::new();
+        match self.attempt(&covers, payload) {
+            Attempt::Decoded(d) => {
+                out.push(d);
+                self.peel(&mut out);
+            }
+            Attempt::Wait => {
+                if self.pending.len() == self.pending_capacity {
+                    self.pending.pop_front();
+                    self.evictions += 1;
+                }
+                self.pending.push_back(PendingSymbol {
+                    covers,
+                    payload: payload.to_vec(),
+                });
+            }
+            Attempt::Resolved => {}
+            Attempt::Expired => self.evictions += 1,
+        }
+        out
+    }
+
+    /// Re-tries pending symbols until no further decode succeeds.
+    fn peel(&mut self, out: &mut Vec<Decoded>) {
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                let sym = self.pending.remove(i).expect("index in bounds");
+                match self.attempt(&sym.covers, &sym.payload) {
+                    Attempt::Decoded(d) => {
+                        out.push(d);
+                        progressed = true;
+                    }
+                    Attempt::Wait => {
+                        self.pending.insert(i, sym);
+                        i += 1;
+                    }
+                    Attempt::Resolved => {}
+                    Attempt::Expired => self.evictions += 1,
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, covers: &[(u64, PageId)], payload: &[u8]) -> Attempt {
+        let mut lost: Option<usize> = None;
+        let mut losses = 0usize;
+        for &(seq, page) in covers {
+            let Some(idx) = self.find(seq) else {
+                return Attempt::Expired;
+            };
+            let e = &self.entries[idx];
+            if e.page != page {
+                // Composition disagrees with what the window observed —
+                // only possible on a plan mismatch; never guess.
+                debug_assert!(
+                    false,
+                    "window holds {} at seq {seq}, symbol says {page}",
+                    e.page
+                );
+                return Attempt::Expired;
+            }
+            if e.payload.is_none() {
+                losses += 1;
+                lost = Some(idx);
+            }
+        }
+        match losses {
+            0 => Attempt::Resolved,
+            1 => {
+                let idx = lost.expect("loss recorded");
+                let mut acc = payload.to_vec();
+                for &(seq, _) in covers {
+                    let j = self.find(seq).expect("checked above");
+                    if let Some(p) = &self.entries[j].payload {
+                        xor_into(&mut acc, p);
+                    }
+                }
+                let payload: Arc<[u8]> = acc.into();
+                let e = &mut self.entries[idx];
+                e.payload = Some(payload.clone());
+                Attempt::Decoded(Decoded {
+                    seq: e.seq,
+                    page: e.page,
+                    payload,
+                })
+            }
+            _ => Attempt::Wait,
+        }
+    }
+
+    /// Binary search by absolute seq (entries are seq-ordered but not
+    /// contiguous: only data slots enter the window).
+    fn find(&self, seq: u64) -> Option<usize> {
+        let (mut lo, mut hi) = (0, self.entries.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.entries[mid].seq < seq {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < self.entries.len() && self.entries[lo].seq == seq).then_some(lo)
+    }
+
+    /// Total evictions so far: known-lost entries that aged out
+    /// unrepaired, plus repair symbols dropped by the pending buffer or
+    /// expired against the ring bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of data slots currently remembered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no data slots are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered (not yet decodable) repair symbols.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pay(tag: u8, len: usize) -> Arc<[u8]> {
+        (0..len).map(|i| tag ^ (i as u8)).collect::<Vec<_>>().into()
+    }
+
+    fn xor_of(parts: &[&Arc<[u8]>]) -> Vec<u8> {
+        let mut acc = vec![0u8; parts[0].len()];
+        for p in parts {
+            xor_into(&mut acc, p);
+        }
+        acc
+    }
+
+    #[test]
+    fn single_loss_decodes_from_xor_symbol() {
+        let mut w = DecodeWindow::new(8);
+        let (a, b, c) = (pay(1, 16), pay(2, 16), pay(3, 16));
+        w.push_heard(10, PageId(0), a.clone());
+        w.push_lost(11, PageId(1));
+        w.push_heard(12, PageId(2), c.clone());
+        let symbol = xor_of(&[&a, &b, &c]);
+        let covers = vec![(10, PageId(0)), (11, PageId(1)), (12, PageId(2))];
+        let decoded = w.on_repair(covers, &symbol);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].seq, 11);
+        assert_eq!(decoded[0].page, PageId(1));
+        assert_eq!(&decoded[0].payload[..], &b[..]);
+        assert_eq!(w.evictions(), 0);
+    }
+
+    #[test]
+    fn lossless_feed_never_decodes() {
+        let mut w = DecodeWindow::new(8);
+        let (a, b) = (pay(1, 8), pay(2, 8));
+        w.push_heard(0, PageId(0), a.clone());
+        w.push_heard(1, PageId(1), b.clone());
+        let symbol = xor_of(&[&a, &b]);
+        let decoded = w.on_repair(vec![(0, PageId(0)), (1, PageId(1))], &symbol);
+        assert!(decoded.is_empty());
+        assert_eq!(w.pending_len(), 0);
+        assert_eq!(w.evictions(), 0);
+    }
+
+    #[test]
+    fn double_loss_waits_then_peels() {
+        let mut w = DecodeWindow::new(8);
+        let (a, b, c) = (pay(1, 8), pay(2, 8), pay(3, 8));
+        w.push_heard(0, PageId(0), a.clone());
+        w.push_lost(1, PageId(1));
+        w.push_lost(2, PageId(2));
+        // Symbol 1 covers all three: two losses → pending.
+        let s1 = xor_of(&[&a, &b, &c]);
+        let covers1 = vec![(0, PageId(0)), (1, PageId(1)), (2, PageId(2))];
+        assert!(w.on_repair(covers1, &s1).is_empty());
+        assert_eq!(w.pending_len(), 1);
+        // Symbol 2 covers only page 2: decodes it, which unblocks symbol 1.
+        let s2 = xor_of(&[&c]);
+        let decoded = w.on_repair(vec![(2, PageId(2))], &s2);
+        assert_eq!(decoded.len(), 2, "peeling should cascade");
+        assert_eq!(decoded[0].page, PageId(2));
+        assert_eq!(&decoded[0].payload[..], &c[..]);
+        assert_eq!(decoded[1].page, PageId(1));
+        assert_eq!(&decoded[1].payload[..], &b[..]);
+        assert_eq!(w.pending_len(), 0);
+    }
+
+    #[test]
+    fn expired_covers_never_guess() {
+        let mut w = DecodeWindow::new(2);
+        let (a, b, c) = (pay(1, 8), pay(2, 8), pay(3, 8));
+        w.push_lost(0, PageId(0));
+        w.push_heard(1, PageId(1), b.clone());
+        w.push_heard(2, PageId(2), c.clone()); // seq 0 falls off (eviction)
+        assert_eq!(w.evictions(), 1);
+        let symbol = xor_of(&[&a, &b, &c]);
+        let covers = vec![(0, PageId(0)), (1, PageId(1)), (2, PageId(2))];
+        let decoded = w.on_repair(covers, &symbol);
+        assert!(decoded.is_empty(), "must not decode through unknown slots");
+        assert_eq!(w.evictions(), 2); // the symbol itself expired
+    }
+
+    #[test]
+    fn reset_clears_without_counting_evictions() {
+        let mut w = DecodeWindow::new(4);
+        w.push_lost(0, PageId(0));
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.pending_len(), 0);
+        assert_eq!(w.evictions(), 0);
+        // The window is reusable with a fresh sequence space.
+        w.push_heard(100, PageId(3), pay(9, 8));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded() {
+        let mut w = DecodeWindow::new(64);
+        w.push_lost(0, PageId(0));
+        w.push_lost(1, PageId(1));
+        let junk = vec![0u8; 8];
+        for _ in 0..DecodeWindow::PENDING_CAPACITY + 3 {
+            w.on_repair(vec![(0, PageId(0)), (1, PageId(1))], &junk);
+        }
+        assert_eq!(w.pending_len(), DecodeWindow::PENDING_CAPACITY);
+        assert_eq!(w.evictions(), 3);
+    }
+}

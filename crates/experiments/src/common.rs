@@ -198,6 +198,17 @@ pub fn write_csv(file: &str, x_name: &str, xs: &[String], series: &[(String, Vec
     }
 }
 
+/// Nearest-rank percentile of `samples` (`q` in (0, 1]); 0 when empty.
+/// Sorts in place — callers pass scratch they no longer need ordered.
+pub fn percentile(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * q).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
 /// Worker threads for sweeps: all cores minus one, at least one.
 pub fn threads() -> usize {
     std::thread::available_parallelism()

@@ -98,6 +98,8 @@ struct PointOutcome {
     gaps: u64,
     recoveries: u64,
     max_recovery_wait: u64,
+    /// Fleet-wide p99 recovery wait (nearest-rank over every wait sample).
+    p99_recovery_wait: u64,
     erased: u64,
 }
 
@@ -167,6 +169,11 @@ fn sweep_point(
         .map(|r| r.max_recovery_wait)
         .max()
         .unwrap_or(0);
+    let mut waits: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.recovery_waits.iter().copied())
+        .collect();
+    let p99_recovery_wait = common::percentile(&mut waits, 0.99);
     let fleet = aggregate(report, results);
     PointOutcome {
         mean: fleet.mean_response_time,
@@ -174,6 +181,7 @@ fn sweep_point(
         gaps,
         recoveries,
         max_recovery_wait,
+        p99_recovery_wait,
         erased,
     }
 }
@@ -417,6 +425,20 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             format!("{name}_recover"),
             outcomes[p].iter().map(|o| o.recoveries as f64).collect(),
         ));
+        series.push((
+            format!("{name}_p99wait"),
+            outcomes[p]
+                .iter()
+                .map(|o| o.p99_recovery_wait as f64)
+                .collect(),
+        ));
+        series.push((
+            format!("{name}_maxwait"),
+            outcomes[p]
+                .iter()
+                .map(|o| o.max_recovery_wait as f64)
+                .collect(),
+        ));
     }
     common::print_table(
         "response vs loss rate (coupled erasure, deterministic bus)",
@@ -442,13 +464,15 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
                 format!(
                     "    {{\"policy\": \"{}\", \"rate\": {rate:.2}, \
                      \"mean_response\": {:.4}, \"hit_rate\": {:.4}, \"gaps\": {}, \
-                     \"recoveries\": {}, \"max_recovery_wait\": {}}}",
+                     \"recoveries\": {}, \"max_recovery_wait\": {}, \
+                     \"p99_recovery_wait\": {}}}",
                     policy.name(),
                     o.mean,
                     o.hit,
                     o.gaps,
                     o.recoveries,
-                    o.max_recovery_wait
+                    o.max_recovery_wait,
+                    o.p99_recovery_wait
                 )
             })
         })
@@ -503,7 +527,15 @@ fn validate(text: &str, expected_rows: usize) {
             row.get("policy").and_then(json::Value::as_str).is_some(),
             "sweep row needs a policy"
         );
-        for key in ["rate", "mean_response", "hit_rate", "gaps", "recoveries"] {
+        for key in [
+            "rate",
+            "mean_response",
+            "hit_rate",
+            "gaps",
+            "recoveries",
+            "max_recovery_wait",
+            "p99_recovery_wait",
+        ] {
             assert!(
                 row.get(key).and_then(json::Value::as_f64).is_some(),
                 "sweep row.{key} must be a number"

@@ -39,6 +39,7 @@
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
 //!   trace    short live run with the event journal tailed to stdout + CSV
 //!   faults   loss sweep + TCP chaos run under seeded fault injection
+//!   coding   coded repair slots: rate x loss sweep + coded live parity
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
@@ -50,6 +51,7 @@
 
 mod bench;
 mod channels;
+mod coding;
 mod common;
 mod extensions;
 mod faults;
@@ -182,12 +184,13 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions) {
         "live" => live::run(scale, live_opts),
         "trace" => live::trace(scale, live_opts),
         "faults" => faults::run(scale, live_opts),
+        "coding" => coding::run(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "channels", "live", "faults",
+                "index", "channels", "live", "faults", "coding",
             ] {
                 run_one(e, scale, live_opts);
             }

@@ -39,6 +39,11 @@ pub enum SchedError {
         /// Index (0-based) of the offending channel.
         channel: usize,
     },
+    /// A coding configuration was rejected (rate out of range, zero group).
+    InvalidCoding {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -70,6 +75,9 @@ impl fmt::Display for SchedError {
                     f,
                     "channel {channel} has no pages (too many channels for this layout)"
                 )
+            }
+            SchedError::InvalidCoding { reason } => {
+                write!(f, "invalid coding config: {reason}")
             }
         }
     }

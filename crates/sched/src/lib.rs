@@ -48,8 +48,8 @@ pub use error::SchedError;
 pub use generate::{flat_program, random_program, skewed_program};
 pub use index::IndexedBroadcast;
 pub use optimizer::{optimize_layout, OptimizedLayout, OptimizerConfig};
-pub use plan::{BroadcastPlan, ChannelId};
-pub use program::{BroadcastProgram, PageId, Slot};
+pub use plan::{BroadcastPlan, ChannelId, ChannelStats, CodecKind, CodingConfig};
+pub use program::{BroadcastProgram, PageId, RepairId, Slot};
 
 /// Least common multiple of two positive integers.
 pub(crate) fn lcm(a: u64, b: u64) -> u64 {

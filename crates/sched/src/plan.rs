@@ -26,7 +26,7 @@
 
 use crate::disk::DiskLayout;
 use crate::error::SchedError;
-use crate::program::{BroadcastProgram, PageId, Slot};
+use crate::program::{BroadcastProgram, PageId, RepairId, Slot};
 
 /// Identifier of a broadcast channel (0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,6 +46,87 @@ impl std::fmt::Display for ChannelId {
     }
 }
 
+/// Which erasure codec composes repair symbols (implemented in the
+/// `bdisk-code` crate; the plan only records the choice so server and
+/// client derive the same composition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecKind {
+    /// Systematic XOR parity: each repair symbol is the XOR of every page
+    /// in its coverage window, repairing any single loss in the window.
+    Xor,
+    /// LT/fountain coding: each symbol XORs a soliton-sampled subset of
+    /// its window; overlapping symbols peel multiple losses.
+    Lt,
+}
+
+/// Coding configuration for a [`BroadcastPlan`]: how much of each channel's
+/// period carries repair symbols, and how those symbols are composed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodingConfig {
+    /// Target fraction of each channel's period spent on repair slots.
+    /// Empty (padding) slots are converted first; if they do not reach the
+    /// target, duplicate airings of hot pages are stolen — never a page's
+    /// last airing, so every page still airs at least once per period.
+    /// `0.0` disables coding entirely (the identity transformation).
+    pub rate: f64,
+    /// Coverage-window size: each repair symbol protects the last `group`
+    /// distinct pages aired before it on its channel
+    /// (see [`BroadcastProgram::coverage_window`]).
+    pub group: usize,
+    /// The codec composing symbols from their coverage windows.
+    pub codec: CodecKind,
+    /// Seed from which symbol composition is derived on both ends —
+    /// server and client agree with no side channel.
+    pub seed: u64,
+}
+
+impl CodingConfig {
+    /// XOR parity at `rate` with window size `group`.
+    pub fn xor(rate: f64, group: usize, seed: u64) -> Self {
+        Self {
+            rate,
+            group,
+            codec: CodecKind::Xor,
+            seed,
+        }
+    }
+
+    /// LT/fountain coding at `rate` with window size `group`.
+    pub fn lt(rate: f64, group: usize, seed: u64) -> Self {
+        Self {
+            rate,
+            group,
+            codec: CodecKind::Lt,
+            seed,
+        }
+    }
+}
+
+/// Per-channel slot census of a [`BroadcastPlan`]: how each channel's
+/// period splits into data, padding, and repair slots. The per-channel
+/// empty-slot count (not just the aggregate) is what drives coding-rate
+/// selection — dead air is where repair symbols are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// The channel these counts describe.
+    pub channel: ChannelId,
+    /// The channel's period in slots.
+    pub period: usize,
+    /// Slots carrying a page.
+    pub data_slots: usize,
+    /// Unused padding slots (dead air).
+    pub empty_slots: usize,
+    /// Coded repair slots.
+    pub repair_slots: usize,
+}
+
+impl ChannelStats {
+    /// Fraction of the channel's bandwidth that is dead air.
+    pub fn dead_air(&self) -> f64 {
+        self.empty_slots as f64 / self.period as f64
+    }
+}
+
 /// A multi-channel broadcast plan: one [`BroadcastProgram`] per channel and
 /// a total assignment of every page to exactly one (channel, disk) pair.
 #[derive(Debug, Clone)]
@@ -62,6 +143,8 @@ pub struct BroadcastPlan {
     page_disk: Vec<u16>,
     /// Relative frequency of each disk in the source layout.
     disk_freqs: Vec<u64>,
+    /// Repair-slot coding, when enabled (see [`BroadcastPlan::with_coding`]).
+    coding: Option<CodingConfig>,
 }
 
 impl BroadcastPlan {
@@ -121,6 +204,7 @@ impl BroadcastPlan {
             global_of,
             page_disk,
             disk_freqs: layout.freqs().to_vec(),
+            coding: None,
         })
     }
 
@@ -141,7 +225,98 @@ impl BroadcastPlan {
             page_disk,
             disk_freqs,
             programs: vec![program],
+            coding: None,
         }
+    }
+
+    /// Adds coded repair slots to every channel, per `cfg`.
+    ///
+    /// Each channel converts `floor(rate · period)` slots to
+    /// [`Slot::Repair`], preferring the channel's [`Slot::Empty`] padding
+    /// (earliest offsets first) and, when padding falls short, stealing
+    /// duplicate airings of hot pages round-robin — never a page's last
+    /// airing, so every page still airs at least once per period and the
+    /// period itself is untouched (no timing arithmetic changes). Repair
+    /// ids are assigned `0..R` in offset order.
+    ///
+    /// The placement is a pure function of the plan and `cfg`, and lower
+    /// rates choose a prefix of the slots a higher rate chooses, so sweeps
+    /// across rates are nested. `rate = 0` is the identity: the plan is
+    /// returned unchanged with no coding metadata, keeping every
+    /// downstream path byte-identical to the uncoded plan.
+    pub fn with_coding(mut self, cfg: CodingConfig) -> Result<Self, SchedError> {
+        if !cfg.rate.is_finite() || !(0.0..1.0).contains(&cfg.rate) {
+            return Err(SchedError::InvalidCoding {
+                reason: "rate must be in [0, 1)",
+            });
+        }
+        if cfg.group == 0 {
+            return Err(SchedError::InvalidCoding {
+                reason: "group must be at least 1",
+            });
+        }
+        if cfg.rate == 0.0 {
+            self.coding = None;
+            return Ok(self);
+        }
+        for prog in &mut self.programs {
+            *prog = coded_program(prog, cfg.rate)?;
+        }
+        self.coding = Some(cfg);
+        Ok(self)
+    }
+
+    /// The coding configuration, when repair slots are enabled.
+    pub fn coding(&self) -> Option<&CodingConfig> {
+        self.coding.as_ref()
+    }
+
+    /// Per-channel slot census: period, data, empty, and repair counts for
+    /// every channel (the aggregate alone hides which channels have the
+    /// dead air that coding can spend).
+    pub fn channel_stats(&self) -> Vec<ChannelStats> {
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(c, prog)| ChannelStats {
+                channel: ChannelId(c as u16),
+                period: prog.period(),
+                data_slots: prog.period() - prog.empty_slots() - prog.repair_slots(),
+                empty_slots: prog.empty_slots(),
+                repair_slots: prog.repair_slots(),
+            })
+            .collect()
+    }
+
+    /// Number of empty (padding) slots per period on `channel`.
+    pub fn empty_slots_of(&self, channel: ChannelId) -> usize {
+        self.programs[channel.index()].empty_slots()
+    }
+
+    /// Number of coded repair slots per period on `channel`.
+    pub fn repair_slots_of(&self, channel: ChannelId) -> usize {
+        self.programs[channel.index()].repair_slots()
+    }
+
+    /// Human-readable per-channel summary, one line per channel, e.g.
+    /// `ch0: period=12 data=10 empty=1 (8.3% dead air) repair=1`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in self.channel_stats() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{}: period={} data={} empty={} ({:.1}% dead air) repair={}",
+                s.channel,
+                s.period,
+                s.data_slots,
+                s.empty_slots,
+                100.0 * s.dead_air(),
+                s.repair_slots,
+            ));
+        }
+        out
     }
 
     /// Number of channels.
@@ -197,7 +372,7 @@ impl BroadcastPlan {
     pub fn slot_at(&self, channel: ChannelId, seq: u64) -> Slot {
         match self.programs[channel.index()].slot_at(seq) {
             Slot::Page(local) => Slot::Page(self.global_page(channel, local)),
-            Slot::Empty => Slot::Empty,
+            other => other,
         }
     }
 
@@ -249,6 +424,232 @@ impl BroadcastPlan {
         }
         delay
     }
+
+    /// Analytic expected delay under an i.i.d. per-slot erasure rate
+    /// `loss`, crediting the plan's repair slots.
+    ///
+    /// Per page: the lossless Bus-Stop base `Σ g²/(2P)`, plus, with
+    /// probability `loss`, the cost of a missed airing. A missed airing is
+    /// repaired by the next covering repair symbol at mean distance `r̄`
+    /// with probability `s = q·σ`, where `q` is the fraction of the page's
+    /// airings covered by some symbol and `σ` is the peeling decoder's
+    /// per-loss success probability. `σ` is the least fixed point of the
+    /// density-evolution recursion for a sparse erasure code whose checks
+    /// cover `k` slots (the window size, a conservative upper bound on the
+    /// symbol degree) with mean coverage multiplicity `λ` (symbols per
+    /// covered slot, measured from the plan itself):
+    ///
+    /// `σ = 1 − (1 − (1−loss) · (1 − loss·(1−σ))^(k−1))^λ`
+    ///
+    /// — a symbol rescues the loss if it arrived and its other members are
+    /// each either heard or themselves peeled; the loss is rescued if any
+    /// of its `λ` symbols does. Iterating from `σ = 0` reproduces belief
+    /// propagation's waterfall: below the code's threshold σ → ~1, above
+    /// it the recursion stalls near 0. If no repair fires, the client
+    /// waits the mean gap `ḡ` for the next airing, which may itself be
+    /// lost, giving the recurrence `X = s·r̄ + (1−s)·(ḡ + loss·X)`:
+    ///
+    /// `E[delay] = Σ_p pr_p · (base_p + loss · (s·r̄ + (1−s)·ḡ) / (1 − (1−s)·loss))`
+    ///
+    /// With no coding (`s = 0`) this reduces to `base + loss·ḡ/(1−loss)`,
+    /// and at `loss = 0` it equals [`BroadcastPlan::expected_delay`].
+    pub fn expected_delay_lossy(&self, probs: &[f64], loss: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss rate must be in [0, 1), got {loss}"
+        );
+        if loss == 0.0 {
+            return self.expected_delay(probs);
+        }
+        // Per channel: for each data-slot offset, the distance (in slots)
+        // to the nearest repair symbol covering it, if any — plus the
+        // peeling success probability σ from the mean coverage
+        // multiplicity λ (how many symbols cover a covered slot).
+        let group = self.coding.map(|c| c.group);
+        let cover: Vec<(Vec<Option<u32>>, f64)> = self
+            .programs
+            .iter()
+            .map(|prog| {
+                let period = prog.period() as u32;
+                let mut dist: Vec<Option<u32>> = vec![None; period as usize];
+                let mut pairs = 0u64;
+                if let Some(group) = group {
+                    for (off, s) in prog.slots().iter().enumerate() {
+                        if matches!(s, Slot::Repair(_)) {
+                            for o in prog.coverage_window(off as u32, group) {
+                                let d = (off as u32 + period - o) % period;
+                                pairs += 1;
+                                match &mut dist[o as usize] {
+                                    Some(e) if *e <= d => {}
+                                    e => *e = Some(d),
+                                }
+                            }
+                        }
+                    }
+                }
+                let covered = dist.iter().flatten().count();
+                let lambda = if covered == 0 {
+                    0.0
+                } else {
+                    pairs as f64 / covered as f64
+                };
+                let sigma = group
+                    .map(|k| peeling_success(loss, k as f64, lambda))
+                    .unwrap_or(0.0);
+                (dist, sigma)
+            })
+            .collect();
+
+        let mut delay = 0.0;
+        for (p, &pr) in probs.iter().enumerate().take(self.num_pages()) {
+            if pr == 0.0 {
+                continue;
+            }
+            let ch = self.page_channel[p] as usize;
+            let prog = &self.programs[ch];
+            let local = PageId(self.page_local[p]);
+            let period = prog.period() as f64;
+            let base: f64 = prog
+                .gaps(local)
+                .iter()
+                .map(|g| g * g / (2.0 * period))
+                .sum();
+            let starts = prog.page_starts(local);
+            let covered: Vec<u32> = starts
+                .iter()
+                .filter_map(|&o| cover[ch].0[o as usize])
+                .collect();
+            let freq = starts.len() as f64;
+            let q = covered.len() as f64 / freq;
+            let r_bar = if covered.is_empty() {
+                0.0
+            } else {
+                covered.iter().map(|&d| d as f64).sum::<f64>() / covered.len() as f64
+            };
+            let s = q * cover[ch].1;
+            let g_bar = period / freq;
+            let x = (s * r_bar + (1.0 - s) * g_bar) / (1.0 - (1.0 - s) * loss);
+            delay += pr * (base + loss * x);
+        }
+        delay
+    }
+}
+
+/// Least fixed point of the peeling (belief-propagation) recursion for a
+/// sparse erasure code: the probability that a lost slot covered by `lambda`
+/// symbols of degree ≤ `k` is eventually reconstructed under i.i.d. slot
+/// loss `loss`. The map is monotone increasing in σ, so iterating from 0
+/// converges to the least fixed point — below the code's threshold it
+/// climbs to ~1 (the waterfall), above it it stalls near 0, which is the
+/// real bistability of iterative erasure decoding.
+fn peeling_success(loss: f64, k: f64, lambda: f64) -> f64 {
+    if lambda == 0.0 || k < 1.0 {
+        return 0.0;
+    }
+    let mut sigma = 0.0f64;
+    for _ in 0..256 {
+        let member_known = 1.0 - loss * (1.0 - sigma);
+        let symbol_useful = (1.0 - loss) * member_known.powf(k - 1.0);
+        let next = 1.0 - (1.0 - symbol_useful).powf(lambda);
+        if (next - sigma).abs() < 1e-12 {
+            return next;
+        }
+        sigma = next;
+    }
+    sigma
+}
+
+/// Rewrites one channel's program with `floor(rate · period)` repair
+/// slots: empty slots first (offset order), then stolen duplicate airings
+/// spread evenly across the period (the spare airing nearest each evenly
+/// spaced anchor, never a page's last airing). Spreading matters: the
+/// spare airings cluster where the hot disks' chunks sit, and converting
+/// them in place would leave the cold disks' segments — exactly where
+/// clients wait longest after a loss — outside every coverage window.
+/// The period is preserved and page positions are recomputed, so every
+/// timing query (`next_arrival`, `gaps`, …) stays correct automatically.
+fn coded_program(prog: &BroadcastProgram, rate: f64) -> Result<BroadcastProgram, SchedError> {
+    let period = prog.period();
+    let target = (rate * period as f64).floor() as usize;
+    let mut slots = prog.slots().to_vec();
+    let mut chosen: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Slot::Empty))
+        .map(|(i, _)| i)
+        .take(target)
+        .collect();
+    let deficit = target - chosen.len();
+    if deficit > 0 {
+        let mut taken = vec![false; period];
+        for &i in &chosen {
+            taken[i] = true;
+        }
+        // Stealing discipline: a page gives up at most ⌊(freq−1)/2⌋ of its
+        // airings, and never two adjacent ones, so no surviving gap more
+        // than doubles. Without it a page can be hollowed out to a single
+        // airing per period — its recovery wait then *grows* with the code
+        // rate, which is exactly backwards.
+        let mut stolen: Vec<u64> = vec![0; prog.num_pages()];
+        // Anchors follow the van der Corput (bit-reversal) sequence: every
+        // prefix of it is evenly spread over the period, so rates *nest* —
+        // a lower rate's stolen offsets are exactly the prefix of a higher
+        // rate's walk through the same anchor order.
+        'anchors: for k in 0..deficit {
+            let ideal = (van_der_corput(k as u64 + 1) * period as f64) as usize % period;
+            for d in 0..period {
+                for off in [(ideal + d) % period, (ideal + period - d % period) % period] {
+                    if taken[off] {
+                        continue;
+                    }
+                    if let Slot::Page(p) = slots[off] {
+                        if stolen[p.0 as usize] >= prog.frequency(p).saturating_sub(1) / 2 {
+                            continue;
+                        }
+                        // Fixed-gap programs expose the page's neighboring
+                        // airings directly; refuse a steal next to one.
+                        if let Some(gap) = prog.gap(p) {
+                            let gap = gap as usize % period;
+                            let prev = (off + period - gap) % period;
+                            let next = (off + gap) % period;
+                            let hit =
+                                |o: usize| taken[o] && matches!(slots[o], Slot::Page(q) if q == p);
+                            if hit(prev) || hit(next) {
+                                continue;
+                            }
+                        }
+                        taken[off] = true;
+                        stolen[p.0 as usize] += 1;
+                        chosen.push(off);
+                        continue 'anchors;
+                    }
+                }
+            }
+            break; // every remaining airing is protected — stop short
+        }
+    }
+    chosen.sort_unstable();
+    for (rid, &off) in chosen.iter().enumerate() {
+        slots[off] = Slot::Repair(RepairId(rid as u32));
+    }
+    let disk_of = |p: PageId| prog.disk_of(p) as u16;
+    BroadcastProgram::from_slots(slots, Some(&disk_of), prog.disk_frequencies().to_vec())
+}
+
+/// The base-2 van der Corput value of `k`: `k`'s binary digits mirrored
+/// about the binary point. Every prefix of the sequence is low-discrepancy
+/// over `[0, 1)`.
+fn van_der_corput(mut k: u64) -> f64 {
+    let mut v = 0.0;
+    let mut half = 0.5;
+    while k > 0 {
+        if k & 1 == 1 {
+            v += half;
+        }
+        half *= 0.5;
+        k >>= 1;
+    }
+    v
 }
 
 #[cfg(test)]
@@ -383,6 +784,183 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn coding_rate_zero_is_identity() {
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        let coded = plan
+            .clone()
+            .with_coding(CodingConfig::xor(0.0, 4, 42))
+            .unwrap();
+        assert!(coded.coding().is_none());
+        for c in 0..2u16 {
+            let ch = ChannelId(c);
+            assert_eq!(coded.program(ch).slots(), plan.program(ch).slots());
+        }
+    }
+
+    #[test]
+    fn coding_preserves_period_and_every_page() {
+        let layout = DiskLayout::with_delta(&[8, 24, 32], 3).unwrap();
+        for channels in 1..=3 {
+            let plan = BroadcastPlan::generate(&layout, channels).unwrap();
+            for rate in [0.05, 0.1, 0.25] {
+                let coded = plan
+                    .clone()
+                    .with_coding(CodingConfig::xor(rate, 8, 7))
+                    .unwrap();
+                for c in 0..channels as u16 {
+                    let ch = ChannelId(c);
+                    let before = plan.program(ch);
+                    let after = coded.program(ch);
+                    assert_eq!(after.period(), before.period());
+                    let target = (rate * before.period() as f64).floor() as usize;
+                    assert_eq!(after.repair_slots(), target, "rate {rate} {ch}");
+                    // Every page still airs at least once per period.
+                    for p in 0..before.num_pages() as u32 {
+                        assert!(after.frequency(PageId(p)) >= 1);
+                    }
+                }
+                // Timing queries still agree with the slot feed.
+                for p in 0..layout.total_pages() as u32 {
+                    let page = PageId(p);
+                    let t = coded.next_arrival(page, 3.5);
+                    assert_eq!(
+                        coded.slot_at(coded.channel_of(page), t as u64),
+                        Slot::Page(page)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coding_converts_padding_before_stealing() {
+        // A layout whose program has padding: conversions must hit the
+        // empty slots first, so low rates cost no data airings at all.
+        let layout = DiskLayout::new(vec![1, 5], vec![3, 1]).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 1).unwrap();
+        let prog = plan.program(ChannelId(0));
+        let empties = prog.empty_slots();
+        if empties > 0 {
+            let rate = empties as f64 / prog.period() as f64 - 1e-9;
+            let coded = plan
+                .clone()
+                .with_coding(CodingConfig::xor(rate, 4, 1))
+                .unwrap();
+            let after = coded.program(ChannelId(0));
+            for p in 0..prog.num_pages() as u32 {
+                assert_eq!(after.frequency(PageId(p)), prog.frequency(PageId(p)));
+            }
+        }
+        // Past the padding, stealing kicks in but never drops a page.
+        let coded = plan.with_coding(CodingConfig::xor(0.3, 4, 1)).unwrap();
+        let after = coded.program(ChannelId(0));
+        for p in 0..after.num_pages() as u32 {
+            assert!(after.frequency(PageId(p)) >= 1);
+        }
+        assert!(after.repair_slots() > empties);
+    }
+
+    #[test]
+    fn coding_rates_nest() {
+        let layout = DiskLayout::with_delta(&[8, 24, 32], 3).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        let lo = plan
+            .clone()
+            .with_coding(CodingConfig::xor(0.05, 8, 7))
+            .unwrap();
+        let hi = plan.with_coding(CodingConfig::xor(0.2, 8, 7)).unwrap();
+        for c in 0..2u16 {
+            let ch = ChannelId(c);
+            for (i, s) in lo.program(ch).slots().iter().enumerate() {
+                if matches!(s, Slot::Repair(_)) {
+                    assert!(
+                        matches!(hi.program(ch).slots()[i], Slot::Repair(_)),
+                        "slot {i} on {ch} repaired at rate 0.05 but not 0.2"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_coding_rejected() {
+        let plan = BroadcastPlan::generate(&d_small(), 1).unwrap();
+        for bad in [-0.1, 1.0, f64::NAN] {
+            assert!(matches!(
+                plan.clone().with_coding(CodingConfig::xor(bad, 4, 0)),
+                Err(SchedError::InvalidCoding { .. })
+            ));
+        }
+        assert!(matches!(
+            plan.clone().with_coding(CodingConfig::xor(0.1, 0, 0)),
+            Err(SchedError::InvalidCoding { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_stats_split_per_channel() {
+        let layout = DiskLayout::with_delta(&[8, 24, 32], 3).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        let stats = plan.channel_stats();
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert_eq!(s.period, plan.period_of(s.channel));
+            assert_eq!(s.data_slots + s.empty_slots + s.repair_slots, s.period);
+            assert_eq!(s.empty_slots, plan.empty_slots_of(s.channel));
+            assert_eq!(s.repair_slots, 0);
+        }
+        let coded = plan.with_coding(CodingConfig::xor(0.1, 8, 7)).unwrap();
+        for s in coded.channel_stats() {
+            assert_eq!(s.repair_slots, coded.repair_slots_of(s.channel));
+            assert!(s.repair_slots > 0);
+        }
+        let summary = coded.summary();
+        assert!(summary.contains("ch0:") && summary.contains("ch1:"));
+        assert!(summary.contains("repair="));
+    }
+
+    #[test]
+    fn lossy_delay_reduces_and_improves_with_rate() {
+        let layout = DiskLayout::with_delta(&[8, 24, 32], 3).unwrap();
+        let n = layout.total_pages();
+        let probs = vec![1.0 / n as f64; n];
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        // loss = 0 equals the lossless model.
+        assert!(
+            (plan.expected_delay_lossy(&probs, 0.0) - plan.expected_delay(&probs)).abs() < 1e-12
+        );
+        // Without coding, loss strictly hurts.
+        let lossless = plan.expected_delay(&probs);
+        let lossy = plan.expected_delay_lossy(&probs, 0.1);
+        assert!(lossy > lossless);
+        // Higher coding rate strictly helps at fixed loss until hot-slot
+        // coverage saturates (the base delay grows slightly from stolen
+        // airings, and cold frequency-1 slots are uncoverable, so past
+        // saturation extra symbols only cost airings).
+        let mut last = lossy;
+        for rate in [0.05, 0.1] {
+            let coded = plan
+                .clone()
+                .with_coding(CodingConfig::xor(rate, 8, 7))
+                .unwrap();
+            let d = coded.expected_delay_lossy(&probs, 0.1);
+            assert!(d < last, "rate {rate}: {d} !< {last}");
+            last = d;
+        }
+        // Past saturation: still strictly better than no coding at all.
+        let saturated = plan
+            .clone()
+            .with_coding(CodingConfig::xor(0.2, 8, 7))
+            .unwrap()
+            .expected_delay_lossy(&probs, 0.1);
+        assert!(
+            saturated < lossy,
+            "saturated {saturated} !< uncoded {lossy}"
+        );
     }
 
     #[test]

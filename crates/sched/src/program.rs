@@ -33,7 +33,29 @@ impl std::fmt::Display for PageId {
     }
 }
 
-/// One broadcast slot: a page transmission or an unused slot.
+/// Identifier of a repair symbol within one channel's period: repair slots
+/// are numbered `0..R` in period-offset order, so the id alone determines
+/// (given the plan and its coding seed) exactly which pages the symbol
+/// combines — server and client agree with no side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RepairId(pub u32);
+
+impl RepairId {
+    /// The repair-symbol id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RepairId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One broadcast slot: a page transmission, a coded repair symbol, or an
+/// unused slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Slot {
     /// The slot broadcasts this page.
@@ -41,6 +63,9 @@ pub enum Slot {
     /// The slot is unused (chunk padding); real deployments would carry
     /// indexes, invalidations, or extra copies of hot pages here.
     Empty,
+    /// The slot carries an erasure-coded repair symbol (a deterministic
+    /// combination of recently aired pages; see `bdisk-code`).
+    Repair(RepairId),
 }
 
 /// A periodic broadcast program.
@@ -55,6 +80,8 @@ pub struct BroadcastProgram {
     disk_freqs: Vec<u64>,
     /// Number of empty (padding) slots per period.
     empty_slots: usize,
+    /// Number of coded repair slots per period.
+    repair_slots: usize,
 }
 
 impl BroadcastProgram {
@@ -79,17 +106,19 @@ impl BroadcastProgram {
             .iter()
             .filter_map(|s| match s {
                 Slot::Page(p) => Some(p.index() + 1),
-                Slot::Empty => None,
+                Slot::Empty | Slot::Repair(_) => None,
             })
             .max()
             .ok_or(SchedError::EmptyProgram)?;
 
         let mut page_slots = vec![Vec::new(); num_pages];
         let mut empty_slots = 0;
+        let mut repair_slots = 0;
         for (i, s) in slots.iter().enumerate() {
             match s {
                 Slot::Page(p) => page_slots[p.index()].push(i as u32),
                 Slot::Empty => empty_slots += 1,
+                Slot::Repair(_) => repair_slots += 1,
             }
         }
         for (p, ps) in page_slots.iter().enumerate() {
@@ -110,6 +139,7 @@ impl BroadcastProgram {
             page_disk,
             disk_freqs,
             empty_slots,
+            repair_slots,
         })
     }
 
@@ -131,6 +161,11 @@ impl BroadcastProgram {
     /// Number of unused (padding) slots per period.
     pub fn empty_slots(&self) -> usize {
         self.empty_slots
+    }
+
+    /// Number of coded repair slots per period.
+    pub fn repair_slots(&self) -> usize {
+        self.repair_slots
     }
 
     /// Fraction of bandwidth wasted on padding.
@@ -241,6 +276,48 @@ impl BroadcastProgram {
         }
     }
 
+    /// The coverage window of a repair slot at period offset `offset`: the
+    /// period offsets of the most recent airing of each of the last
+    /// `group` **distinct** coded pages aired before `offset` (cyclically),
+    /// most-recent-first. Deduplication matters: XOR-combining two airings
+    /// of the same page would cancel it out of the symbol.
+    ///
+    /// Only multi-airing pages are coded. A page broadcast once per period
+    /// is the archetypal cold page: losing it means waiting a full period
+    /// regardless (no repair slot can be placed "soon after" an airing that
+    /// happens once), and any symbol covering it is dead weight until that
+    /// period elapses. Skipping such pages keeps symbols usable and lets
+    /// windows reach back *across* a cold disk's chunk to protect the slots
+    /// before it. In a flat program where every page airs exactly once,
+    /// nothing is multi-airing and all pages participate instead.
+    ///
+    /// This is the canonical window contract shared by the server-side
+    /// encoder, the client-side decoder, and the analytic loss model —
+    /// all three must walk the same offsets or coded recovery silently
+    /// corrupts (the decoder XORs the wrong pages).
+    pub fn coverage_window(&self, offset: u32, group: usize) -> Vec<u32> {
+        let period = self.period() as u32;
+        let hot_only = self.page_slots.iter().any(|s| s.len() >= 2);
+        let mut pages: Vec<PageId> = Vec::with_capacity(group);
+        let mut window = Vec::with_capacity(group);
+        for d in 1..period {
+            let o = (offset + period - d) % period;
+            if let Slot::Page(p) = self.slots[o as usize] {
+                if hot_only && self.page_slots[p.index()].len() < 2 {
+                    continue;
+                }
+                if !pages.contains(&p) {
+                    pages.push(p);
+                    window.push(o);
+                    if window.len() == group {
+                        break;
+                    }
+                }
+            }
+        }
+        window
+    }
+
     /// Renders the program as a compact string, e.g. `"A B A C"` with
     /// letters for the first 26 pages and `p<N>` beyond; `-` marks padding.
     /// Intended for examples, docs, and the Figure 3 demo.
@@ -254,6 +331,7 @@ impl BroadcastProgram {
                 Slot::Page(p) if p.0 < 26 => out.push((b'A' + p.0 as u8) as char),
                 Slot::Page(p) => out.push_str(&format!("p{}", p.0)),
                 Slot::Empty => out.push('-'),
+                Slot::Repair(_) => out.push('+'),
             }
         }
         out
@@ -408,6 +486,62 @@ mod tests {
         let slots = vec![Slot::Page(PageId(0)), Slot::Empty];
         let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
         assert_eq!(p.render(), "A -");
+    }
+
+    #[test]
+    fn repair_slots_counted_and_rendered() {
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Repair(RepairId(0)),
+            Slot::Page(PageId(0)),
+            Slot::Empty,
+        ];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.repair_slots(), 1);
+        assert_eq!(p.empty_slots(), 1);
+        assert_eq!(p.num_pages(), 2);
+        assert_eq!(p.render(), "A B + A -");
+        assert_eq!(p.slot_at(2), Slot::Repair(RepairId(0)));
+    }
+
+    #[test]
+    fn coverage_window_dedupes_pages_most_recent_first() {
+        // A B A B + : window of size 2 at offset 4 covers B's *latest*
+        // airing (offset 3) then A's (offset 2) — one entry per distinct
+        // page, most-recent-first.
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Repair(RepairId(0)),
+        ];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.coverage_window(4, 2), vec![3, 2]);
+        // A window larger than the coded-page count saturates.
+        assert_eq!(p.coverage_window(4, 8), vec![3, 2]);
+        // A B A + : B airs once per period — a cold page the code cannot
+        // protect — so the window skips it and covers A alone.
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Page(PageId(0)),
+            Slot::Repair(RepairId(0)),
+        ];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.coverage_window(3, 2), vec![2]);
+        assert_eq!(p.coverage_window(3, 8), vec![2]);
+        // Wrap-around in a flat program: every page airs exactly once, so
+        // all pages participate and the window walks back across the
+        // period end.
+        let slots = vec![
+            Slot::Repair(RepairId(0)),
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+        ];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.coverage_window(0, 2), vec![2, 1]);
     }
 
     #[test]
