@@ -534,6 +534,23 @@ impl FaultSwitchboard {
     }
 }
 
+/// Encodes `frame` and flips one bit of the body chosen by `entropy` —
+/// never a length-prefix bit, so framing stays intact and the damage is
+/// the CRC's to catch. Both TCP transports (threaded and evented) corrupt
+/// through this one function, so a fault plan's corruption schedule is
+/// byte-identical across them.
+pub(crate) fn encode_corrupted(
+    frame: &crate::transport::Frame,
+    entropy: u64,
+) -> std::sync::Arc<[u8]> {
+    use crate::transport::LEN_PREFIX;
+    let mut bytes = frame.encode();
+    let body_bits = (bytes.len() - LEN_PREFIX) * 8;
+    let bit = (entropy % body_bits as u64) as usize;
+    bytes[LEN_PREFIX + bit / 8] ^= 1 << (bit % 8);
+    std::sync::Arc::from(bytes)
+}
+
 /// Per-kind injected-fault counters (`bd_fault_injected_total{kind=...}`).
 pub(crate) struct FaultMetrics {
     pub erased: &'static bdisk_obs::Counter,

@@ -1,0 +1,351 @@
+//! Tuner fleets: thousands of broadcast receivers multiplexed on one
+//! drainer thread, for fan-out benchmarks and smoke tests.
+//!
+//! A [`TunerFleet`] opens `n` loopback connections to a broadcast server
+//! and drains all of them from a single thread with one [`mini_mio::Poll`]
+//! — the receiving mirror of the evented transport's design, and the only
+//! way to put 10k+ live connections on one core (a thread-per-tuner fleet
+//! would need 10k stacks and a scheduler meltdown). Each tuner
+//! incrementally reassembles the length-prefixed wire format, verifies
+//! every frame's CRC (via [`crate::transport::body_crc_ok`], without
+//! materializing a [`crate::Frame`]), and tracks sequence gaps. The fleet
+//! runs until the server closes the connections, then reports per-tuner
+//! and aggregate statistics.
+//!
+//! This is deliberately *not* a [`crate::LiveClient`] fleet: tuners here
+//! measure the wire (frames, bytes, integrity, continuity), not cache
+//! policy response times. Bench code wants the transport's fan-out
+//! ceiling, and driving full client cores would measure the clients
+//! instead.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mini_mio::{Events, Interest, Poll, Token};
+
+use crate::transport::{body_crc_ok, LEN_PREFIX};
+
+/// What one tuner saw over its connection's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TunerStats {
+    /// Intact frames received (CRC verified).
+    pub frames: u64,
+    /// Wire bytes received (length prefixes included).
+    pub bytes: u64,
+    /// Frames discarded because their CRC failed.
+    pub crc_errors: u64,
+    /// Contiguous sequence-number gaps observed (dropped or erased spans).
+    pub gaps: u64,
+    /// Highest frame sequence number seen, if any frame arrived.
+    pub last_seq: Option<u64>,
+}
+
+/// Aggregate report for a completed fleet.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-tuner statistics, in connection order.
+    pub tuners: Vec<TunerStats>,
+}
+
+impl FleetReport {
+    /// Intact frames received across the whole fleet.
+    pub fn total_frames(&self) -> u64 {
+        self.tuners.iter().map(|t| t.frames).sum()
+    }
+
+    /// Wire bytes received across the whole fleet.
+    pub fn total_bytes(&self) -> u64 {
+        self.tuners.iter().map(|t| t.bytes).sum()
+    }
+
+    /// CRC-failed frames discarded across the whole fleet.
+    pub fn total_crc_errors(&self) -> u64 {
+        self.tuners.iter().map(|t| t.crc_errors).sum()
+    }
+
+    /// Tuners that observed at least one sequence gap.
+    pub fn tuners_with_gaps(&self) -> usize {
+        self.tuners.iter().filter(|t| t.gaps > 0).count()
+    }
+
+    /// Smallest per-tuner intact-frame count (0 for an empty fleet).
+    pub fn min_frames(&self) -> u64 {
+        self.tuners.iter().map(|t| t.frames).min().unwrap_or(0)
+    }
+}
+
+/// Per-tuner reassembly state inside the drainer.
+struct Tuner {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into complete frames.
+    pending: Vec<u8>,
+    stats: TunerStats,
+    open: bool,
+}
+
+impl TunerStats {
+    /// Accounts every complete frame at the head of `buf` and returns how
+    /// many bytes were consumed (a trailing partial frame stays).
+    fn consume(&mut self, buf: &[u8]) -> usize {
+        let mut offset = 0usize;
+        loop {
+            let rest = &buf[offset..];
+            if rest.len() < LEN_PREFIX {
+                break;
+            }
+            let len = u32::from_le_bytes(rest[..LEN_PREFIX].try_into().unwrap()) as usize;
+            if rest.len() < LEN_PREFIX + len {
+                break;
+            }
+            let body = &rest[LEN_PREFIX..LEN_PREFIX + len];
+            self.bytes += (LEN_PREFIX + len) as u64;
+            if body_crc_ok(body) {
+                let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+                if let Some(last) = self.last_seq {
+                    if seq > last + 1 {
+                        self.gaps += 1;
+                    }
+                }
+                self.last_seq = Some(self.last_seq.map_or(seq, |l| l.max(seq)));
+                self.frames += 1;
+            } else {
+                self.crc_errors += 1;
+            }
+            offset += LEN_PREFIX + len;
+        }
+        offset
+    }
+}
+
+impl Tuner {
+    /// Feeds freshly-read bytes to the parser. When no partial frame is
+    /// buffered, frames parse straight out of the read scratch and only a
+    /// trailing fragment is copied — the common case re-buffers nothing.
+    fn ingest(&mut self, chunk: &[u8]) {
+        if self.pending.is_empty() {
+            let consumed = self.stats.consume(chunk);
+            self.pending.extend_from_slice(&chunk[consumed..]);
+        } else {
+            self.pending.extend_from_slice(chunk);
+            let consumed = self.stats.consume(&self.pending);
+            if consumed > 0 {
+                self.pending.drain(..consumed);
+            }
+        }
+    }
+}
+
+/// A fleet of concurrent broadcast tuners drained by one thread.
+///
+/// [`TunerFleet::launch`] connects and starts draining immediately (so the
+/// server's accept backlog never overflows under a 10k-connection storm);
+/// [`TunerFleet::join`] blocks until the server has closed every
+/// connection and returns the report.
+pub struct TunerFleet {
+    handle: JoinHandle<io::Result<FleetReport>>,
+}
+
+impl TunerFleet {
+    /// Connects `n` tuners to `addr` and spawns the drainer thread.
+    ///
+    /// Connections are opened blocking (with retries — a connect storm can
+    /// transiently overflow the accept backlog) and switched to
+    /// nonblocking for the drain. Callers planning fleets beyond the
+    /// process's file-descriptor limit should raise it first
+    /// ([`mini_mio::raise_nofile_limit`]); each loopback tuner costs two
+    /// descriptors (client end + server end).
+    pub fn launch(addr: SocketAddr, n: usize) -> io::Result<TunerFleet> {
+        let handle = std::thread::Builder::new()
+            .name("tuner-fleet".into())
+            .spawn(move || drain_fleet(addr, n))?;
+        Ok(TunerFleet { handle })
+    }
+
+    /// Waits for the broadcast to end (server closes all connections) and
+    /// returns what the fleet saw.
+    pub fn join(self) -> io::Result<FleetReport> {
+        self.handle
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("tuner fleet thread panicked")))
+    }
+}
+
+/// Connects with retries: a storm of simultaneous connects can outrun the
+/// listener's accept backlog, surfacing as refused/reset connections that
+/// succeed moments later once the server's event loop catches up.
+fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn drain_fleet(addr: SocketAddr, n: usize) -> io::Result<FleetReport> {
+    let mut poll = Poll::new()?;
+    let mut events = Events::with_capacity(1024);
+    let mut tuners: Vec<Tuner> = Vec::with_capacity(n);
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut open = 0usize;
+    for i in 0..n {
+        let stream = connect_with_retry(addr)?;
+        stream.set_nonblocking(true)?;
+        poll.register(&stream, Token(i), Interest::READABLE)?;
+        tuners.push(Tuner {
+            stream,
+            pending: Vec::new(),
+            stats: TunerStats::default(),
+            open: true,
+        });
+        open += 1;
+        // Interleave connecting with draining: frames already broadcast
+        // to earlier tuners must not pile up in kernel buffers while the
+        // tail of a 10k fleet is still connecting.
+        if i % 64 == 63 {
+            drain_once(
+                &mut poll,
+                &mut events,
+                &mut tuners,
+                &mut scratch,
+                &mut open,
+                Some(Duration::ZERO),
+            )?;
+        }
+    }
+    while open > 0 {
+        drain_once(
+            &mut poll,
+            &mut events,
+            &mut tuners,
+            &mut scratch,
+            &mut open,
+            Some(Duration::from_millis(100)),
+        )?;
+    }
+    Ok(FleetReport {
+        tuners: tuners.into_iter().map(|t| t.stats).collect(),
+    })
+}
+
+/// One poll turn: read every ready tuner dry, parse complete frames,
+/// retire closed connections.
+fn drain_once(
+    poll: &mut Poll,
+    events: &mut Events,
+    tuners: &mut [Tuner],
+    scratch: &mut [u8],
+    open: &mut usize,
+    timeout: Option<Duration>,
+) -> io::Result<()> {
+    poll.poll(events, timeout)?;
+    for ev in events.iter() {
+        let idx = ev.token().0;
+        let Some(tuner) = tuners.get_mut(idx) else {
+            continue;
+        };
+        if !tuner.open || !ev.is_readable() {
+            continue;
+        }
+        loop {
+            match tuner.stream.read(scratch) {
+                Ok(0) => {
+                    // Server closed: this tuner's broadcast is over.
+                    let _ = poll.deregister(&tuner.stream);
+                    tuner.open = false;
+                    *open -= 1;
+                    break;
+                }
+                Ok(read) => tuner.ingest(&scratch[..read]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let _ = poll.deregister(&tuner.stream);
+                    tuner.open = false;
+                    *open -= 1;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp_evented::EventedTcpTransport;
+    use crate::tcp_threaded::TcpTransportConfig;
+    use crate::transport::{PagePayloads, Transport};
+    use bdisk_sched::{PageId, Slot};
+
+    #[test]
+    fn fleet_drains_every_frame_from_evented_transport() {
+        let mut transport = EventedTcpTransport::bind(TcpTransportConfig {
+            queue_capacity: 4096,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        let addr = transport.local_addr();
+        let fleet = TunerFleet::launch(addr, 32).unwrap();
+        assert!(transport.wait_for_clients(32, Duration::from_secs(10)));
+        let payloads = PagePayloads::generate(8, 512);
+        let slots = 200u64;
+        for seq in 0..slots {
+            transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32 % 8))));
+        }
+        transport.finish();
+        let report = fleet.join().unwrap();
+        assert_eq!(report.tuners.len(), 32);
+        assert_eq!(
+            report.min_frames(),
+            slots,
+            "lossless run: no tuner lost a frame"
+        );
+        assert_eq!(report.total_frames(), slots * 32);
+        assert_eq!(report.total_crc_errors(), 0);
+        assert_eq!(report.tuners_with_gaps(), 0);
+        let wire_len = payloads.frame(0, Slot::Page(PageId(0))).wire_len() as u64;
+        assert_eq!(report.total_bytes(), slots * 32 * wire_len);
+    }
+
+    #[test]
+    fn fleet_counts_gaps_and_crc_failures() {
+        use crate::faults::FaultPlan;
+        let mut transport = EventedTcpTransport::bind(TcpTransportConfig {
+            queue_capacity: 4096,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        transport.set_fault_plan(FaultPlan {
+            seed: 7,
+            erasure: 0.2,
+            corruption: 0.1,
+            ..FaultPlan::none()
+        });
+        let addr = transport.local_addr();
+        let fleet = TunerFleet::launch(addr, 4).unwrap();
+        assert!(transport.wait_for_clients(4, Duration::from_secs(10)));
+        let payloads = PagePayloads::generate(8, 128);
+        for seq in 0..500u64 {
+            transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32 % 8))));
+        }
+        let counts = transport.fault_counts();
+        transport.finish();
+        let report = fleet.join().unwrap();
+        assert!(counts.erased > 0 && counts.corrupted > 0);
+        // Every tuner saw the same faulted stream: erasures surface as
+        // sequence gaps, corruption as CRC discards.
+        assert_eq!(report.tuners_with_gaps(), 4);
+        assert_eq!(report.total_crc_errors(), counts.corrupted * 4);
+        assert!(report.min_frames() > 0);
+    }
+}

@@ -13,7 +13,14 @@
 //! * [`TcpTransport`] — real `std::net` sockets with length-prefixed page
 //!   frames encoded once per slot and shared by every connection,
 //!   per-client send buffers with coalesced vectored writes,
-//!   slow-consumer detection, and drop-or-disconnect backpressure.
+//!   slow-consumer detection, and drop-or-disconnect backpressure (one
+//!   writer thread per connection — the reference implementation);
+//! * [`EventedTcpTransport`] — the same wire format and semantics on a
+//!   single-threaded epoll event loop (slab-indexed connections, shared
+//!   backlog frames, cursor-resumed partial writes), which is what scales
+//!   to 10k+ concurrent tuners on one core. [`TunerFleet`] is the
+//!   matching receive side: thousands of CRC-checking tuners drained by
+//!   one thread, for fan-out benchmarks.
 //!
 //! Frames carry real page payloads ([`PagePayloads`], sized by
 //! `EngineConfig::page_size` — the paper's `PageSize` knob) as shared
@@ -40,16 +47,26 @@ pub mod bus;
 pub mod client;
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod metrics;
 pub mod obs;
-pub mod tcp;
+pub mod tcp_evented;
+pub mod tcp_threaded;
 pub mod transport;
+
+// A 10k-tuner loopback fleet needs ~2 descriptors per connection, which
+// outgrows default `ulimit -n`; benches raise it through this re-export.
+pub use mini_mio::raise_nofile_limit;
 
 pub use bus::{BusSubscription, BusTuning, InMemoryBus};
 pub use client::{LiveClient, LiveClientResult};
 pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
 pub use faults::{crc32, ChannelFault, FaultCounts, FaultInjector, FaultPlan};
+pub use fleet::{FleetReport, TunerFleet, TunerStats};
 pub use metrics::{aggregate, LiveReport};
 pub use obs::register_metrics;
-pub use tcp::{ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport, TcpTransportConfig};
+pub use tcp_evented::EventedTcpTransport;
+pub use tcp_threaded::{
+    ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport, TcpTransportConfig,
+};
 pub use transport::{Backpressure, DeliveryStats, Frame, FrameError, PagePayloads, Transport};

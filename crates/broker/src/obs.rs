@@ -229,6 +229,40 @@ pub(crate) fn tcp() -> &'static TcpMetrics {
     })
 }
 
+/// Event-loop (epoll) transport metrics.
+pub(crate) struct EventedMetrics {
+    /// `bd_poll_wakeups_total`
+    pub poll_wakeups: &'static Counter,
+    /// `bd_partial_writes_total`
+    pub partial_writes: &'static Counter,
+    /// `bd_conn_slab_occupancy`
+    pub slab_occupancy: &'static Gauge,
+    /// `bd_writable_spurious_total`
+    pub writable_spurious: &'static Counter,
+}
+
+pub(crate) fn evented() -> &'static EventedMetrics {
+    static M: OnceLock<EventedMetrics> = OnceLock::new();
+    M.get_or_init(|| EventedMetrics {
+        poll_wakeups: registry::counter(
+            "bd_poll_wakeups_total",
+            "Readiness polls that returned at least one event to the evented transport",
+        ),
+        partial_writes: registry::counter(
+            "bd_partial_writes_total",
+            "Socket writes that accepted only part of the pending backlog (resumed by cursor)",
+        ),
+        slab_occupancy: registry::gauge(
+            "bd_conn_slab_occupancy",
+            "Connection slots currently occupied in the evented transport's slab",
+        ),
+        writable_spurious: registry::counter(
+            "bd_writable_spurious_total",
+            "Writable wakeups that found an empty backlog (interest disarmed too late)",
+        ),
+    })
+}
+
 /// Live-client metrics.
 pub(crate) struct ClientMetrics {
     /// `bd_client_frames_seen_total`
@@ -338,6 +372,7 @@ pub fn register_metrics() {
     let _ = engine();
     let _ = bus();
     let _ = tcp();
+    let _ = evented();
     let _ = client();
     let _ = shard_queue_depth(0);
     let _ = slots_by_channel(0);

@@ -1,4 +1,5 @@
-//! The TCP transport: length-prefixed page frames over real sockets.
+//! The **threaded** TCP transport: length-prefixed page frames over real
+//! sockets, one writer thread per connection.
 //!
 //! The server binds a loopback listener; an accept thread hands new
 //! connections to the engine thread, which registers each one with a
@@ -13,6 +14,21 @@
 //! buffer holds a refcount to the same bytes. A writer that wakes up to a
 //! backlog drains up to [`TcpTransportConfig::max_coalesce`] buffers and
 //! pushes them with one vectored write instead of one syscall per frame.
+//!
+//! Thread lifecycle: `finish()` (also run on drop) closes every
+//! connection's send channel, **joins** each writer thread and the accept
+//! thread, and returns only when all of them have exited. Writer sockets
+//! carry a bounded [`TcpTransportConfig::write_timeout`] so a join can
+//! never hang on a peer that stopped reading mid-write — a stalled socket
+//! errors out of its blocking write within the timeout and the writer
+//! exits (the slow consumer is disconnected, which is the same fate
+//! [`Backpressure`] would hand it).
+//!
+//! This implementation tops out around a few hundred connections (one OS
+//! thread each); it is kept as the **reference implementation** the
+//! event-loop transport ([`crate::EventedTcpTransport`]) is differentially
+//! tested against — `tests/evented_equivalence.rs` pins the two to
+//! bit-identical delivered streams.
 
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -24,8 +40,10 @@ use std::time::{Duration, Instant};
 use bdisk_obs::journal::{event, EventKind};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
-use crate::faults::{FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame, SplitMix};
-use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, Transport, LEN_PREFIX};
+use crate::faults::{
+    encode_corrupted, FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame, SplitMix,
+};
+use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, Transport};
 
 /// TCP transport tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,6 +54,13 @@ pub struct TcpTransportConfig {
     pub backpressure: Backpressure,
     /// Most backlog frames a writer folds into one vectored write.
     pub max_coalesce: usize,
+    /// Upper bound on one blocking socket write (`SO_SNDTIMEO`). A peer
+    /// that stops reading while its kernel buffer is full would otherwise
+    /// block its writer thread indefinitely — and block `finish()`'s join
+    /// with it. On timeout the write errors, the writer exits, and the
+    /// stalled client is disconnected. `None` disables the bound (not
+    /// recommended; shutdown promptness then depends on every peer).
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for TcpTransportConfig {
@@ -44,6 +69,7 @@ impl Default for TcpTransportConfig {
             queue_capacity: 256,
             backpressure: Backpressure::DropNewest,
             max_coalesce: 64,
+            write_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -181,6 +207,9 @@ impl TcpTransport {
         let m = crate::obs::tcp();
         while let Ok(stream) = self.incoming.try_recv() {
             let _ = stream.set_nodelay(true);
+            // Bound every blocking write so a stalled peer cannot wedge
+            // this writer thread (and the shutdown join behind it).
+            let _ = stream.set_write_timeout(self.cfg.write_timeout);
             let (tx, rx) = bounded::<Arc<[u8]>>(self.cfg.queue_capacity);
             let max_coalesce = self.cfg.max_coalesce;
             let writer = std::thread::spawn(move || {
@@ -275,17 +304,6 @@ impl TcpTransport {
             }
         }
     }
-}
-
-/// Encodes `frame` and flips one bit of the body chosen by `entropy` —
-/// never a length-prefix bit, so framing stays intact and the damage is
-/// the CRC's to catch.
-fn encode_corrupted(frame: &Frame, entropy: u64) -> Arc<[u8]> {
-    let mut bytes = frame.encode();
-    let body_bits = (bytes.len() - LEN_PREFIX) * 8;
-    let bit = (entropy % body_bits as u64) as usize;
-    bytes[LEN_PREFIX + bit / 8] ^= 1 << (bit % 8);
-    Arc::from(bytes)
 }
 
 impl Transport for TcpTransport {
@@ -695,6 +713,41 @@ mod tests {
         let (frames, corrupt) = reader.join().unwrap();
         assert!(frames.is_empty(), "every frame was damaged: {frames:?}");
         assert_eq!(corrupt, 6, "all six damaged frames counted");
+    }
+
+    /// The lifecycle pin: dropping the transport joins the accept thread
+    /// and every per-connection writer thread — including one blocked in a
+    /// socket write against a peer that stopped reading — promptly, not
+    /// eventually. The stalled writer is released by the bounded
+    /// `write_timeout`, so shutdown latency is `O(write_timeout)`, never
+    /// unbounded.
+    #[test]
+    fn shutdown_joins_writer_and_accept_threads_promptly() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig {
+            queue_capacity: 8,
+            write_timeout: Some(Duration::from_millis(200)),
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        let addr = transport.local_addr();
+        // A connected client that never reads: the kernel socket buffers
+        // fill and the connection's writer thread blocks mid-write.
+        let stalled = TcpFrameReader::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        let payloads = PagePayloads::generate(4, 16 * 1024);
+        for seq in 0..512u64 {
+            transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32 % 4))));
+        }
+        let start = Instant::now();
+        // finish() (via drop) must close the send channels, wake the
+        // accept loop, and join every thread.
+        drop(transport);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "shutdown joins took {elapsed:?} (write_timeout is 200ms)"
+        );
+        drop(stalled);
     }
 
     #[test]

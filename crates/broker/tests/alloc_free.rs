@@ -101,7 +101,18 @@ fn steady_state_broadcast_allocates_nothing() {
     // Coded airing is alloc-free too: a repair frame shares its symbol
     // buffer by refcount exactly like a page frame shares its payload —
     // the engine precomputes the per-channel symbol tables once per run.
+    // Warm the repair path like the page path above: the first airing of
+    // each repair id may trigger lazy one-time init (label-map inserts),
+    // which is startup cost, not steady state.
     let symbol: Arc<[u8]> = vec![0u8; 64].into();
+    for seq in 568..576u64 {
+        bus.broadcast(Frame {
+            seq,
+            channel: 0,
+            slot: Slot::Repair(RepairId(seq as u32 % 4)),
+            payload: Arc::clone(&symbol),
+        });
+    }
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     for seq in 576..832u64 {

@@ -44,6 +44,7 @@ fn chaos_fleet_completes_under_seeded_faults() {
         queue_capacity: 4096,
         backpressure: Backpressure::DropNewest,
         max_coalesce: 64,
+        ..TcpTransportConfig::default()
     })
     .unwrap();
     transport.set_fault_plan(FaultPlan {
@@ -137,6 +138,7 @@ fn killed_client_reconnects_and_finishes() {
         queue_capacity: 4096,
         backpressure: Backpressure::DropNewest,
         max_coalesce: 64,
+        ..TcpTransportConfig::default()
     })
     .unwrap();
     transport.set_fault_plan(FaultPlan {

@@ -35,6 +35,7 @@ fn live_client_completes_over_tcp() {
         queue_capacity: 4096,
         backpressure: Backpressure::DropNewest,
         max_coalesce: 64,
+        ..TcpTransportConfig::default()
     })
     .unwrap();
     let addr = transport.local_addr();
@@ -75,6 +76,7 @@ fn slow_consumer_triggers_drops() {
         queue_capacity: 4,
         backpressure: Backpressure::DropNewest,
         max_coalesce: 16,
+        ..TcpTransportConfig::default()
     })
     .unwrap();
     let addr = transport.local_addr();
@@ -123,6 +125,7 @@ fn slow_consumer_gets_disconnected() {
         queue_capacity: 4,
         backpressure: Backpressure::Disconnect,
         max_coalesce: 16,
+        ..TcpTransportConfig::default()
     })
     .unwrap();
     let addr = transport.local_addr();

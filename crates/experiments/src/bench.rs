@@ -5,21 +5,33 @@
 //! current directory, so the repo carries its own perf trajectory across
 //! PRs: re-run `repro bench` on the same machine class and diff the JSON.
 //!
-//! * `BENCH_broker.json` — lossless-bus fan-out throughput (slots/sec and
-//!   payload MB/s) at 1 / 8 / 64 / 256 concurrent draining clients.
+//! * `BENCH_broker.json` (`bdisk-bench-broker/v2`) — TCP fan-out
+//!   throughput over real loopback sockets for **both** transports
+//!   (`threaded`: one writer thread per connection; `evented`: the
+//!   single-threaded epoll loop), each fleet point drained by a
+//!   [`TunerFleet`] that CRC-checks every frame. The evented list climbs
+//!   to 10 000 concurrent tuners — the fleet-mode point the threaded
+//!   transport cannot reach. The historical lossless-bus rows
+//!   (`bus_fanout`) and the metrics on/off overhead comparison ride
+//!   along unchanged.
 //! * `BENCH_sim.json` — wall-clock of a Δ-sweep of the discrete-event
 //!   simulator at the paper's D5 configuration.
 //!
 //! `--quick` shrinks slot counts and client fleets (the CI smoke mode);
 //! the emitted JSON carries a `mode` field so full and quick runs are
-//! never confused. Both files are re-parsed and shape-checked with the
-//! built-in JSON reader after writing — a malformed emitter fails the run
-//! (and CI) instead of silently rotting the harness.
+//! never confused. `--clients-list N,N,...` overrides the fan-out fleet
+//! sizes (the threaded transport skips entries above
+//! [`THREADED_MAX_CLIENTS`] — a thread per connection does not survive
+//! four-digit fleets). Both files are re-parsed and shape-checked with
+//! the built-in JSON reader after writing — a malformed emitter fails the
+//! run (and CI) instead of silently rotting the harness.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bdisk_broker::{
-    Backpressure, BroadcastEngine, BusTuning, EngineConfig, EngineReport, InMemoryBus,
+    raise_nofile_limit, Backpressure, BroadcastEngine, BusTuning, EngineConfig, EngineReport,
+    EventedTcpTransport, FleetReport, InMemoryBus, TcpTransport, TcpTransportConfig, Transport,
+    TunerFleet,
 };
 use bdisk_cache::PolicyKind;
 use bdisk_sched::{BroadcastProgram, DiskLayout};
@@ -34,6 +46,11 @@ const DISKS: [usize; 3] = [50, 200, 250];
 const DELTA: u64 = 3;
 const CAPACITY: usize = 256;
 
+/// Largest fleet the threaded transport is asked to serve: beyond this,
+/// one OS thread per connection stops being a transport and starts being
+/// a scheduler benchmark.
+const THREADED_MAX_CLIENTS: usize = 2048;
+
 fn fanout_clients(scale: Scale) -> &'static [usize] {
     match scale {
         Scale::Full => &[1, 8, 64, 256],
@@ -41,10 +58,36 @@ fn fanout_clients(scale: Scale) -> &'static [usize] {
     }
 }
 
+/// Fleet sizes for the TCP fan-out rows. The evented transport carries
+/// the large points (up to the tracked 10k fleet in full mode); the
+/// threaded reference stops where thread-per-connection stops making
+/// sense.
+fn tcp_clients(scale: Scale, evented: bool) -> &'static [usize] {
+    match (scale, evented) {
+        (Scale::Full, false) => &[1, 8, 64, 256],
+        (Scale::Full, true) => &[1, 8, 64, 256, 1024, 10_000],
+        (Scale::Quick, false) => &[1, 4, 8],
+        (Scale::Quick, true) => &[1, 4, 8, 1000],
+    }
+}
+
 fn fanout_slots(scale: Scale) -> u64 {
     match scale {
         Scale::Full => 20_000,
         Scale::Quick => 2_000,
+    }
+}
+
+/// Slots per TCP fan-out point, scaled down for huge fleets so total
+/// frame deliveries (slots × clients) stay bounded.
+fn tcp_slots(scale: Scale, clients: usize) -> u64 {
+    let base = fanout_slots(scale);
+    if clients >= 4096 {
+        base / 10
+    } else if clients >= 512 {
+        base / 4
+    } else {
+        base
     }
 }
 
@@ -100,8 +143,287 @@ fn fanout_point(clients: usize, slots: u64, page_size: usize, tuning: BusTuning)
     report
 }
 
+/// The slice of both TCP transports the bench needs: bind address for the
+/// fleet plus a readiness barrier. (`live.rs` has the same shim; neither
+/// belongs in the broker's public `Transport` trait, which is
+/// wire-agnostic.)
+trait BenchTcpServer: Transport {
+    fn local_addr(&self) -> std::net::SocketAddr;
+    fn wait_for_clients(&mut self, n: usize, timeout: Duration) -> bool;
+}
+
+impl BenchTcpServer for TcpTransport {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        TcpTransport::local_addr(self)
+    }
+    fn wait_for_clients(&mut self, n: usize, timeout: Duration) -> bool {
+        TcpTransport::wait_for_clients(self, n, timeout)
+    }
+}
+
+impl BenchTcpServer for EventedTcpTransport {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        EventedTcpTransport::local_addr(self)
+    }
+    fn wait_for_clients(&mut self, n: usize, timeout: Duration) -> bool {
+        EventedTcpTransport::wait_for_clients(self, n, timeout)
+    }
+}
+
+/// Transport config for a lossless-by-capacity TCP point: the backlog can
+/// hold the whole run, so `DropNewest` never fires and the measured rate
+/// is honest fan-out work, not drop throughput. The generous write
+/// timeout is drain grace for `finish()` flushing a 10k-fleet tail.
+fn tcp_point_config(slots: u64) -> TcpTransportConfig {
+    TcpTransportConfig {
+        queue_capacity: slots as usize + 64,
+        backpressure: Backpressure::DropNewest,
+        max_coalesce: 64,
+        write_timeout: Some(Duration::from_secs(60)),
+    }
+}
+
+/// Aggregate fleet outcome, location-agnostic: computed from a
+/// [`FleetReport`] when the fleet ran in-process, or parsed from the
+/// one-line summary a `__tuner-fleet` child prints on stdout.
+#[derive(Debug, Clone, Copy)]
+struct FleetSummary {
+    tuners: u64,
+    frames: u64,
+    bytes: u64,
+    crc_errors: u64,
+    tuners_with_gaps: u64,
+    min_frames: u64,
+}
+
+impl FleetSummary {
+    fn from_report(report: &FleetReport) -> FleetSummary {
+        FleetSummary {
+            tuners: report.tuners.len() as u64,
+            frames: report.total_frames(),
+            bytes: report.total_bytes(),
+            crc_errors: report.total_crc_errors(),
+            tuners_with_gaps: report.tuners_with_gaps() as u64,
+            min_frames: report.min_frames(),
+        }
+    }
+
+    /// The child's stdout wire format — one greppable line.
+    fn to_line(self) -> String {
+        format!(
+            "FLEET tuners={} frames={} bytes={} crc_errors={} \
+             tuners_with_gaps={} min_frames={}",
+            self.tuners,
+            self.frames,
+            self.bytes,
+            self.crc_errors,
+            self.tuners_with_gaps,
+            self.min_frames
+        )
+    }
+
+    fn parse(text: &str) -> Option<FleetSummary> {
+        let line = text.lines().find(|l| l.starts_with("FLEET "))?;
+        let field = |key: &str| -> Option<u64> {
+            let prefix = format!("{key}=");
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(prefix.as_str()))?
+                .parse()
+                .ok()
+        };
+        Some(FleetSummary {
+            tuners: field("tuners")?,
+            frames: field("frames")?,
+            bytes: field("bytes")?,
+            crc_errors: field("crc_errors")?,
+            tuners_with_gaps: field("tuners_with_gaps")?,
+            min_frames: field("min_frames")?,
+        })
+    }
+}
+
+/// Where a bench fleet runs. A loopback connection costs two descriptors
+/// when tuners share the server's process; when `RLIMIT_NOFILE` has a hard
+/// cap the process cannot raise (sandboxes commonly pin it), the largest
+/// fleets re-exec this binary in hidden `__tuner-fleet` mode so client
+/// ends spend a *second* process's descriptor budget — which is also the
+/// honest topology: real tuners never share the broker's fd table.
+enum BenchFleet {
+    InProcess(TunerFleet),
+    Child(std::process::Child),
+}
+
+impl BenchFleet {
+    fn launch(addr: std::net::SocketAddr, clients: usize) -> BenchFleet {
+        // In-process budget: two fds per tuner + listener/epoll/stdio slack.
+        // `raise_nofile_limit` clamps to the hard cap, so even when the
+        // answer is "child process", this raise covers the server ends.
+        let want = 2 * clients as u64 + 512;
+        let got = raise_nofile_limit(want).unwrap_or(0);
+        if got >= want {
+            return BenchFleet::InProcess(
+                TunerFleet::launch(addr, clients).expect("launch tuner fleet"),
+            );
+        }
+        println!(
+            "  (fd limit {got} < {want}: running the {clients}-tuner fleet \
+             in a child process)"
+        );
+        let exe = std::env::current_exe().expect("bench binary path");
+        let child = std::process::Command::new(exe)
+            .arg("__tuner-fleet")
+            .arg(addr.to_string())
+            .arg(clients.to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn tuner-fleet child");
+        BenchFleet::Child(child)
+    }
+
+    fn join(self) -> FleetSummary {
+        match self {
+            BenchFleet::InProcess(fleet) => {
+                FleetSummary::from_report(&fleet.join().expect("tuner fleet must not fail"))
+            }
+            BenchFleet::Child(child) => {
+                let out = child
+                    .wait_with_output()
+                    .expect("wait for tuner-fleet child");
+                assert!(
+                    out.status.success(),
+                    "tuner-fleet child failed: {}",
+                    out.status
+                );
+                let text = String::from_utf8_lossy(&out.stdout);
+                FleetSummary::parse(&text)
+                    .unwrap_or_else(|| panic!("bad tuner-fleet summary: {text:?}"))
+            }
+        }
+    }
+}
+
+/// Hidden child mode (`repro __tuner-fleet <addr> <clients>`): runs a
+/// [`TunerFleet`] against an already-listening bench server and prints a
+/// one-line [`FleetSummary`] on stdout. Exists so a 10k-tuner fleet can
+/// spend its own process's `RLIMIT_NOFILE` budget (see [`BenchFleet`]).
+pub fn tuner_fleet_child(args: &[String]) {
+    let usage = "usage: repro __tuner-fleet <addr> <clients>";
+    let addr: std::net::SocketAddr = args.first().expect(usage).parse().expect(usage);
+    let clients: usize = args.get(1).expect(usage).parse().expect(usage);
+    let _ = raise_nofile_limit(clients as u64 + 512);
+    let fleet = TunerFleet::launch(addr, clients).expect("child: launch tuner fleet");
+    let report = fleet.join().expect("child: tuner fleet failed");
+    println!("{}", FleetSummary::from_report(&report).to_line());
+}
+
+/// One TCP fan-out measurement: a [`TunerFleet`] of `clients` drains the
+/// broadcast over real loopback sockets while the engine free-runs. The
+/// run must be perfectly lossless end to end — every tuner sees every
+/// slot, CRC-intact and gap-free — or the point (and CI) fails.
+fn tcp_fanout_point<T: BenchTcpServer>(
+    mut transport: T,
+    clients: usize,
+    slots: u64,
+    page_size: usize,
+) -> (EngineReport, FleetSummary) {
+    let fleet = BenchFleet::launch(transport.local_addr(), clients);
+    assert!(
+        transport.wait_for_clients(clients, Duration::from_secs(120)),
+        "bench fleet of {clients} tuners failed to connect"
+    );
+    let layout = DiskLayout::with_delta(&DISKS, DELTA).expect("bench layout is valid");
+    let program = BroadcastProgram::generate(&layout).expect("bench program is valid");
+    let engine = BroadcastEngine::new(
+        program,
+        EngineConfig {
+            max_slots: slots,
+            stop_when_no_clients: false,
+            page_size,
+            ..EngineConfig::default()
+        },
+    );
+    // `run` ends with `finish()`, which drains every backlog and closes
+    // the connections — the fleet's signal that the broadcast is over.
+    let report = engine.run(&mut transport);
+    drop(transport);
+    let fleet = fleet.join();
+    assert_eq!(report.slots_sent, slots);
+    assert_eq!(
+        report.frames_delivered,
+        slots * clients as u64,
+        "lossless TCP bench dropped or disconnected ({clients} clients)"
+    );
+    assert_eq!(fleet.tuners, clients as u64);
+    assert_eq!(
+        fleet.min_frames, slots,
+        "a tuner missed frames ({clients} clients)"
+    );
+    assert_eq!(fleet.frames, slots * clients as u64);
+    assert!(fleet.bytes > 0);
+    assert_eq!(fleet.crc_errors, 0);
+    assert_eq!(fleet.tuners_with_gaps, 0);
+    (report, fleet)
+}
+
+/// Runs the TCP fan-out grid over both transports, returning the emitted
+/// JSON rows and whether an evented ≥10k-client point was measured.
+fn tcp_fanout_rows(
+    scale: Scale,
+    page_size: usize,
+    clients_list: Option<&[usize]>,
+) -> (Vec<String>, bool) {
+    let mut rows = Vec::new();
+    let mut hit_10k = false;
+    for evented in [false, true] {
+        let name = if evented { "evented" } else { "threaded" };
+        let list: Vec<usize> = match clients_list {
+            Some(list) => list.to_vec(),
+            None => tcp_clients(scale, evented).to_vec(),
+        };
+        for clients in list {
+            if !evented && clients > THREADED_MAX_CLIENTS {
+                println!(
+                    "  {name:>8}: skipping {clients} clients \
+                     (thread-per-connection caps at {THREADED_MAX_CLIENTS})"
+                );
+                continue;
+            }
+            let slots = tcp_slots(scale, clients);
+            // (BenchFleet::launch handles the fd budget: it raises
+            // RLIMIT_NOFILE and falls back to a child-process fleet when
+            // the hard cap cannot cover both socket ends in-process.)
+            let config = tcp_point_config(slots);
+            let (report, _fleet) = if evented {
+                let transport = EventedTcpTransport::bind(config).expect("bind evented transport");
+                tcp_fanout_point(transport, clients, slots, page_size)
+            } else {
+                let transport = TcpTransport::bind(config).expect("bind threaded transport");
+                tcp_fanout_point(transport, clients, slots, page_size)
+            };
+            hit_10k |= evented && clients >= 10_000;
+            let mb_per_sec =
+                report.bytes_sent as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9);
+            println!(
+                "  {name:>8} {clients:>5} clients × {slots:>5} slots: \
+                 {:>9.0} slots/sec  ({:>8.1} MB/s wire fan-out)",
+                report.slots_per_sec, mb_per_sec
+            );
+            rows.push(format!(
+                "    {{\"transport\": \"{name}\", \"clients\": {clients}, \"slots\": {slots}, \
+                 \"slots_per_sec\": {:.1}, \"mb_per_sec\": {:.2}, \
+                 \"frames_delivered\": {}, \"elapsed_sec\": {:.4}}}",
+                report.slots_per_sec,
+                mb_per_sec,
+                report.frames_delivered,
+                report.elapsed.as_secs_f64()
+            ));
+        }
+    }
+    (rows, hit_10k)
+}
+
 /// Runs both benchmarks and writes the tracked JSON files.
-pub fn run(scale: Scale, page_size: usize) {
+pub fn run(scale: Scale, page_size: usize, clients_list: Option<&[usize]>) {
     let mode = match scale {
         Scale::Full => "full",
         Scale::Quick => "quick",
@@ -115,7 +437,7 @@ pub fn run(scale: Scale, page_size: usize) {
         tuning.batch, tuning.shards
     );
 
-    let mut rows = Vec::new();
+    let mut bus_rows = Vec::new();
     for &clients in fanout_clients(scale) {
         let report = fanout_point(clients, slots, page_size, tuning);
         let mb_per_sec = report.bytes_sent as f64 / 1e6 / report.elapsed.as_secs_f64().max(1e-9);
@@ -123,7 +445,7 @@ pub fn run(scale: Scale, page_size: usize) {
             "  {clients:>4} clients: {:>10.0} slots/sec  ({:>8.1} MB/s payload fan-out)",
             report.slots_per_sec, mb_per_sec
         );
-        rows.push(format!(
+        bus_rows.push(format!(
             "    {{\"clients\": {clients}, \"slots_per_sec\": {:.1}, \
              \"mb_per_sec\": {:.2}, \"frames_delivered\": {}, \"elapsed_sec\": {:.4}}}",
             report.slots_per_sec,
@@ -132,6 +454,12 @@ pub fn run(scale: Scale, page_size: usize) {
             report.elapsed.as_secs_f64()
         ));
     }
+
+    // --- TCP fan-out: both transports over real loopback sockets, each
+    // point drained (and CRC-checked) by a TunerFleet.
+    println!("\n=== bench: TCP fan-out (lossless-by-capacity, PageSize {page_size}) ===");
+    let (tcp_rows, hit_10k) = tcp_fanout_rows(scale, page_size, clients_list);
+    assert!(!tcp_rows.is_empty(), "TCP fan-out produced no rows");
 
     // --- observability overhead: the tracked operating point with metric
     // recording off vs on (the default). The delta is the price of the
@@ -150,23 +478,40 @@ pub fn run(scale: Scale, page_size: usize) {
     );
 
     let broker_json = format!(
-        "{{\n  \"schema\": \"bdisk-bench-broker/v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"bdisk-bench-broker/v2\",\n  \"mode\": \"{mode}\",\n  \
          \"operating_point\": {{\n    \"disks\": [{}], \"delta\": {DELTA}, \
          \"slots\": {slots}, \"capacity\": {CAPACITY}, \"page_size\": {page_size}, \
          \"backpressure\": \"block\", \"batch\": {}, \"shards\": {}\n  }},\n  \
          \"fanout\": [\n{}\n  ],\n  \
+         \"bus_fanout\": [\n{}\n  ],\n  \
          \"observability\": {{\n    \"clients\": {obs_clients}, \"slots\": {slots}, \
          \"metrics_off_slots_per_sec\": {:.1}, \"metrics_on_slots_per_sec\": {:.1}, \
          \"overhead_pct\": {overhead_pct:.2}\n  }}\n}}\n",
         DISKS.map(|d| d.to_string()).join(", "),
         tuning.batch,
         tuning.shards,
-        rows.join(",\n"),
+        tcp_rows.join(",\n"),
+        bus_rows.join(",\n"),
         off.slots_per_sec,
         on.slots_per_sec,
     );
     emit("BENCH_broker.json", &broker_json);
-    validate_broker(&broker_json, fanout_clients(scale).len());
+    // The tracked full-grid run must include the headline point: ≥10k
+    // concurrent evented tuners on one core. A --clients-list override is
+    // an exploratory run and exempt.
+    let require_10k = scale == Scale::Full && clients_list.is_none();
+    if require_10k {
+        assert!(
+            hit_10k,
+            "full bench must measure an evented >=10k-client point"
+        );
+    }
+    validate_broker(
+        &broker_json,
+        tcp_rows.len(),
+        fanout_clients(scale).len(),
+        require_10k,
+    );
 
     // --- simulator sweep wall-clock ---
     let deltas = sweep_deltas(scale);
@@ -209,11 +554,16 @@ pub(crate) fn emit(file: &str, contents: &str) {
 }
 
 /// Shape check for `BENCH_broker.json`; panics (failing CI) on regression.
-fn validate_broker(text: &str, expected_points: usize) {
+fn validate_broker(
+    text: &str,
+    expected_tcp_points: usize,
+    expected_bus_points: usize,
+    require_10k: bool,
+) {
     let v = json::parse(text).expect("BENCH_broker.json must parse");
     assert_eq!(
         v.get("schema").and_then(json::Value::as_str),
-        Some("bdisk-bench-broker/v1"),
+        Some("bdisk-bench-broker/v2"),
         "broker bench schema tag"
     );
     let op = v.get("operating_point").expect("operating_point object");
@@ -229,18 +579,58 @@ fn validate_broker(text: &str, expected_points: usize) {
         .expect("fanout array");
     assert_eq!(
         fanout.len(),
-        expected_points,
-        "one fanout row per client count"
+        expected_tcp_points,
+        "one fanout row per (transport, client count) pair"
     );
+    let mut evented_10k = false;
     for row in fanout {
+        let transport = row
+            .get("transport")
+            .and_then(json::Value::as_str)
+            .expect("fanout row needs a transport tag");
+        assert!(
+            transport == "threaded" || transport == "evented",
+            "unknown transport tag {transport:?}"
+        );
         let slots_per_sec = row
             .get("slots_per_sec")
             .and_then(json::Value::as_f64)
             .expect("fanout row needs slots_per_sec");
         assert!(slots_per_sec > 0.0, "throughput must be positive");
+        let clients = row
+            .get("clients")
+            .and_then(json::Value::as_f64)
+            .expect("fanout row needs clients");
+        assert!(
+            row.get("slots").and_then(json::Value::as_f64).is_some(),
+            "fanout row needs slots"
+        );
+        evented_10k |= transport == "evented" && clients >= 10_000.0;
+    }
+    if require_10k {
+        assert!(
+            evented_10k,
+            "full-mode fanout must carry an evented >=10k-client row"
+        );
+    }
+    let bus_fanout = v
+        .get("bus_fanout")
+        .and_then(json::Value::as_array)
+        .expect("bus_fanout array");
+    assert_eq!(
+        bus_fanout.len(),
+        expected_bus_points,
+        "one bus_fanout row per client count"
+    );
+    for row in bus_fanout {
+        let slots_per_sec = row
+            .get("slots_per_sec")
+            .and_then(json::Value::as_f64)
+            .expect("bus_fanout row needs slots_per_sec");
+        assert!(slots_per_sec > 0.0, "throughput must be positive");
         assert!(
             row.get("clients").and_then(json::Value::as_f64).is_some(),
-            "fanout row needs clients"
+            "bus_fanout row needs clients"
         );
     }
     let obs = v

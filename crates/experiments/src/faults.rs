@@ -242,6 +242,7 @@ fn chaos(scale: Scale, opts: &LiveOptions) -> ChaosOutcome {
         queue_capacity: 8192,
         backpressure: Backpressure::DropNewest,
         max_coalesce: 64,
+        ..TcpTransportConfig::default()
     })
     .expect("loopback bind must succeed");
     transport.set_fault_plan(plan);

@@ -1,0 +1,453 @@
+//! Offline stand-in for the [`mio`](https://docs.rs/mio) crate: the exact
+//! API subset this workspace uses, implemented directly over Linux
+//! `epoll(7)` with no external dependencies.
+//!
+//! Like the other crates under `vendor/`, this exists because the
+//! workspace must build with **no registry access**: the broker's
+//! event-loop transport needs readiness polling, so this crate declares
+//! the handful of libc symbols it needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `close`, `setrlimit`) as `extern "C"` — they are part of
+//! the C library every Rust binary on Linux already links — and wraps
+//! them in a small safe API:
+//!
+//! * [`Poll`] — one `epoll` instance; register file descriptors with a
+//!   [`Token`] and an [`Interest`], then [`Poll::poll`] for readiness
+//!   [`Events`].
+//! * [`Token`] — a plain `usize` the caller picks (slab index, sentinel).
+//! * [`Interest`] — readable/writable, combinable with `|`.
+//! * [`Events`] / [`Event`] — a reusable buffer of readiness events.
+//!
+//! Registration is **level-triggered** (the `mio` default): an event
+//! repeats on every poll while the condition holds, so a consumer that
+//! drains partially is re-notified instead of wedged. `EPOLLRDHUP` is
+//! always requested alongside reads so peer hangups surface as readable
+//! events (a zero-byte read), matching `mio`'s behavior.
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("the mini-mio offline stand-in supports Linux (epoll) only");
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// The epoll constants this crate needs, transcribed from
+// <sys/epoll.h> / <bits/epoll.h> (they are ABI, not configuration).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`. On x86 and x86-64 the kernel ABI packs it (the
+/// 64-bit data member is 4-byte aligned); other architectures use natural
+/// alignment — same split glibc and the `libc` crate make.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// `struct rlimit` for [`raise_nofile_limit`] (rlim_t is 64-bit here).
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Caller-chosen identifier attached to a registration and echoed back in
+/// every [`Event`] for it — typically a slab index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness to wait for: readable, writable, or both (`R | W`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wait for the descriptor to become readable (incl. peer hangup).
+    pub const READABLE: Interest = Interest(1);
+    /// Wait for the descriptor to become writable.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// True when this interest includes readability.
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True when this interest includes writability.
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn to_epoll(self) -> u32 {
+        let mut bits = 0;
+        if self.is_readable() {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification: which [`Token`] and which conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the ready descriptor was registered with.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// Readable — data pending, a peer hangup, or an error condition
+    /// (errors surface through the subsequent read/write call).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Writable (or an error condition, which the write call will report).
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The peer closed its end (or the descriptor errored).
+    pub fn is_closed(&self) -> bool {
+        self.bits & (EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// Reusable buffer of [`Event`]s filled by [`Poll::poll`]. Allocates its
+/// capacity once; polling never allocates.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the most recent poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: e.data as usize,
+            bits: e.events,
+        })
+    }
+
+    /// Number of events delivered by the most recent poll.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the most recent poll delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One epoll instance: register descriptors, then wait for readiness.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.to_epoll(),
+            data: token.0 as u64,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Starts watching `source` for `interest`, tagging events with
+    /// `token`. The registration is level-triggered.
+    pub fn register<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Replaces the interest (and token) of an existing registration.
+    pub fn reregister<S: AsRawFd>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister<S: AsRawFd>(&self, source: &S) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: a non-null event pointer keeps pre-2.6.9 kernels happy,
+        // per the epoll_ctl man page; the kernel ignores it for DEL.
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, source.as_raw_fd(), &mut ev) })?;
+        Ok(())
+    }
+
+    /// Waits until at least one registered descriptor is ready or the
+    /// timeout elapses (`None` waits forever, `Some(ZERO)` polls), filling
+    /// `events`. Returns the number of events delivered. `EINTR` is
+    /// retried internally.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            // Round sub-millisecond timeouts up so Some(1µs) still yields
+            // the CPU instead of spinning as a zero-timeout poll.
+            Some(t) if t.is_zero() => 0,
+            Some(t) => t.as_millis().clamp(1, i32::MAX as u128) as i32,
+            None => -1,
+        };
+        loop {
+            // SAFETY: the buffer is valid for `buf.len()` events and the
+            // kernel writes at most that many.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                events.len = n as usize;
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: we own the descriptor and drop it exactly once.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// Raises the process's open-file soft limit to at least `want`
+/// descriptors (raising the hard limit too when the process may — e.g.
+/// running as root), and returns the resulting soft limit. A fleet of
+/// 10k+ loopback tuners holds two descriptors per connection, which
+/// outgrows default limits; benches call this before connecting.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid out-pointer.
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let hard = lim.max.max(want);
+    let attempt = RLimit {
+        cur: want.max(lim.cur),
+        max: hard,
+    };
+    // SAFETY: `attempt` is a valid in-pointer.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &attempt) } == 0 {
+        return Ok(attempt.cur);
+    }
+    // Unprivileged: the hard limit is a ceiling — take what we can get.
+    let capped = RLimit {
+        cur: want.min(lim.max),
+        max: lim.max,
+    };
+    // SAFETY: as above.
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &capped) })?;
+    Ok(capped.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn writable_then_readable_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&client, Token(7), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+
+        // A fresh connected socket is writable immediately.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("one event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_writable());
+        assert!(!ev.is_readable());
+
+        // Not readable until the peer writes.
+        server.write_all(b"ping").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            if events.iter().any(|e| e.is_readable()) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never became readable"
+            );
+        }
+        let mut buf = [0u8; 4];
+        (&client).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_readable_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&client, Token(0), Interest::READABLE)
+            .unwrap();
+        drop(server);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            if events.iter().any(|e| e.is_readable() && e.is_closed()) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "hangup never surfaced"
+            );
+        }
+        // The readable event resolves to EOF.
+        let mut buf = [0u8; 4];
+        assert_eq!((&client).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn reregister_and_deregister_change_delivery() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (_server, _) = listener.accept().unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&client, Token(1), Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.is_writable()));
+
+        // Demote to read interest: the (still writable) socket goes quiet.
+        poll.reregister(&client, Token(2), Interest::READABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "writable must not fire after reregister");
+
+        poll.deregister(&client).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(events.len(), 0);
+    }
+
+    #[test]
+    fn zero_timeout_poll_does_not_block() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = std::time::Instant::now();
+        poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nofile_limit_is_monotone() {
+        let before = raise_nofile_limit(64).unwrap();
+        assert!(before >= 64);
+        // Asking again for less never lowers the limit.
+        let after = raise_nofile_limit(32).unwrap();
+        assert!(after >= before.min(64));
+    }
+
+    #[test]
+    fn interest_combines() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}
