@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use bdisk_code::{ChannelCode, DecodeWindow, Decoded};
 use bdisk_obs::journal::{event, EventKind};
+use bdisk_obs::trace::{self, Span, SpanKind};
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId, Slot};
 use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
 
@@ -65,6 +66,9 @@ pub struct LiveClientResult {
     /// Every recovery wait, in slots — raw samples for fleet-wide
     /// percentile aggregation (p99, max). Empty on a lossless feed.
     pub recovery_waits: Vec<u64>,
+    /// Sampled wait-attribution spans, in completion order. Empty unless
+    /// [`bdisk_obs::trace::set_sample_every`] turned span sampling on.
+    pub spans: Vec<Span>,
 }
 
 /// Client-side decode state for a coded plan: the per-channel symbol
@@ -95,6 +99,11 @@ pub struct LiveClient {
     next_due: f64,
     /// A missed request waiting for its page: `(page, requested_at)`.
     pending: Option<(PageId, f64)>,
+    /// Wait-attribution anchors `(no_switch, expected)` for the pending
+    /// request, when it was sampled at issue time (`None` otherwise).
+    /// Computed with pure plan arithmetic only — tracing never touches the
+    /// frame protocol or the RNG.
+    pending_trace: Option<(f64, f64)>,
     /// The slot at which the pending page's broadcast was lost in a gap,
     /// if it was — the anchor for recovery-wait accounting.
     pending_missed_at: Option<u64>,
@@ -114,6 +123,10 @@ pub struct LiveClient {
     done: bool,
     end_time: f64,
     frames_seen: u64,
+    /// Span identity: the seed this client was built with.
+    trace_id: u64,
+    /// Sampled wait-attribution spans, in completion order.
+    spans: Vec<Span>,
 }
 
 impl LiveClient {
@@ -159,6 +172,7 @@ impl LiveClient {
             min_receive_seq: 0,
             next_due: 0.0,
             pending: None,
+            pending_trace: None,
             pending_missed_at: None,
             expected_seq: None,
             gaps: 0,
@@ -173,6 +187,8 @@ impl LiveClient {
             done: false,
             end_time: 0.0,
             frames_seen: 0,
+            trace_id: seed,
+            spans: Vec::new(),
         })
     }
 
@@ -310,7 +326,16 @@ impl LiveClient {
                 self.min_receive_seq = 0;
                 self.pending_missed_at = None;
                 self.record_recovery(page, (t as u64).saturating_sub(missed), true);
-                if self.complete_miss(page, requested_at, t) {
+                // The fallback airing the decode beat: the page's first
+                // airing after now (everything earlier was lost or
+                // forfeit) — the coded-repair credit anchor. Pure plan
+                // arithmetic, computed only for sampled requests.
+                let fallback = if self.pending_trace.is_some() {
+                    self.plan.next_arrival(page, t)
+                } else {
+                    t
+                };
+                if self.complete_miss(page, requested_at, t, fallback) {
                     return true;
                 }
             }
@@ -330,8 +355,24 @@ impl LiveClient {
         while self.next_due <= t {
             let requested_at = self.next_due;
             let page = self.core.next_request();
+            // Sampling is decided at issue time, exactly as the simulator
+            // does: one request is in flight and the measuring flag flips
+            // only inside complete_request, so the index gate here matches
+            // the index the request completes with — twin runs sample
+            // identical request sets.
+            let traced = self.core.measuring() && trace::sampled(self.core.measured_count());
             if self.core.contains(page) {
                 self.core.on_hit(page, requested_at);
+                if traced {
+                    // A cache hit waits on nothing: the all-zero span.
+                    self.emit_span(
+                        requested_at,
+                        requested_at,
+                        requested_at,
+                        requested_at,
+                        requested_at,
+                    );
+                }
                 if self.core.complete_request(0.0, AccessLocation::Cache) {
                     return self.finish_at(requested_at);
                 }
@@ -356,6 +397,22 @@ impl LiveClient {
                     }
                     (requested_at.floor() + 1.0 + self.switch_slots).ceil() as u64
                 };
+                // Wait-attribution anchors for sampled requests: what the
+                // wait would have been without a retune, and the arrival
+                // actually expected past any switch penalty. Pure plan
+                // arithmetic — identical to the simulator's anchors.
+                self.pending_trace = if traced {
+                    let no_switch = self.plan.next_arrival(page, requested_at);
+                    let expected = if min_seq == 0 {
+                        no_switch
+                    } else {
+                        self.plan
+                            .next_arrival(page, requested_at.floor() + 1.0 + self.switch_slots)
+                    };
+                    Some((no_switch, expected))
+                } else {
+                    None
+                };
                 if slot == Slot::Page(page) && seq >= min_seq {
                     // The slot currently on the air is the page we need.
                     if self.receive(page, requested_at, t) {
@@ -371,6 +428,38 @@ impl LiveClient {
         false
     }
 
+    /// Records one sampled request span, into the process ring (which
+    /// asserts the conservation invariant) and this client's local list.
+    /// Mirrors the simulator's span emission so twin runs produce
+    /// bit-identical span sets.
+    fn emit_span(
+        &mut self,
+        requested_at: f64,
+        no_switch: f64,
+        expected: f64,
+        next_periodic: f64,
+        received_at: f64,
+    ) {
+        let total = received_at - requested_at;
+        let phases = trace::attribute_wait(
+            requested_at,
+            no_switch,
+            expected,
+            next_periodic,
+            received_at,
+        );
+        let index = self.core.measured_count();
+        let seq = trace::record_request(self.trace_id, index, total, phases);
+        self.spans.push(Span {
+            seq,
+            kind: SpanKind::Request,
+            client: self.trace_id,
+            index,
+            total,
+            phases,
+        });
+    }
+
     /// Completes a missed request with the page arriving at time `t`.
     fn receive(&mut self, page: PageId, requested_at: f64, t: f64) -> bool {
         if let Some(missed) = self.pending_missed_at.take() {
@@ -378,7 +467,10 @@ impl LiveClient {
             // reappearance is the recovery. Attribute the extra wait.
             self.record_recovery(page, (t as u64).saturating_sub(missed), false);
         }
-        self.complete_miss(page, requested_at, t)
+        // Whether lossless or a periodic recovery, the airing received is
+        // itself the fallback periodic airing: credit is zero, and any
+        // wait past the expected arrival is the loss phase.
+        self.complete_miss(page, requested_at, t, t)
     }
 
     /// Accounts one loss recovery, split by how the page came back:
@@ -403,9 +495,21 @@ impl LiveClient {
     }
 
     /// Inserts the received (or reconstructed) page and completes the
-    /// outstanding request against it.
-    fn complete_miss(&mut self, page: PageId, requested_at: f64, t: f64) -> bool {
+    /// outstanding request against it. `next_periodic` is the fallback
+    /// periodic airing for wait attribution: the receive time itself
+    /// except on a coded recovery, where it is the later airing the decode
+    /// beat (the difference is the repair credit).
+    fn complete_miss(
+        &mut self,
+        page: PageId,
+        requested_at: f64,
+        t: f64,
+        next_periodic: f64,
+    ) -> bool {
         self.core.insert(page, t);
+        if let Some((no_switch, expected)) = self.pending_trace.take() {
+            self.emit_span(requested_at, no_switch, expected, next_periodic, t);
+        }
         let disk = self.plan.disk_of(page);
         if self
             .core
@@ -475,6 +579,7 @@ impl LiveClient {
             recoveries_coded: self.recoveries_coded,
             symbols_decoded: self.symbols_decoded,
             recovery_waits: self.recovery_waits,
+            spans: self.spans,
         }
     }
 }
@@ -483,7 +588,10 @@ impl LiveClient {
 mod tests {
     use super::*;
     use bdisk_cache::PolicyKind;
-    use bdisk_sim::{simulate, simulate_plan};
+    use bdisk_sim::{simulate, simulate_plan, simulate_plan_traced};
+
+    /// Serializes tests that flip the process-wide span-sampling knob.
+    static TRACE_KNOB: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn setup(policy: PolicyKind) -> (SimConfig, DiskLayout, BroadcastProgram) {
         let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
@@ -529,6 +637,7 @@ mod tests {
             assert_eq!(out.hit_rate, sim.hit_rate, "{policy:?} hit rate diverged");
             assert_eq!(out.end_time, sim.end_time, "{policy:?} end time diverged");
             assert_eq!(out.access_fractions, sim.access_fractions);
+            assert_eq!(out.p999, sim.p999, "{policy:?} p999 diverged");
         }
     }
 
@@ -584,6 +693,7 @@ mod tests {
             assert_eq!(out.hit_rate, sim.hit_rate, "{policy:?}: hit rate diverged");
             assert_eq!(out.end_time, sim.end_time, "{policy:?}: end time diverged");
             assert_eq!(out.access_fractions, sim.access_fractions);
+            assert_eq!(out.p999, sim.p999, "{policy:?}: p999 diverged");
         }
     }
 
@@ -865,6 +975,201 @@ mod tests {
              (waited {} of period {})",
             results.max_recovery_wait,
             period
+        );
+    }
+
+    /// The tracing acceptance criterion: with sampling on, a live client
+    /// emits the *same spans* as its simulated twin — same request
+    /// indices, bit-identical totals and phase decompositions — and every
+    /// span conserves (the ring asserts it again on record).
+    #[test]
+    fn live_spans_match_simulator_spans_bit_exactly() {
+        let _g = TRACE_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        let cfg = SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 20,
+            offset: 20,
+            noise: 0.3,
+            policy: PolicyKind::Pix,
+            requests: 500,
+            warmup_requests: 100,
+            channels: 2,
+            switch_slots: 3.5,
+            ..SimConfig::default()
+        };
+        bdisk_obs::trace::set_sample_every(4);
+        let (sim, sim_spans) = simulate_plan_traced(&cfg, &layout, plan.clone(), 11).unwrap();
+        let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 11).unwrap();
+        'feed: for seq in 0..10_000_000u64 {
+            for c in 0..plan.num_channels() as u16 {
+                let slot = plan.slot_at(ChannelId(c), seq);
+                if live.on_frame(&Frame::bare_on(seq, c, slot)) {
+                    break 'feed;
+                }
+            }
+        }
+        bdisk_obs::trace::set_sample_every(0);
+        let results = live.into_results();
+        assert_eq!(results.outcome.p999, sim.p999);
+        assert!(!sim_spans.is_empty(), "1-in-4 sampling must catch spans");
+        assert_eq!(results.spans.len(), sim_spans.len());
+        for (live_span, sim_span) in results.spans.iter().zip(&sim_spans) {
+            assert_eq!(live_span.client, 11);
+            assert_eq!(live_span.index, sim_span.index);
+            assert_eq!(live_span.total.to_bits(), sim_span.total.to_bits());
+            for p in 0..4 {
+                assert_eq!(
+                    live_span.phases[p].to_bits(),
+                    sim_span.phases[p].to_bits(),
+                    "phase {p} of request {} diverged",
+                    sim_span.index
+                );
+            }
+            // Conservation, bit-exact, on the live side too.
+            assert_eq!(live_span.phase_sum().to_bits(), live_span.total.to_bits());
+        }
+        let switched = results.spans.iter().filter(|s| s.phases[1] > 0.0).count();
+        assert!(switched > 0, "two channels must sample some switch waits");
+    }
+
+    /// A lost airing recovered at the next periodic appearance shows up in
+    /// the span as a pure *loss* phase — credit stays zero, and the span
+    /// still conserves exactly.
+    #[test]
+    fn loss_spans_attribute_recovery_wait() {
+        let _g = TRACE_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let (cfg, layout, program) = setup(PolicyKind::Lru);
+        let period = program.period() as u64;
+        bdisk_obs::trace::set_sample_every(1);
+        let mut live = LiveClient::new(&cfg, &layout, program.clone(), 7).unwrap();
+
+        // Hunt for a *measured* (hence sampled) pending request, then lose
+        // its page's next airing.
+        let mut seq = 0u64;
+        let lost_at = loop {
+            assert!(
+                !live.on_frame(&Frame::bare(seq, program.slot_at(seq))),
+                "client finished before a measured miss went pending"
+            );
+            if live.measuring() {
+                if let Some((page, _)) = live.pending {
+                    let miss = (seq + 1..seq + 1 + period)
+                        .find(|&s| program.slot_at(s) == Slot::Page(page))
+                        .expect("page airs within one period");
+                    break miss;
+                }
+            }
+            seq += 1;
+            assert!(seq < 10_000_000, "no measured request ever went pending");
+        };
+        assert!(
+            live.pending_trace.is_some(),
+            "a measured pending request must carry anchors at 1-in-1 sampling"
+        );
+
+        let spans_before = live.spans.len();
+        let mut t = lost_at + 1;
+        while live.recoveries() == 0 {
+            live.on_frame(&Frame::bare(t, program.slot_at(t)));
+            t += 1;
+            assert!(t < lost_at + 2 + 2 * period, "pending page not recovered");
+        }
+        bdisk_obs::trace::set_sample_every(0);
+        let span = live.spans[spans_before];
+        assert!(span.phases[2] > 0.0, "recovery must be attributed to loss");
+        assert_eq!(span.phases[3], 0.0, "periodic recovery earns no credit");
+        assert_eq!(span.phase_sum().to_bits(), span.total.to_bits());
+        assert!(
+            span.phases[2] <= period as f64,
+            "one lost airing costs at most a period"
+        );
+    }
+
+    /// A coded recovery's span carries *credit*: the request completed at
+    /// the repair symbol, earlier than the periodic airing it would have
+    /// waited for — and the span still conserves exactly.
+    #[test]
+    fn coded_credit_spans_beat_the_periodic_wait() {
+        use bdisk_code::ChannelCode;
+        use bdisk_sched::CodingConfig;
+        let _g = TRACE_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let layout = DiskLayout::with_delta(&[20, 80, 100], 2).unwrap();
+        let coding = CodingConfig::xor(0.25, 4, 5);
+        let plan = BroadcastPlan::generate(&layout, 1)
+            .unwrap()
+            .with_coding(coding)
+            .unwrap();
+        let prog = plan.program(ChannelId(0));
+        let code = ChannelCode::build(prog, 0, plan.coding().unwrap());
+        let period = prog.period() as u64;
+        let cfg = SimConfig {
+            access_range: 100,
+            region_size: 5,
+            cache_size: 20,
+            offset: 20,
+            noise: 0.3,
+            policy: PolicyKind::Lru,
+            requests: 500,
+            warmup_requests: 100,
+            ..SimConfig::default()
+        };
+        bdisk_obs::trace::set_sample_every(1);
+        let mut live = LiveClient::with_plan(&cfg, &layout, plan.clone(), 7).unwrap();
+
+        // Hunt for a measured pending request whose next airing, if lost,
+        // is covered by a repair symbol airing before the page's following
+        // airing — then lose exactly that airing.
+        let mut seq = 0u64;
+        let (lost_at, repair_at) = 'hunt: loop {
+            assert!(
+                !live.on_frame(&Frame::bare(seq, prog.slot_at(seq))),
+                "client finished before a measured coverable loss was found"
+            );
+            if live.measuring() {
+                if let Some((page, _)) = live.pending {
+                    let next_airing = (seq + 1..=seq + period)
+                        .find(|&s| prog.slot_at(s) == Slot::Page(page))
+                        .expect("page airs within one period");
+                    let next_after = (next_airing + 1..=next_airing + period)
+                        .find(|&s| prog.slot_at(s) == Slot::Page(page))
+                        .unwrap();
+                    let covering = (next_airing + 1..next_after).find(|&s| {
+                        matches!(prog.slot_at(s), Slot::Repair(id)
+                            if code.covered_seqs(id, s)
+                                .is_some_and(|c| c.iter().any(|&(cs, _)| cs == next_airing)))
+                    });
+                    if let Some(r) = covering {
+                        break 'hunt (next_airing, r);
+                    }
+                }
+            }
+            seq += 1;
+            assert!(seq < 10_000_000, "no measured coverable loss ever arose");
+        };
+
+        let spans_before = live.spans.len();
+        for s in seq + 1..lost_at {
+            assert!(!live.on_frame(&Frame::bare(s, prog.slot_at(s))));
+        }
+        for s in lost_at + 1..=repair_at {
+            assert!(!live.on_frame(&Frame::bare(s, prog.slot_at(s))));
+        }
+        bdisk_obs::trace::set_sample_every(0);
+        assert!(live.pending.is_none(), "repair symbol must complete it");
+        assert!(live.spans.len() > spans_before, "recovery span missing");
+        let span = live.spans[spans_before];
+        assert!(span.phases[3] > 0.0, "coded recovery must earn credit");
+        assert!(
+            span.phases[2] >= span.phases[3],
+            "credit can't exceed the loss it repaid"
+        );
+        assert_eq!(span.phase_sum().to_bits(), span.total.to_bits());
+        assert!(
+            span.phases[3] < period as f64,
+            "credit is bounded by one period"
         );
     }
 

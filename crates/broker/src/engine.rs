@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use bdisk_code::ChannelCode;
 use bdisk_obs::journal::{event, EventKind};
+use bdisk_obs::trace;
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, Slot};
 
 use crate::faults::{FaultPlan, FAULT_CODE_OVERRUN};
@@ -178,6 +179,7 @@ impl BroadcastEngine {
         let by_channel: Vec<_> = (0..channels as u16)
             .map(crate::obs::slots_by_channel)
             .collect();
+        let stage_m = crate::obs::stage();
 
         for seq in 0.. {
             if seq >= self.cfg.max_slots {
@@ -214,9 +216,26 @@ impl BroadcastEngine {
                 };
                 std::thread::sleep(stall);
             }
+            // Stage profile for sampled slots: tick jitter against the
+            // absolute deadline, encode/enqueue split per channel below,
+            // the transport's writev drain folded in at record time. One
+            // relaxed load per slot when tracing is off; the clock is
+            // only read on sampled slots.
+            let stage_jitter = trace::sampled(seq).then(|| {
+                if self.cfg.slot_duration.is_zero() {
+                    0.0
+                } else {
+                    let deadline = start + self.cfg.slot_duration * seq as u32;
+                    Instant::now()
+                        .checked_duration_since(deadline)
+                        .map_or(0.0, |late| late.as_secs_f64() * 1e6)
+                }
+            });
+            let (mut encode_us, mut enqueue_us) = (0.0f64, 0.0f64);
             m.slots.inc();
             for (c, counter) in by_channel.iter().enumerate() {
                 let slot = self.plan.slot_at(ChannelId(c as u16), seq);
+                let encode_start = stage_jitter.is_some().then(Instant::now);
                 let frame = match (slot, &repair) {
                     (Slot::Repair(r), Some(tables)) => {
                         rm.slots_aired.inc();
@@ -229,7 +248,15 @@ impl BroadcastEngine {
                     }
                     _ => payloads.frame_on(seq, c as u16, slot),
                 };
+                let enqueue_start = encode_start.map(|t0| {
+                    let now = Instant::now();
+                    encode_us += now.duration_since(t0).as_secs_f64() * 1e6;
+                    now
+                });
                 let stats = transport.broadcast(frame);
+                if let Some(t0) = enqueue_start {
+                    enqueue_us += t0.elapsed().as_secs_f64() * 1e6;
+                }
                 counter.inc();
                 record_delivery(m, &stats);
                 event(
@@ -244,6 +271,18 @@ impl BroadcastEngine {
                     },
                 );
                 totals.absorb(stats);
+            }
+            if let Some(jitter_us) = stage_jitter {
+                // Drain micros accumulated since the previous sampled slot
+                // (socket flushes happen inside and between broadcasts, so
+                // the attribution is to the sampling window, not this slot
+                // alone).
+                let drain_us = trace::take_drain_micros() as f64;
+                stage_m.jitter.record(jitter_us as u64);
+                stage_m.encode.record(encode_us as u64);
+                stage_m.enqueue.record(enqueue_us as u64);
+                stage_m.drain.record(drain_us as u64);
+                trace::record_stage(seq, [jitter_us, encode_us, enqueue_us, drain_us]);
             }
             m.active_clients.set(transport.active_clients() as i64);
             slots_sent = seq + 1;

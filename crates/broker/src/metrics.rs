@@ -28,6 +28,9 @@ pub struct LiveReport {
     pub p95: f64,
     /// Fleet 99th-percentile response time.
     pub p99: f64,
+    /// Fleet 99.9th-percentile response time (the extreme tail — where
+    /// loss recovery and switch penalties live).
+    pub p999: f64,
     /// Each client's own summarized outcome, in client order.
     pub per_client: Vec<SimOutcome>,
 }
@@ -65,6 +68,7 @@ pub fn aggregate(engine: EngineReport, results: Vec<LiveClientResult>) -> LiveRe
         p50: hist.quantile(0.5).unwrap_or(0.0),
         p95: hist.quantile(0.95).unwrap_or(0.0),
         p99: hist.quantile(0.99).unwrap_or(0.0),
+        p999: hist.quantile(0.999).unwrap_or(0.0),
         per_client,
     }
 }
@@ -125,6 +129,7 @@ mod tests {
         let hit_rate = results.hit_rate.expect("measured run has a hit rate");
         assert!((0.0..=1.0).contains(&hit_rate));
         assert!(results.p50 <= results.p95 && results.p95 <= results.p99);
+        assert!(results.p99 <= results.p999);
         // Pooled mean equals the request-weighted mean of the parts.
         let weighted: f64 = results
             .per_client

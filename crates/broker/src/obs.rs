@@ -175,6 +175,75 @@ impl ChannelCounters {
     }
 }
 
+/// Broker stage-timer metrics: where a sampled slot's wall-clock time
+/// went, in microseconds — the histogram view of the [`bdisk_obs::trace`]
+/// stage spans (tick deadline jitter, frame encode, transport enqueue,
+/// writev drain).
+pub(crate) struct StageMetrics {
+    /// `bd_stage_jitter_us`
+    pub jitter: &'static Histogram,
+    /// `bd_stage_encode_us`
+    pub encode: &'static Histogram,
+    /// `bd_stage_enqueue_us`
+    pub enqueue: &'static Histogram,
+    /// `bd_stage_drain_us`
+    pub drain: &'static Histogram,
+    /// `bd_conn_lag_watermark`
+    pub conn_lag_watermark: &'static Gauge,
+}
+
+pub(crate) fn stage() -> &'static StageMetrics {
+    static M: OnceLock<StageMetrics> = OnceLock::new();
+    M.get_or_init(|| StageMetrics {
+        jitter: registry::histogram(
+            "bd_stage_jitter_us",
+            "How late a sampled slot started past its absolute tick deadline (us)",
+            POW2_BOUNDS,
+        ),
+        encode: registry::histogram(
+            "bd_stage_encode_us",
+            "Frame build time for a sampled slot, summed over channels (us)",
+            POW2_BOUNDS,
+        ),
+        enqueue: registry::histogram(
+            "bd_stage_enqueue_us",
+            "Transport enqueue/fan-out time for a sampled slot, summed over channels (us)",
+            POW2_BOUNDS,
+        ),
+        drain: registry::histogram(
+            "bd_stage_drain_us",
+            "Writev drain time accumulated since the previous sampled slot (us)",
+            POW2_BOUNDS,
+        ),
+        conn_lag_watermark: registry::gauge(
+            "bd_conn_lag_watermark",
+            "High-water per-connection send backlog observed at enqueue (frames)",
+        ),
+    })
+}
+
+/// Send backlog of the `rank`-th slowest TCP connection at the latest
+/// broadcast (`bd_slow_consumer_lag{rank=...}`).
+pub(crate) fn slow_consumer_lag(rank: usize) -> &'static Gauge {
+    registry::gauge_labeled(
+        "bd_slow_consumer_lag",
+        "Send backlog of the rank-th slowest connection at the latest broadcast (frames)",
+        "rank",
+        rank.to_string(),
+    )
+}
+
+/// Connection id of the `rank`-th slowest TCP connection at the latest
+/// broadcast (`bd_slow_consumer_conn{rank=...}`).
+pub(crate) fn slow_consumer_conn(rank: usize) -> &'static Gauge {
+    registry::gauge_labeled(
+        "bd_slow_consumer_conn",
+        "Connection id holding the rank-th largest send backlog at the latest broadcast",
+        "rank",
+        rank.to_string(),
+    )
+}
+
 /// TCP transport metrics.
 pub(crate) struct TcpMetrics {
     /// `bd_tcp_connections`
@@ -374,10 +443,13 @@ pub fn register_metrics() {
     let _ = tcp();
     let _ = evented();
     let _ = client();
+    let _ = stage();
     let _ = shard_queue_depth(0);
     let _ = slots_by_channel(0);
     let _ = fanout_by_channel(0);
     let _ = fault_channel_counter(0);
+    let _ = slow_consumer_lag(0);
+    let _ = slow_consumer_conn(0);
     let _ = recovery();
     let _ = repair();
     let _ = crate::faults::metrics();

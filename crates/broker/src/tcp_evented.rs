@@ -45,6 +45,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bdisk_obs::journal::{event, EventKind};
+use bdisk_obs::trace;
 use mini_mio::{Events, Interest, Poll, Token};
 
 use crate::faults::{encode_corrupted, FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame};
@@ -54,6 +55,10 @@ use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
 /// Poll token reserved for the listening socket (connection tokens are
 /// slab indices, which can never reach this).
 const LISTENER_TOKEN: Token = Token(usize::MAX);
+
+/// How many of the slowest consumers get their own labeled gauge rank
+/// (`bd_slow_consumer_lag{rank}` / `bd_slow_consumer_conn{rank}`).
+const SLOW_CONSUMER_TOP_K: usize = 4;
 
 /// Most backlog buffers folded into one vectored write; bounds the
 /// stack-allocated `IoSlice` array (IOV_MAX is far larger).
@@ -98,6 +103,23 @@ fn evict_slot(
 /// `WouldBlock` arms `WRITABLE` interest (disarmed once empty). `Err`
 /// means the connection is dead and must be evicted.
 fn flush_conn(poll: &Poll, conn: &mut EvConn, idx: usize, max_coalesce: usize) -> io::Result<()> {
+    // Stage tracing charges socket-drain wall time to the next sampled
+    // slot via the drain accumulator. One relaxed load when tracing is
+    // off — the clock is never read on the untraced path.
+    let drain_start = (trace::sample_every() != 0).then(std::time::Instant::now);
+    let res = flush_conn_inner(poll, conn, idx, max_coalesce);
+    if let Some(start) = drain_start {
+        trace::note_drain_micros(start.elapsed().as_micros() as u64);
+    }
+    res
+}
+
+fn flush_conn_inner(
+    poll: &Poll,
+    conn: &mut EvConn,
+    idx: usize,
+    max_coalesce: usize,
+) -> io::Result<()> {
     let m = crate::obs::evented();
     let tcp_m = crate::obs::tcp();
     while !conn.backlog.is_empty() {
@@ -199,6 +221,10 @@ pub struct EventedTcpTransport {
     faults: FaultSwitchboard,
     /// Per-channel fan-out counters, cached off the registry.
     channel_frames: crate::obs::ChannelCounters,
+    /// Cached `bd_slow_consumer_lag{rank}` gauges, slowest first.
+    slow_lag: [&'static bdisk_obs::registry::Gauge; SLOW_CONSUMER_TOP_K],
+    /// Cached `bd_slow_consumer_conn{rank}` gauges, parallel to `slow_lag`.
+    slow_conn: [&'static bdisk_obs::registry::Gauge; SLOW_CONSUMER_TOP_K],
 }
 
 impl EventedTcpTransport {
@@ -237,6 +263,8 @@ impl EventedTcpTransport {
             upstream_bytes: 0,
             faults: FaultSwitchboard::new(),
             channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
+            slow_lag: std::array::from_fn(crate::obs::slow_consumer_lag),
+            slow_conn: std::array::from_fn(crate::obs::slow_consumer_conn),
         })
     }
 
@@ -417,20 +445,34 @@ impl EventedTcpTransport {
     /// allocations.
     fn enqueue_all(&mut self, wire: &Arc<[u8]>, stats: &mut DeliveryStats) {
         let tcp_m = crate::obs::tcp();
+        let stage_m = crate::obs::stage();
         let Self {
             poll,
             slab,
             pending_free,
             live,
             cfg,
+            slow_lag,
+            slow_conn,
             ..
         } = self;
+        // Slowest consumers this broadcast: a fixed-size descending
+        // insertion keeps the top-K without allocating on the hot path.
+        let mut top: [(usize, u64); SLOW_CONSUMER_TOP_K] = [(0, 0); SLOW_CONSUMER_TOP_K];
+        let mut watermark = 0usize;
         for idx in 0..slab.len() {
-            let backlog = match slab[idx].as_ref() {
-                Some(conn) => conn.backlog.len(),
+            let (backlog, conn_id) = match slab[idx].as_ref() {
+                Some(conn) => (conn.backlog.len(), conn.id),
                 None => continue,
             };
             tcp_m.writer_backlog.record(backlog as u64);
+            watermark = watermark.max(backlog);
+            let mut entry = (backlog, conn_id);
+            for slot in top.iter_mut() {
+                if entry.0 > slot.0 {
+                    std::mem::swap(slot, &mut entry);
+                }
+            }
             if backlog >= cfg.queue_capacity {
                 match cfg.backpressure {
                     Backpressure::DropNewest => {
@@ -450,6 +492,11 @@ impl EventedTcpTransport {
                 stats.bytes += wire.len() as u64;
                 stats.max_queue = stats.max_queue.max(backlog + 1);
             }
+        }
+        stage_m.conn_lag_watermark.set_max(watermark as i64);
+        for (rank, (lag, conn_id)) in top.iter().enumerate() {
+            slow_lag[rank].set(*lag as i64);
+            slow_conn[rank].set(*conn_id as i64);
         }
     }
 

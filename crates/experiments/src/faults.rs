@@ -95,6 +95,8 @@ fn fault_seed() -> u64 {
 struct PointOutcome {
     mean: f64,
     hit: f64,
+    /// Fleet 99.9th-percentile response time — the tail the loss lands in.
+    p999: f64,
     gaps: u64,
     recoveries: u64,
     max_recovery_wait: u64,
@@ -178,6 +180,7 @@ fn sweep_point(
     PointOutcome {
         mean: fleet.mean_response_time,
         hit: fleet.hit_rate.expect("finished run has measured requests"),
+        p999: fleet.p999,
         gaps,
         recoveries,
         max_recovery_wait,
@@ -421,6 +424,10 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         series.push((
             format!("{name}_hit"),
             outcomes[p].iter().map(|o| o.hit).collect(),
+        ));
+        series.push((
+            format!("{name}_p999"),
+            outcomes[p].iter().map(|o| o.p999).collect(),
         ));
         series.push((
             format!("{name}_recover"),

@@ -100,12 +100,14 @@ pub(crate) fn start_metrics(opts: &LiveOptions) -> Option<bdisk_obs::MetricsServ
     let addr = opts.metrics_addr.as_deref()?;
     match bdisk_obs::MetricsServer::bind(addr) {
         Ok(server) => {
-            // With an endpoint up, `/events` should have something to
-            // serve: the journal is a bounded ring and never blocks the
-            // broadcast path, so tracing rides along for free.
+            // With an endpoint up, `/events` and `/trace` should have
+            // something to serve: both the journal and the span ring are
+            // bounded and never block the broadcast path, so tracing
+            // rides along for free (1-in-64 request/slot sampling).
             bdisk_obs::set_tracing_enabled(true);
+            bdisk_obs::trace::set_sample_every(64);
             println!(
-                "metrics: serving http://{}/metrics and /events",
+                "metrics: serving http://{}/metrics, /events and /trace",
                 server.addr()
             );
             Some(server)
@@ -231,8 +233,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         fleet.measured_requests, fleet.mean_response_time, fleet_hit
     );
     println!(
-        "        service latency p50 {:.0}  p95 {:.0}  p99 {:.0} (broadcast units)",
-        fleet.p50, fleet.p95, fleet.p99
+        "        service latency p50 {:.0}  p95 {:.0}  p99 {:.0}  p999 {:.0} (broadcast units)",
+        fleet.p50, fleet.p95, fleet.p99, fleet.p999
     );
 
     // Per-policy comparison table: live vs simulator.
@@ -243,6 +245,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
     let mut sim_hit = Vec::new();
     let mut live_p99 = Vec::new();
     let mut sim_p99 = Vec::new();
+    let mut live_p999 = Vec::new();
+    let mut sim_p999 = Vec::new();
     let mut worst_hit_gap: f64 = 0.0;
     let mut worst_mean_gap: f64 = 0.0;
     for &policy in &POLICIES {
@@ -259,6 +263,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             |outs: &[&SimOutcome]| outs.iter().map(|o| o.hit_rate).sum::<f64>() / outs.len() as f64;
         let p99 =
             |outs: &[&SimOutcome]| outs.iter().map(|o| o.p99).sum::<f64>() / outs.len() as f64;
+        let p999 =
+            |outs: &[&SimOutcome]| outs.iter().map(|o| o.p999).sum::<f64>() / outs.len() as f64;
         let live_outs: Vec<&SimOutcome> = members.iter().map(|&i| &fleet.per_client[i]).collect();
         let sim_outs: Vec<&SimOutcome> = members.iter().map(|&i| &predictions[i]).collect();
         let (lm, sm) = (mean(&live_outs), mean(&sim_outs));
@@ -272,6 +278,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         sim_hit.push(sh);
         live_p99.push(p99(&live_outs));
         sim_p99.push(p99(&sim_outs));
+        live_p999.push(p999(&live_outs));
+        sim_p999.push(p999(&sim_outs));
     }
 
     common::print_table(
@@ -285,6 +293,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             ("sim_hit".to_string(), sim_hit.clone()),
             ("live_p99".to_string(), live_p99.clone()),
             ("sim_p99".to_string(), sim_p99.clone()),
+            ("live_p999".to_string(), live_p999.clone()),
+            ("sim_p999".to_string(), sim_p999.clone()),
         ],
     );
     common::write_csv(
@@ -298,6 +308,8 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
             ("sim_hit".to_string(), sim_hit),
             ("live_p99".to_string(), live_p99),
             ("sim_p99".to_string(), sim_p99),
+            ("live_p999".to_string(), live_p999),
+            ("sim_p999".to_string(), sim_p999),
         ],
     );
 

@@ -41,6 +41,8 @@
 //!   channels multi-channel striping sweep + 2-channel live parity
 //!   live     real-time broadcast engine vs simulator (bdisk-broker)
 //!   trace    short live run with the event journal tailed to stdout + CSV
+//!   timeline wait-attribution waterfall: per-request phase spans with a
+//!            bit-exact conservation check, timeline.csv + waterfall.csv
 //!   faults   loss sweep + TCP chaos run under seeded fault injection
 //!   coding   coded repair slots: rate x loss sweep + coded live parity
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
@@ -61,6 +63,7 @@ mod faults;
 mod figures;
 mod live;
 mod table1;
+mod timeline;
 mod worked_examples;
 
 use common::Scale;
@@ -214,6 +217,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions, clients_list: Optio
         "channels" => channels::run(scale, live_opts),
         "live" => live::run(scale, live_opts),
         "trace" => live::trace(scale, live_opts),
+        "timeline" => timeline::run(scale, live_opts),
         "faults" => faults::run(scale, live_opts),
         "coding" => coding::run(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size, clients_list),
@@ -221,7 +225,7 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions, clients_list: Optio
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "channels", "live", "faults", "coding",
+                "index", "channels", "live", "timeline", "faults", "coding",
             ] {
                 run_one(e, scale, live_opts, clients_list);
             }

@@ -6,7 +6,10 @@
 //! * `GET /metrics` — the registry as Prometheus text exposition format;
 //! * `GET /metrics/json` — the registry as JSONL;
 //! * `GET /events?since=SEQ` — journal events at or after `SEQ` as a JSON
-//!   object with an explicit `dropped` count and a `next_seq` cursor.
+//!   object with an explicit `dropped` count and a `next_seq` cursor;
+//! * `GET /trace?since=SEQ` — wait-attribution spans at or after `SEQ` as
+//!   JSONL, ending with a `{"summary":...}` line of per-phase percentiles
+//!   (p50/p99/p999) over the returned request spans.
 //!
 //! The server is deliberately tiny: one accept thread, one short-lived
 //! handler thread per connection, `Connection: close` on every response.
@@ -24,6 +27,7 @@ use std::time::Duration;
 
 use crate::expo::{render_event_batch_json, render_jsonl, render_prometheus};
 use crate::journal::journal;
+use crate::trace::{render_span_batch, spans};
 
 /// A running metrics HTTP server. Dropping it (or calling
 /// [`MetricsServer::stop`]) shuts the listener down.
@@ -142,18 +146,27 @@ fn handle_connection(stream: TcpStream) {
             respond(&mut stream, 200, "application/json; charset=utf-8", &body);
         }
         "/events" => {
-            let since = query
-                .and_then(|q| {
-                    q.split('&')
-                        .find_map(|kv| kv.strip_prefix("since="))
-                        .and_then(|v| v.parse::<u64>().ok())
-                })
-                .unwrap_or(0);
-            let body = render_event_batch_json(&journal().since(since));
+            let body = render_event_batch_json(&journal().since(since_param(query)));
+            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+        }
+        "/trace" => {
+            let body = render_span_batch(&spans().since(since_param(query)));
             respond(&mut stream, 200, "application/json; charset=utf-8", &body);
         }
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
+}
+
+/// Parses `since=SEQ` out of a query string; malformed or absent values
+/// read as 0 (the full ring), so a sloppy scraper still gets an answer.
+fn since_param(query: Option<&str>) -> u64 {
+    query
+        .and_then(|q| {
+            q.split('&')
+                .find_map(|kv| kv.strip_prefix("since="))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or(0)
 }
 
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
@@ -226,6 +239,88 @@ mod tests {
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
 
+        server.stop();
+    }
+
+    #[test]
+    fn serves_trace_spans_with_summary() {
+        let _g = crate::test_switch_guard();
+        crate::trace::record_request(
+            9001,
+            0,
+            4.0,
+            crate::trace::attribute_wait(10.0, 14.0, 14.0, 14.0, 14.0),
+        );
+
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let (status, body) = get(server.addr(), "/trace?since=0");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"client\":9001"), "{body}");
+        let last = body.lines().last().unwrap();
+        assert!(last.starts_with("{\"summary\":"), "{body}");
+        assert!(last.contains("\"p999\":"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_paths_are_404_without_side_effects() {
+        let _g = crate::test_switch_guard();
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        for target in ["/", "/metric", "/metrics/", "/events/extra", "/trace/x"] {
+            let (status, body) = get(addr, target);
+            assert_eq!(status, 404, "{target} should 404");
+            assert_eq!(body, "not found\n");
+        }
+        // The server survives the 404s and still serves real routes.
+        let (status, _) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_since_values_read_as_zero() {
+        let _g = crate::test_switch_guard();
+        assert_eq!(since_param(None), 0);
+        assert_eq!(since_param(Some("since=17")), 17);
+        assert_eq!(since_param(Some("since=")), 0);
+        assert_eq!(since_param(Some("since=banana")), 0);
+        assert_eq!(since_param(Some("since=-3")), 0);
+        assert_eq!(since_param(Some("since=1e3")), 0);
+        assert_eq!(since_param(Some("other=5")), 0);
+        assert_eq!(since_param(Some("a=1&since=8&b=2")), 8);
+
+        // End to end: a malformed cursor returns the whole ring, not 4xx.
+        crate::set_tracing_enabled(true);
+        crate::journal::event(crate::journal::EventKind::SlotTick, 5, 6);
+        crate::set_tracing_enabled(false);
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let (status, body) = get(server.addr(), "/events?since=banana");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"dropped\":"), "{body}");
+        assert!(body.contains("\"next_seq\":"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn empty_journal_reads_are_well_formed() {
+        // `/events` far past the head and `/trace` far past the head both
+        // return empty, well-formed batches (no panic, no negative counts).
+        let _g = crate::test_switch_guard();
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = get(addr, &format!("/events?since={}", u64::MAX));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"events\":[]"), "{body}");
+
+        let (status, body) = get(addr, &format!("/trace?since={}", u64::MAX));
+        assert_eq!(status, 200);
+        let last = body.lines().last().unwrap();
+        assert!(
+            last.contains("\"request_spans\":0,\"stage_spans\":0"),
+            "{body}"
+        );
         server.stop();
     }
 }

@@ -15,10 +15,17 @@
 //!   backpressure stall) with monotone sequence numbers. Overflow is
 //!   explicit — the oldest events are overwritten and a drop count is
 //!   reported — and recording **never blocks** the broadcast.
+//! * [`trace`] — **wait-attribution spans**: sampled client requests
+//!   decomposed into broadcast/switch/loss/credit phases (with an exact
+//!   conservation invariant) and sampled broker slots profiled into
+//!   jitter/encode/enqueue/drain stage timers, recorded into a second
+//!   seqlock ring with deterministic 1-in-N sampling
+//!   ([`set_sample_every`]).
 //! * [`http`] + [`expo`] — a snapshot sampler that renders the registry as
 //!   Prometheus text exposition format (and as JSONL), served from a
 //!   minimal `std::net` HTTP endpoint: `GET /metrics`,
-//!   `GET /metrics/json`, and `GET /events?since=seq`.
+//!   `GET /metrics/json`, `GET /events?since=seq`, and
+//!   `GET /trace?since=seq`.
 //!
 //! ## Switches
 //!
@@ -41,6 +48,7 @@ pub mod expo;
 pub mod http;
 pub mod journal;
 pub mod registry;
+pub mod trace;
 
 pub use expo::{render_jsonl, render_prometheus};
 pub use http::MetricsServer;
@@ -49,6 +57,7 @@ pub use registry::{
     counter, counter_labeled, gauge, gauge_labeled, histogram, Counter, Gauge, Histogram,
     HistogramSnapshot,
 };
+pub use trace::{attribute_wait, sample_every, set_sample_every, Span, SpanBatch, SpanKind};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

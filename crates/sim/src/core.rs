@@ -204,6 +204,16 @@ impl ClientCore {
         self.measuring
     }
 
+    /// Requests measured so far — equivalently, the measured-request index
+    /// the next completed request will be recorded under. Drivers use this
+    /// as the deterministic sampling key for wait-attribution spans: only
+    /// one request is in flight per client and [`ClientCore::measuring`]
+    /// flips only inside [`ClientCore::complete_request`], so the index
+    /// seen at request-issue time is the index the request completes with.
+    pub fn measured_count(&self) -> u64 {
+        self.measurements.stats.count()
+    }
+
     /// The replacement policy, for inspection (e.g. invalidations).
     pub fn policy_mut(&mut self) -> &mut dyn CachePolicy {
         &mut *self.policy

@@ -60,7 +60,7 @@ pub use bdisk_cache::PolicyKind;
 pub use config::{SimConfig, SimError};
 pub use core::ClientCore;
 pub use metrics::{AccessLocation, Measurements, SimOutcome};
-pub use model::{simulate, simulate_plan, simulate_program, ClientModel};
+pub use model::{simulate, simulate_plan, simulate_plan_traced, simulate_program, ClientModel};
 pub use obs::register_metrics;
 pub use population::{simulate_population, ClientSpec, PopulationOutcome};
 pub use prefetch::simulate_prefetch;

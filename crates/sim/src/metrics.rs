@@ -29,6 +29,9 @@ pub struct SimOutcome {
     pub p95: f64,
     /// Response-time 99th percentile (the tail the mean hides).
     pub p99: f64,
+    /// Response-time 99.9th percentile (the extreme tail — where loss
+    /// recovery and switch penalties live).
+    pub p999: f64,
     /// Largest observed response time.
     pub max_response_time: f64,
     /// Requests measured after warm-up.
@@ -91,6 +94,7 @@ impl Measurements {
             p50: self.hist.quantile(0.5).unwrap_or(0.0),
             p95: self.hist.quantile(0.95).unwrap_or(0.0),
             p99: self.hist.quantile(0.99).unwrap_or(0.0),
+            p999: self.hist.quantile(0.999).unwrap_or(0.0),
             max_response_time: self.stats.max().unwrap_or(0.0),
             measured_requests: self.stats.count(),
             end_time,
@@ -115,8 +119,9 @@ mod tests {
         assert_eq!(out.hit_rate, 0.25);
         assert_eq!(out.access_fractions, vec![0.25, 0.25, 0.0, 0.5]);
         assert_eq!(out.max_response_time, 30.0);
-        assert!(out.p50 <= out.p95 && out.p95 <= out.p99);
+        assert!(out.p50 <= out.p95 && out.p95 <= out.p99 && out.p99 <= out.p999);
         assert_eq!(out.p99, 30.0);
+        assert_eq!(out.p999, 30.0);
         assert_eq!(out.end_time, 123.0);
         assert!(out.ci_half_width.is_some());
     }

@@ -13,6 +13,7 @@
 //! requests".
 
 use bdesim::{Action, Process, ProcessExecutor, Time};
+use bdisk_obs::trace::{self, Span, SpanKind};
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId};
 use bdisk_workload::{Mapping, RegionZipf};
 use rand::rngs::StdRng;
@@ -27,7 +28,15 @@ enum Phase {
     /// About to issue the next request.
     Request,
     /// Waiting on the broadcast for a missed page.
-    Receive { page: PageId, requested_at: f64 },
+    Receive {
+        page: PageId,
+        requested_at: f64,
+        /// Wait-attribution anchors when this request is sampled:
+        /// `(no_switch, expected)` arrival times. Computed with pure plan
+        /// arithmetic only — tracing never draws from the RNG, so sampled
+        /// and unsampled runs stay bit-identical.
+        trace: Option<(f64, f64)>,
+    },
     /// Finished measuring.
     Finished,
 }
@@ -53,6 +62,11 @@ pub struct ClientModel {
     switch_slots: f64,
     phase: Phase,
     end_time: f64,
+    /// Span identity (the seed for seeded constructors, 0 otherwise).
+    trace_id: u64,
+    /// Sampled wait-attribution spans, in completion order. Empty (and
+    /// never allocated into) unless span sampling is on.
+    spans: Vec<Span>,
 }
 
 impl ClientModel {
@@ -65,7 +79,12 @@ impl ClientModel {
         seed: u64,
     ) -> Result<Self, SimError> {
         let core = ClientCore::new(cfg, layout, &program, seed)?;
-        Ok(Self::assemble(cfg, core, BroadcastPlan::single(program)))
+        Ok(Self::assemble(
+            cfg,
+            core,
+            BroadcastPlan::single(program),
+            seed,
+        ))
     }
 
     /// Builds the client against a multi-channel [`BroadcastPlan`]. The
@@ -77,7 +96,7 @@ impl ClientModel {
         seed: u64,
     ) -> Result<Self, SimError> {
         let core = ClientCore::new_plan(cfg, layout, &plan, seed)?;
-        Ok(Self::assemble(cfg, core, plan))
+        Ok(Self::assemble(cfg, core, plan, seed))
     }
 
     /// Builds the client with an explicit logical→physical mapping (used by
@@ -106,10 +125,10 @@ impl ClientModel {
         rng: StdRng,
     ) -> Result<Self, SimError> {
         let core = ClientCore::with_workload(cfg, layout, &program, logical_probs, mapping, rng)?;
-        Ok(Self::assemble(cfg, core, BroadcastPlan::single(program)))
+        Ok(Self::assemble(cfg, core, BroadcastPlan::single(program), 0))
     }
 
-    fn assemble(cfg: &SimConfig, core: ClientCore, plan: BroadcastPlan) -> Self {
+    fn assemble(cfg: &SimConfig, core: ClientCore, plan: BroadcastPlan, trace_id: u64) -> Self {
         Self {
             core,
             plan,
@@ -117,12 +136,42 @@ impl ClientModel {
             switch_slots: cfg.switch_slots,
             phase: Phase::Request,
             end_time: 0.0,
+            trace_id,
+            spans: Vec::new(),
         }
     }
 
     /// Consumes the client, producing the run's outcome.
     pub fn into_outcome(self) -> SimOutcome {
         self.core.finish(self.end_time).0
+    }
+
+    /// Consumes the client, producing the outcome together with the
+    /// wait-attribution spans sampled during the run (empty unless
+    /// [`bdisk_obs::trace::set_sample_every`] enabled sampling).
+    pub fn into_traced_outcome(self) -> (SimOutcome, Vec<Span>) {
+        (self.core.finish(self.end_time).0, self.spans)
+    }
+
+    /// Records one sampled request span: into the process span ring (which
+    /// asserts the conservation invariant) and into this client's local
+    /// span list for in-process consumers.
+    fn emit_span(&mut self, requested_at: f64, no_switch: f64, expected: f64, received_at: f64) {
+        let total = received_at - requested_at;
+        // The simulator is lossless: the fallback periodic airing *is* the
+        // expected arrival, so loss and credit are exactly zero.
+        let phases =
+            trace::attribute_wait(requested_at, no_switch, expected, received_at, received_at);
+        let index = self.core.measured_count();
+        let seq = trace::record_request(self.trace_id, index, total, phases);
+        self.spans.push(Span {
+            seq,
+            kind: SpanKind::Request,
+            client: self.trace_id,
+            index,
+            total,
+            phases,
+        });
     }
 }
 
@@ -132,8 +181,17 @@ impl Process for ClientModel {
         match self.phase {
             Phase::Request => {
                 let page = self.core.next_request();
+                // Sampling is decided at issue time: one request is in
+                // flight and the measuring flag only flips inside
+                // complete_request, so the index gate here matches the
+                // index the request is recorded under.
+                let traced = self.core.measuring() && trace::sampled(self.core.measured_count());
                 if self.core.contains(page) {
                     self.core.on_hit(page, t);
+                    if traced {
+                        // A cache hit waits on nothing: the all-zero span.
+                        self.emit_span(t, t, t, t);
+                    }
                     if self.core.complete_request(0.0, AccessLocation::Cache) {
                         self.end_time = t;
                         self.phase = Phase::Finished;
@@ -142,26 +200,41 @@ impl Process for ClientModel {
                     Action::Sleep(Time::new(self.core.think_delay()))
                 } else {
                     let channel = self.plan.channel_of(page);
-                    let arrival = if channel == self.tuned {
-                        self.plan.next_arrival(page, t)
+                    let (arrival, anchors) = if channel == self.tuned {
+                        let arrival = self.plan.next_arrival(page, t);
+                        (arrival, traced.then_some((arrival, arrival)))
                     } else {
                         // Single-tuner constraint: retuning forfeits the
                         // slot in flight and pays the switch penalty.
                         self.tuned = channel;
-                        self.plan
-                            .next_arrival(page, t.floor() + 1.0 + self.switch_slots)
+                        let arrival = self
+                            .plan
+                            .next_arrival(page, t.floor() + 1.0 + self.switch_slots);
+                        // The no-switch anchor is what the wait would have
+                        // been had the tuner already been on the page's
+                        // channel; the gap to `arrival` is the switch cost.
+                        let anchors = traced.then(|| (self.plan.next_arrival(page, t), arrival));
+                        (arrival, anchors)
                     };
                     self.phase = Phase::Receive {
                         page,
                         requested_at: t,
+                        trace: anchors,
                     };
                     Action::Until(Time::new(arrival))
                 }
             }
-            Phase::Receive { page, requested_at } => {
+            Phase::Receive {
+                page,
+                requested_at,
+                trace: anchors,
+            } => {
                 self.core.insert(page, t);
                 let disk = self.plan.disk_of(page);
                 self.phase = Phase::Request;
+                if let Some((no_switch, expected)) = anchors {
+                    self.emit_span(requested_at, no_switch, expected, t);
+                }
                 if self
                     .core
                     .complete_request(t - requested_at, AccessLocation::Disk(disk))
@@ -195,8 +268,7 @@ pub fn simulate_program(
     program: BroadcastProgram,
     seed: u64,
 ) -> Result<SimOutcome, SimError> {
-    let client = ClientModel::new(cfg, layout, program, seed)?;
-    run_client(client)
+    run_client(ClientModel::new(cfg, layout, program, seed)?).map(|(outcome, _)| outcome)
 }
 
 /// Like [`simulate`] but with a caller-supplied multi-channel plan (used to
@@ -208,21 +280,33 @@ pub fn simulate_plan(
     plan: BroadcastPlan,
     seed: u64,
 ) -> Result<SimOutcome, SimError> {
-    let client = ClientModel::new_plan(cfg, layout, plan, seed)?;
-    run_client(client)
+    run_client(ClientModel::new_plan(cfg, layout, plan, seed)?).map(|(outcome, _)| outcome)
 }
 
-fn run_client(client: ClientModel) -> Result<SimOutcome, SimError> {
+/// Like [`simulate_plan`] but also returns the wait-attribution spans the
+/// run sampled (empty unless [`bdisk_obs::trace::set_sample_every`] turned
+/// sampling on). Tracing reads no randomness, so the outcome is
+/// bit-identical to [`simulate_plan`]'s at any sampling rate.
+pub fn simulate_plan_traced(
+    cfg: &SimConfig,
+    layout: &DiskLayout,
+    plan: BroadcastPlan,
+    seed: u64,
+) -> Result<(SimOutcome, Vec<Span>), SimError> {
+    run_client(ClientModel::new_plan(cfg, layout, plan, seed)?)
+}
+
+fn run_client(client: ClientModel) -> Result<(SimOutcome, Vec<Span>), SimError> {
     let mut executor = ProcessExecutor::new();
     executor.spawn_at(Time::ZERO, client);
     executor.run_to_completion();
     let mut states = executor.into_states();
-    let outcome = states.remove(0).into_outcome();
+    let (outcome, spans) = states.remove(0).into_traced_outcome();
     let m = crate::obs::metrics();
     m.runs.inc();
     m.measured_requests.add(outcome.measured_requests);
     m.virtual_time.set_max(outcome.end_time as i64);
-    Ok(outcome)
+    Ok((outcome, spans))
 }
 
 #[cfg(test)]
@@ -409,6 +493,65 @@ mod tests {
             b.mean_response_time,
             a.mean_response_time
         );
+    }
+
+    #[test]
+    fn sampled_spans_conserve_and_pin_the_outcome_bit_exactly() {
+        // Serialize use of the global sampling knob within this binary.
+        static KNOB: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let cfg = SimConfig {
+            cache_size: 30,
+            offset: 30,
+            noise: 0.2,
+            channels: 2,
+            switch_slots: 3.0,
+            requests: 1_500,
+            ..small_cfg()
+        };
+        let plan = BroadcastPlan::generate(&layout, cfg.channels).unwrap();
+
+        bdisk_obs::trace::set_sample_every(1);
+        let traced = simulate_plan_traced(&cfg, &layout, plan.clone(), 31).unwrap();
+        bdisk_obs::trace::set_sample_every(0);
+        let (outcome, spans) = traced;
+
+        // Every measured request produced exactly one span, in order.
+        assert_eq!(spans.len() as u64, outcome.measured_requests);
+        let mut hits = 0u64;
+        let mut switched = 0u64;
+        for (i, span) in spans.iter().enumerate() {
+            assert_eq!(span.index, i as u64);
+            assert_eq!(span.client, 31);
+            // Conservation, bit-exact: the signed phase sum IS the total.
+            assert_eq!(span.phase_sum().to_bits(), span.total.to_bits());
+            // The simulator is lossless: no loss, no credit.
+            assert_eq!(span.phases[2], 0.0);
+            assert_eq!(span.phases[3], 0.0);
+            hits += u64::from(span.total == 0.0);
+            switched += u64::from(span.phases[1] > 0.0);
+        }
+        assert!(hits > 0, "the cached config must sample some hits");
+        assert!(switched > 0, "two channels must sample some switch waits");
+
+        // Replaying the span totals through the same running-statistics
+        // machinery reproduces the outcome's mean bit for bit.
+        let mut stats = bdesim::RunningStats::new();
+        for span in &spans {
+            stats.record(span.total);
+        }
+        assert_eq!(
+            stats.mean().to_bits(),
+            outcome.mean_response_time.to_bits(),
+            "spans must pin SimOutcome bit-exactly"
+        );
+
+        // And sampling itself never perturbs the simulation.
+        let plain = simulate_plan(&cfg, &layout, plan, 31).unwrap();
+        assert_eq!(plain.mean_response_time, outcome.mean_response_time);
+        assert_eq!(plain.end_time, outcome.end_time);
     }
 
     #[test]
