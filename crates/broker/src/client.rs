@@ -25,14 +25,57 @@
 
 use std::sync::Arc;
 
+use bdisk_cache::PolicyContext;
 use bdisk_code::{ChannelCode, DecodeWindow, Decoded};
 use bdisk_obs::journal::{event, EventKind};
 use bdisk_obs::trace::{self, Span, SpanKind};
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, DiskLayout, PageId, Slot};
-use bdisk_sim::{AccessLocation, ClientCore, Measurements, SimConfig, SimError, SimOutcome};
+use bdisk_sim::{
+    AccessLocation, ClientCore, Mapping, Measurements, SimConfig, SimError, SimOutcome,
+};
 
 use crate::bus::BusSubscription;
 use crate::transport::Frame;
+
+/// One plan epoch as a client sees it: the plan itself plus the policy
+/// context (physical page probabilities, page→disk map, disk frequencies)
+/// the cache should re-score under when this epoch takes the air. Built
+/// once per fleet and shared by `Arc` — adoption clones the plan, never
+/// the context.
+pub struct ClientEpoch {
+    /// The plan aired during this epoch.
+    pub plan: BroadcastPlan,
+    /// Policy context matching this epoch's workload/plan.
+    pub ctx: PolicyContext,
+}
+
+/// A deterministic client-side drift schedule: every `every_slots` slots
+/// the workload's logical→physical mapping advances one phase. Applied
+/// identically by adaptive and control fleets (zero RNG draws), so the
+/// only difference between those runs is whether the *broadcast* adapts.
+pub struct DriftBook {
+    /// Slots per drift phase.
+    pub every_slots: u64,
+    /// Mapping for phase `p` (cumulative — each entry is the full mapping,
+    /// not a delta). Phases past the end hold at the last entry.
+    pub mappings: Vec<Mapping>,
+    /// Last phase applied.
+    cur_phase: usize,
+}
+
+impl DriftBook {
+    /// A drift schedule stepping through `mappings` every `every_slots`
+    /// slots (phase 0 must already be the client's construction mapping).
+    pub fn new(every_slots: u64, mappings: Vec<Mapping>) -> Self {
+        assert!(every_slots > 0, "drift cadence must be nonzero");
+        assert!(!mappings.is_empty(), "drift book must hold phase 0");
+        Self {
+            every_slots,
+            mappings,
+            cur_phase: 0,
+        }
+    }
+}
 
 /// Final results of one live client: the summarized outcome plus the raw
 /// measurements for fleet-wide aggregation.
@@ -69,6 +112,14 @@ pub struct LiveClientResult {
     /// Sampled wait-attribution spans, in completion order. Empty unless
     /// [`bdisk_obs::trace::set_sample_every`] turned span sampling on.
     pub spans: Vec<Span>,
+    /// Plan epochs this client adopted mid-run (hot swaps survived).
+    pub epoch_swaps: u64,
+    /// Frames discarded for carrying a non-current (older) plan epoch.
+    pub stale_epoch_frames: u64,
+    /// Per-window mean miss delay while measuring: `(sum, count)` of
+    /// response times bucketed by completion slot. Empty unless
+    /// [`LiveClient::with_delay_buckets`] was set.
+    pub delay_buckets: Vec<(f64, u64)>,
 }
 
 /// Client-side decode state for a coded plan: the per-channel symbol
@@ -120,6 +171,25 @@ pub struct LiveClient {
     recovery_waits: Vec<u64>,
     /// Decode state when the plan carries repair slots (`None` at rate 0).
     coded: Option<CodedState>,
+    /// Plan epoch currently adopted; frames of other epochs are dropped.
+    epoch: u32,
+    /// Absolute seq where the adopted epoch's slot clock starts (0 for
+    /// epoch 0, so single-plan runs do identical arithmetic to before).
+    base: u64,
+    /// An announced-but-not-yet-active swap: `(epoch, base)` from a fence
+    /// whose boundary is still ahead. Activated at the first frame with
+    /// `seq >= base`.
+    pending_swap: Option<(u32, u64)>,
+    /// Per-epoch plans and policy contexts; `None` locks the client to
+    /// its construction plan (fences still track `base` on restart).
+    epoch_book: Option<Arc<Vec<ClientEpoch>>>,
+    /// Deterministic workload drift, if the run schedules one.
+    drift: Option<DriftBook>,
+    epoch_swaps: u64,
+    stale_epoch_frames: u64,
+    /// Bucket width (slots) for windowed delay means; 0 = off.
+    bucket_every: u64,
+    delay_buckets: Vec<(f64, u64)>,
     done: bool,
     end_time: f64,
     frames_seen: u64,
@@ -184,12 +254,131 @@ impl LiveClient {
             symbols_decoded: 0,
             recovery_waits: Vec::new(),
             coded,
+            epoch: 0,
+            base: 0,
+            pending_swap: None,
+            epoch_book: None,
+            drift: None,
+            epoch_swaps: 0,
+            stale_epoch_frames: 0,
+            bucket_every: 0,
+            delay_buckets: Vec::new(),
             done: false,
             end_time: 0.0,
             frames_seen: 0,
             trace_id: seed,
             spans: Vec::new(),
         })
+    }
+
+    /// Arms the client to survive plan hot-swaps: when an epoch fence
+    /// announces epoch `e`, the client re-scores its cache under
+    /// `book[e].ctx` and continues against `book[e].plan`. Entry 0 should
+    /// match the construction plan.
+    pub fn with_epoch_book(mut self, book: Arc<Vec<ClientEpoch>>) -> Self {
+        assert!(!book.is_empty(), "epoch book must hold epoch 0");
+        self.epoch_book = Some(book);
+        self
+    }
+
+    /// Installs a deterministic workload-drift schedule (see [`DriftBook`]).
+    pub fn with_drift(mut self, drift: DriftBook) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Turns on windowed delay means: responses completed while measuring
+    /// accumulate into buckets of `every` slots (by completion time).
+    pub fn with_delay_buckets(mut self, every: u64) -> Self {
+        assert!(every > 0, "bucket width must be nonzero");
+        self.bucket_every = every;
+        self
+    }
+
+    /// Plan epoch currently adopted.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Plan hot-swaps this client has adopted so far.
+    pub fn epoch_swaps(&self) -> u64 {
+        self.epoch_swaps
+    }
+
+    /// The active plan's slot on `ch` at absolute seq `s`, under the
+    /// adopted epoch's base offset. Slots before the epoch began read as
+    /// padding (they belong to a plan this client no longer tracks).
+    fn slot_on(&self, ch: ChannelId, s: u64) -> Slot {
+        if s < self.base {
+            Slot::Empty
+        } else {
+            self.plan.slot_at(ch, s - self.base)
+        }
+    }
+
+    /// The page's next arrival at or after absolute time `t`, in absolute
+    /// slots — [`BroadcastPlan::next_arrival`] shifted by the epoch base.
+    fn arrival(&self, page: PageId, t: f64) -> f64 {
+        let base = self.base as f64;
+        base + self.plan.next_arrival(page, (t - base).max(0.0))
+    }
+
+    /// Adopts plan epoch `epoch` with its slot clock starting at `base`.
+    /// `now` is the seq of the frame that triggered adoption (anchors the
+    /// retune penalty if the pending page moved channels). Residency
+    /// survives; eviction ranking is re-scored under the new epoch's
+    /// context; the decode window restarts (old-epoch symbols cover
+    /// nothing in the new layout).
+    fn adopt(&mut self, epoch: u32, base: u64, now: u64) {
+        self.pending_swap = None;
+        if epoch == self.epoch && base == self.base {
+            return;
+        }
+        if let Some(book) = self.epoch_book.clone() {
+            let idx = (epoch as usize).min(book.len() - 1);
+            let entry = &book[idx];
+            self.plan = entry.plan.clone();
+            self.core.rescore(&entry.ctx);
+        }
+        self.epoch = epoch;
+        self.base = base;
+        self.coded = self.plan.coding().map(|cfg| CodedState {
+            codes: (0..self.plan.num_channels())
+                .map(|c| ChannelCode::build(self.plan.program(ChannelId(c as u16)), c as u16, cfg))
+                .collect(),
+            window: DecodeWindow::new(self.plan.max_period()),
+            evictions_seen: 0,
+        });
+        // The pending page may live on a different channel under the new
+        // layout: retune (paying the switch penalty) so the wait resumes
+        // against the airing that will actually happen. Recovery anchors
+        // and trace anchors from the old plan are meaningless now.
+        if let Some((page, _)) = self.pending {
+            let home = self.plan.channel_of(page);
+            if home.0 != self.tuned {
+                self.tuned = home.0;
+                self.expected_seq = None;
+                self.min_receive_seq = (now as f64 + 1.0 + self.switch_slots).ceil() as u64;
+            }
+        }
+        self.pending_missed_at = None;
+        self.pending_trace = None;
+        self.epoch_swaps += 1;
+        event(EventKind::EpochSwap, epoch as u64, base);
+    }
+
+    /// Accumulates one measured response into its completion-time bucket.
+    fn record_bucket(&mut self, completed_at: f64, response: f64) {
+        if self.bucket_every == 0 {
+            return;
+        }
+        let idx = (completed_at as u64 / self.bucket_every) as usize;
+        if self.delay_buckets.len() <= idx {
+            self.delay_buckets.resize(idx + 1, (0.0, 0));
+        }
+        let (sum, n) = &mut self.delay_buckets[idx];
+        *sum += response;
+        *n += 1;
     }
 
     /// Processes one broadcast frame; returns `true` once the measurement
@@ -224,6 +413,54 @@ impl LiveClient {
         self.frames_seen += 1;
         crate::obs::client().frames_seen.inc();
         let (seq, slot) = (frame.seq, frame.slot);
+        // Epoch protocol, before any seq bookkeeping. Fences are
+        // out-of-band markers: a fence for a *future* epoch whose boundary
+        // has arrived adopts it now, one still ahead is stashed until its
+        // boundary passes; refresh fences for the current epoch are
+        // no-ops. Data frames of a non-current epoch are dropped — by
+        // epoch tag, not seq heuristics — so a tuner never maps a page
+        // arrival against the wrong plan. Epoch-0 single-plan runs see no
+        // fences and every comparison below is `0 == 0`.
+        if slot == Slot::EpochFence {
+            if let Some(fence_base) = frame.fence_base() {
+                if frame.epoch > self.epoch
+                    || (frame.epoch == self.epoch && fence_base != self.base)
+                {
+                    if seq >= fence_base {
+                        self.adopt(frame.epoch, fence_base, seq);
+                    } else {
+                        self.pending_swap = Some((frame.epoch, fence_base));
+                    }
+                }
+            }
+            return false;
+        }
+        if let Some((e, b)) = self.pending_swap {
+            if seq >= b {
+                self.adopt(e, b, seq);
+            }
+        }
+        if frame.epoch != self.epoch {
+            if frame.epoch < self.epoch {
+                self.stale_epoch_frames += 1;
+                crate::obs::epoch_metrics().stale_frames.inc();
+            }
+            // A frame from an epoch we haven't adopted yet (its fence was
+            // lost): drop it and wait for the next refresh fence, at most
+            // one cycle away.
+            return false;
+        }
+        // Deterministic workload drift: phase crossings move the request
+        // stream's physical mapping (no RNG draws, so adaptive and
+        // control fleets drift bit-identically).
+        if let Some(d) = self.drift.as_mut() {
+            let phase = (seq / d.every_slots) as usize;
+            if phase > d.cur_phase {
+                d.cur_phase = phase;
+                let m = d.mappings[phase.min(d.mappings.len() - 1)].clone();
+                self.core.set_mapping(m);
+            }
+        }
         if frame.channel == self.tuned {
             if let Some(expected) = self.expected_seq {
                 if seq < expected {
@@ -246,7 +483,10 @@ impl LiveClient {
                         let horizon = seq.saturating_sub(self.plan.period_of(tuned) as u64);
                         let start = expected.max(self.min_receive_seq).max(horizon);
                         for s in start..seq {
-                            if let Slot::Page(p) = self.plan.slot_at(tuned, s) {
+                            if s < self.base {
+                                continue; // pre-swap slots: old plan, unrepairable
+                            }
+                            if let Slot::Page(p) = self.plan.slot_at(tuned, s - self.base) {
                                 state.window.push_lost(s, p);
                             }
                         }
@@ -262,7 +502,7 @@ impl LiveClient {
                             let start = expected.max(self.min_receive_seq);
                             let scan_end = (expected + self.plan.period_of(tuned) as u64).min(seq);
                             for s in start..scan_end {
-                                if self.plan.slot_at(tuned, s) == Slot::Page(page) {
+                                if self.slot_on(tuned, s) == Slot::Page(page) {
                                     self.pending_missed_at = Some(s);
                                     break;
                                 }
@@ -287,10 +527,14 @@ impl LiveClient {
                     }
                     Slot::Repair(id) => {
                         let ch = ChannelId(frame.channel);
-                        if let Some(covers) = state.codes[ch.index()].covered_seqs(id, seq) {
+                        // Symbol coverage is plan-local arithmetic: shift
+                        // the airing seq into the epoch's clock and the
+                        // covered seqs back out to absolute.
+                        let base = self.base;
+                        if let Some(covers) = state.codes[ch.index()].covered_seqs(id, seq - base) {
                             let covers = covers
                                 .into_iter()
-                                .map(|(s, local)| (s, self.plan.global_page(ch, local)))
+                                .map(|(s, local)| (s + base, self.plan.global_page(ch, local)))
                                 .collect();
                             decoded = state.window.on_repair(covers, &frame.payload);
                             if !decoded.is_empty() {
@@ -300,6 +544,7 @@ impl LiveClient {
                         }
                     }
                     Slot::Empty => {}
+                    Slot::EpochFence => unreachable!("fences are handled before the coded path"),
                 }
                 let ev = state.window.evictions();
                 if ev > state.evictions_seen {
@@ -331,7 +576,7 @@ impl LiveClient {
                 // forfeit) — the coded-repair credit anchor. Pure plan
                 // arithmetic, computed only for sampled requests.
                 let fallback = if self.pending_trace.is_some() {
-                    self.plan.next_arrival(page, t)
+                    self.arrival(page, t)
                 } else {
                     t
                 };
@@ -373,6 +618,9 @@ impl LiveClient {
                         requested_at,
                     );
                 }
+                if self.core.measuring() {
+                    self.record_bucket(requested_at, 0.0);
+                }
                 if self.core.complete_request(0.0, AccessLocation::Cache) {
                     return self.finish_at(requested_at);
                 }
@@ -402,12 +650,11 @@ impl LiveClient {
                 // actually expected past any switch penalty. Pure plan
                 // arithmetic — identical to the simulator's anchors.
                 self.pending_trace = if traced {
-                    let no_switch = self.plan.next_arrival(page, requested_at);
+                    let no_switch = self.arrival(page, requested_at);
                     let expected = if min_seq == 0 {
                         no_switch
                     } else {
-                        self.plan
-                            .next_arrival(page, requested_at.floor() + 1.0 + self.switch_slots)
+                        self.arrival(page, requested_at.floor() + 1.0 + self.switch_slots)
                     };
                     Some((no_switch, expected))
                 } else {
@@ -511,6 +758,9 @@ impl LiveClient {
             self.emit_span(requested_at, no_switch, expected, next_periodic, t);
         }
         let disk = self.plan.disk_of(page);
+        if self.core.measuring() {
+            self.record_bucket(t, t - requested_at);
+        }
         if self
             .core
             .complete_request(t - requested_at, AccessLocation::Disk(disk))
@@ -580,6 +830,9 @@ impl LiveClient {
             symbols_decoded: self.symbols_decoded,
             recovery_waits: self.recovery_waits,
             spans: self.spans,
+            epoch_swaps: self.epoch_swaps,
+            stale_epoch_frames: self.stale_epoch_frames,
+            delay_buckets: self.delay_buckets,
         }
     }
 }

@@ -3,6 +3,7 @@
 //! frame per channel per slot tick, all channels phase-locked to the same
 //! clock.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,13 +64,18 @@ pub struct EngineConfig {
     /// paper Table 2). Payloads are generated once per run and shared by
     /// refcount across every subscriber. 0 sends bare frames.
     pub page_size: usize,
-    /// Engine-level fault schedule: only the `overrun` rate applies here
-    /// (channel faults live in the transport's injector — see
-    /// `InMemoryBus::set_fault_plan` / `TcpTransport::set_fault_plan`).
-    /// An overrun slot is broadcast one extra slot-duration late; slot
-    /// deadlines are absolute (`start + seq * slot_duration`), so the
-    /// delay never accumulates into clock drift.
+    /// Engine-level fault schedule: the `overrun` rate and the
+    /// deterministic `broker_kill_slot` apply here (channel faults live in
+    /// the transport's injector — see `InMemoryBus::set_fault_plan` /
+    /// `TcpTransport::set_fault_plan`). An overrun slot is broadcast one
+    /// extra slot-duration late; slot deadlines are absolute
+    /// (`start + seq * slot_duration`), so the delay never accumulates
+    /// into clock drift.
     pub fault_plan: FaultPlan,
+    /// Resume point from a prior run's [`EngineCheckpoint`] snapshot: the
+    /// engine picks the plan book up at this epoch and slot clock instead
+    /// of slot 0 (broker restart recovery). `None` starts fresh.
+    pub resume: Option<EngineResume>,
 }
 
 impl Default for EngineConfig {
@@ -81,7 +87,57 @@ impl Default for EngineConfig {
             no_client_grace_slots: 0,
             page_size: 64,
             fault_plan: FaultPlan::none(),
+            resume: None,
         }
+    }
+}
+
+/// A crash-survivable engine position: everything a restarted broker
+/// needs to resume airing the current epoch at the right phase. Produced
+/// by [`EngineCheckpoint::snapshot`], consumed via
+/// [`EngineConfig::resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineResume {
+    /// Plan-book index the engine was airing.
+    pub epoch: u32,
+    /// Next slot seq to air (the global slot clock never resets).
+    pub seq: u64,
+    /// Absolute seq where `epoch`'s slot clock starts.
+    pub base: u64,
+    /// [`BroadcastPlan::plan_hash`] of the epoch's plan — resume validates
+    /// this against the book it was handed, so a restart with a different
+    /// plan file fails loudly instead of airing a mislabeled schedule.
+    pub plan_hash: u64,
+}
+
+/// The engine's live checkpoint: updated with relaxed atomic stores on
+/// every slot tick, snapshot-able from any thread at any time. Holding a
+/// clone of the `Arc` across an engine crash (or a deliberate kill) is
+/// what lets the experiment layer restart a broker mid-run.
+#[derive(Debug, Default)]
+pub struct EngineCheckpoint {
+    epoch: AtomicU32,
+    next_seq: AtomicU64,
+    base: AtomicU64,
+    plan_hash: AtomicU64,
+}
+
+impl EngineCheckpoint {
+    /// The resume point as of the most recently aired slot.
+    pub fn snapshot(&self) -> EngineResume {
+        EngineResume {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            seq: self.next_seq.load(Ordering::Relaxed),
+            base: self.base.load(Ordering::Relaxed),
+            plan_hash: self.plan_hash.load(Ordering::Relaxed),
+        }
+    }
+
+    fn store(&self, epoch: u32, next_seq: u64, base: u64, plan_hash: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+        self.next_seq.store(next_seq, Ordering::Relaxed);
+        self.base.store(base, Ordering::Relaxed);
+        self.plan_hash.store(plan_hash, Ordering::Relaxed);
     }
 }
 
@@ -122,12 +178,29 @@ fn record_delivery(m: &crate::obs::EngineMetrics, stats: &DeliveryStats) {
     m.bytes.add(stats.bytes);
 }
 
+/// How many slots before an epoch boundary the engine starts airing
+/// announce fences (one per channel per tick), so every tuner — even one
+/// straddling a channel switch — sees the swap coming.
+const DEFAULT_FENCE_LEAD: u64 = 8;
+
 /// Drives a [`BroadcastPlan`] over a transport in real time. Slot tick
 /// `seq` airs one frame per channel (channel `c`'s frame is tagged with
 /// `c` on the wire), so a `C`-channel plan moves `C` frames per tick.
+///
+/// With a plan *book* ([`BroadcastEngine::with_plan_book`]) the engine
+/// hot-swaps to the next plan every `swap_every_cycles` broadcast cycles:
+/// the swap lands exactly on a cycle boundary, is announced `fence_lead`
+/// slots ahead by out-of-band [`Slot::EpochFence`] frames, and every data
+/// frame is tagged with its plan epoch on the wire so clients never
+/// mis-map a page-to-slot arrival across the boundary. A single-plan
+/// engine (epoch 0 forever) airs no fences and stays byte-identical to
+/// the pre-epoch wire.
 pub struct BroadcastEngine {
-    plan: BroadcastPlan,
+    plans: Vec<BroadcastPlan>,
+    swap_every_cycles: u64,
+    fence_lead: u64,
     cfg: EngineConfig,
+    checkpoint: Arc<EngineCheckpoint>,
 }
 
 impl BroadcastEngine {
@@ -137,19 +210,59 @@ impl BroadcastEngine {
         Self::with_plan(BroadcastPlan::single(program), cfg)
     }
 
-    /// Creates an engine broadcasting every channel of `plan`.
+    /// Creates an engine broadcasting every channel of `plan` (a plan
+    /// book of one: epoch 0 forever).
     pub fn with_plan(plan: BroadcastPlan, cfg: EngineConfig) -> Self {
-        Self { plan, cfg }
+        Self::with_plan_book(vec![plan], u64::MAX, cfg)
+    }
+
+    /// Creates an engine that airs `plans[0]`, then hot-swaps to each
+    /// successive plan every `swap_every_cycles` cycles of the plan then
+    /// current. Plan `i` is re-tagged with epoch `i` (the book is
+    /// positional), so callers building plans out of a re-optimizer need
+    /// not pre-assign epochs.
+    pub fn with_plan_book(
+        plans: Vec<BroadcastPlan>,
+        swap_every_cycles: u64,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(!plans.is_empty(), "plan book must hold at least one plan");
+        assert!(swap_every_cycles > 0, "swap cadence must be nonzero");
+        let plans: Vec<BroadcastPlan> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.with_epoch(i as u32))
+            .collect();
+        Self {
+            plans,
+            swap_every_cycles,
+            fence_lead: DEFAULT_FENCE_LEAD,
+            cfg,
+            checkpoint: Arc::new(EngineCheckpoint::default()),
+        }
+    }
+
+    /// Overrides the announce-fence lead (slots before a swap boundary).
+    pub fn with_fence_lead(mut self, fence_lead: u64) -> Self {
+        self.fence_lead = fence_lead;
+        self
+    }
+
+    /// The live checkpoint handle. Clone the `Arc` before `run` and
+    /// [`EngineCheckpoint::snapshot`] it after a crash/kill to build the
+    /// [`EngineConfig::resume`] for a replacement engine.
+    pub fn checkpoint(&self) -> Arc<EngineCheckpoint> {
+        Arc::clone(&self.checkpoint)
     }
 
     /// Channel 0's program (the whole broadcast on a single-channel plan).
     pub fn program(&self) -> &BroadcastProgram {
-        self.plan.program(ChannelId(0))
+        self.plans[0].program(ChannelId(0))
     }
 
-    /// The plan being broadcast.
+    /// The initial (epoch-0) plan.
     pub fn plan(&self) -> &BroadcastPlan {
-        &self.plan
+        &self.plans[0]
     }
 
     /// Broadcasts slots until `max_slots` is reached or (when configured)
@@ -157,23 +270,42 @@ impl BroadcastEngine {
     /// at wall-clock time `start + seq * slot_duration`; if the transport
     /// is slower than the slot rate the engine runs behind rather than
     /// skipping slots (every client still sees a gap-free feed).
+    ///
+    /// With a multi-plan book, epoch `e+1` takes over from epoch `e` at
+    /// the cycle boundary `base_e + swap_every_cycles * period_e`; the
+    /// engine airs announce fences for `fence_lead` slots beforehand and
+    /// a refresh fence at every cycle start while the active epoch is
+    /// nonzero (late joiners resync within one cycle). A resumed run
+    /// ([`EngineConfig::resume`]) continues the global slot clock from
+    /// the checkpoint instead of slot 0.
     pub fn run<T: Transport>(&self, transport: &mut T) -> EngineReport {
         let start = Instant::now();
         let mut totals = DeliveryStats::default();
         let mut slots_sent = 0u64;
         let mut overruns = 0u64;
         let mut no_client_slots = 0u64;
+        let mut killed = false;
         let m = crate::obs::engine();
+        let em = crate::obs::epoch_metrics();
         // One payload buffer per page for the whole run; every frame (and
         // every subscriber) shares it by refcount. Pages are plan-global,
-        // so one buffer set serves every channel.
-        let payloads = PagePayloads::generate(self.plan.num_pages(), self.cfg.page_size);
+        // so one buffer set serves every channel and every epoch.
+        let max_pages = self.plans.iter().map(|p| p.num_pages()).max().unwrap();
+        let payloads = PagePayloads::generate(max_pages, self.cfg.page_size);
         // Coded plans air parity symbols from a precomputed table (one
-        // shared buffer per symbol per channel); uncoded plans never touch
-        // this path.
-        let repair = repair_tables(&self.plan, &payloads);
+        // shared buffer per symbol per channel per epoch); uncoded plans
+        // never touch this path.
+        let repair_by_epoch: Vec<_> = self
+            .plans
+            .iter()
+            .map(|p| repair_tables(p, &payloads))
+            .collect();
         let rm = crate::obs::repair();
-        let channels = self.plan.num_channels();
+        let channels = self.plans[0].num_channels();
+        assert!(
+            self.plans.iter().all(|p| p.num_channels() == channels),
+            "every plan in the book must use the same channel count"
+        );
         // Per-channel slot counters, materialized before the loop so the
         // steady state never touches the registry (or the allocator).
         let by_channel: Vec<_> = (0..channels as u16)
@@ -181,8 +313,41 @@ impl BroadcastEngine {
             .collect();
         let stage_m = crate::obs::stage();
 
-        for seq in 0.. {
-            if seq >= self.cfg.max_slots {
+        // Epoch cursor: which plan is on the air and where its slot clock
+        // starts. A resume picks the cursor up from the checkpoint.
+        let (mut epoch, start_seq, mut base) = match self.cfg.resume {
+            Some(r) => {
+                assert!(
+                    (r.epoch as usize) < self.plans.len(),
+                    "resume epoch {} outside plan book of {}",
+                    r.epoch,
+                    self.plans.len()
+                );
+                assert_eq!(
+                    self.plans[r.epoch as usize].plan_hash(),
+                    r.plan_hash,
+                    "resume checkpoint was taken against a different plan"
+                );
+                (r.epoch as usize, r.seq, r.base)
+            }
+            None => (0, 0, 0),
+        };
+        let mut cur = &self.plans[epoch];
+        let mut next_boundary = (epoch + 1 < self.plans.len())
+            .then(|| base + self.swap_every_cycles * cur.max_period() as u64);
+        em.plan_epoch.set(epoch as i64);
+        self.checkpoint
+            .store(epoch as u32, start_seq, base, cur.plan_hash());
+        // A nonzero-epoch start (resume after a mid-book crash) installs
+        // the current fence as the transport hello so reconnecting
+        // clients learn (epoch, base) before their first data frame.
+        // Epoch-0 fresh starts install nothing: byte-identical wire.
+        if epoch > 0 {
+            transport.set_hello(Some(Frame::fence(start_seq, 0, epoch as u32, base)));
+        }
+
+        for seq in start_seq.. {
+            if seq - start_seq >= self.cfg.max_slots {
                 break;
             }
             if self.cfg.stop_when_no_clients {
@@ -195,8 +360,36 @@ impl BroadcastEngine {
                     no_client_slots = 0;
                 }
             }
+            // A deterministic broker kill: stop mid-air, leaving the
+            // checkpoint pointing at this (never-aired) slot. The
+            // experiment layer restarts a fresh engine from the snapshot.
+            if self.cfg.fault_plan.broker_kill_slot != 0
+                && seq == self.cfg.fault_plan.broker_kill_slot
+            {
+                event(
+                    EventKind::FaultInjected,
+                    seq,
+                    crate::faults::FAULT_CODE_KILL,
+                );
+                killed = true;
+                break;
+            }
+            // Hot-swap on the cycle boundary: the new epoch's clock
+            // starts exactly here, and the refresh fence below (cycle
+            // start of the new epoch) is the swap signal on the wire.
+            if next_boundary == Some(seq) {
+                epoch += 1;
+                base = seq;
+                cur = &self.plans[epoch];
+                next_boundary = (epoch + 1 < self.plans.len())
+                    .then(|| base + self.swap_every_cycles * cur.max_period() as u64);
+                em.plan_epoch.set(epoch as i64);
+                em.swaps.inc();
+                event(EventKind::EpochSwap, epoch as u64, base);
+                transport.set_hello(Some(Frame::fence(seq, 0, epoch as u32, base)));
+            }
             if !self.cfg.slot_duration.is_zero() {
-                let deadline = start + self.cfg.slot_duration * seq as u32;
+                let deadline = start + self.cfg.slot_duration * (seq - start_seq) as u32;
                 let now = Instant::now();
                 if deadline > now {
                     std::thread::sleep(deadline - now);
@@ -216,6 +409,27 @@ impl BroadcastEngine {
                 };
                 std::thread::sleep(stall);
             }
+            // Out-of-band fences, aired per channel *before* this tick's
+            // data frames and sharing its seq. Refresh fences re-announce
+            // the active (nonzero) epoch at every cycle start; announce
+            // fences advertise the upcoming epoch for the last fence_lead
+            // slots before its boundary. Epoch-0 single-plan runs skip
+            // both branches entirely.
+            let cycle_start = epoch > 0 && (seq - base) % cur.max_period() as u64 == 0;
+            let announcing = next_boundary.is_some_and(|b| b - seq <= self.fence_lead && seq < b);
+            if cycle_start || announcing {
+                let (f_epoch, f_base) = if announcing {
+                    ((epoch + 1) as u32, next_boundary.unwrap())
+                } else {
+                    (epoch as u32, base)
+                };
+                for c in 0..channels as u16 {
+                    let stats = transport.broadcast(Frame::fence(seq, c, f_epoch, f_base));
+                    record_delivery(m, &stats);
+                    totals.absorb(stats);
+                }
+                em.fences.inc();
+            }
             // Stage profile for sampled slots: tick jitter against the
             // absolute deadline, encode/enqueue split per channel below,
             // the transport's writev drain folded in at record time. One
@@ -225,7 +439,7 @@ impl BroadcastEngine {
                 if self.cfg.slot_duration.is_zero() {
                     0.0
                 } else {
-                    let deadline = start + self.cfg.slot_duration * seq as u32;
+                    let deadline = start + self.cfg.slot_duration * (seq - start_seq) as u32;
                     Instant::now()
                         .checked_duration_since(deadline)
                         .map_or(0.0, |late| late.as_secs_f64() * 1e6)
@@ -233,20 +447,24 @@ impl BroadcastEngine {
             });
             let (mut encode_us, mut enqueue_us) = (0.0f64, 0.0f64);
             m.slots.inc();
+            let repair = &repair_by_epoch[epoch];
             for (c, counter) in by_channel.iter().enumerate() {
-                let slot = self.plan.slot_at(ChannelId(c as u16), seq);
+                let slot = cur.slot_at(ChannelId(c as u16), seq - base);
                 let encode_start = stage_jitter.is_some().then(Instant::now);
-                let frame = match (slot, &repair) {
+                let frame = match (slot, repair) {
                     (Slot::Repair(r), Some(tables)) => {
                         rm.slots_aired.inc();
                         Frame {
                             seq,
                             channel: c as u16,
                             slot,
+                            epoch: epoch as u32,
                             payload: Arc::clone(&tables[c][r.index()]),
                         }
                     }
-                    _ => payloads.frame_on(seq, c as u16, slot),
+                    _ => payloads
+                        .frame_on(seq, c as u16, slot)
+                        .with_epoch(epoch as u32),
                 };
                 let enqueue_start = encode_start.map(|t0| {
                     let now = Instant::now();
@@ -268,10 +486,15 @@ impl BroadcastEngine {
                         // Distinct from both page ids and the empty
                         // sentinel: the wire encoding of the repair id.
                         Slot::Repair(r) => (REPAIR_FLAG | r.0) as u64,
+                        // Never produced by a plan (fences are out of
+                        // band), but the match stays total.
+                        Slot::EpochFence => (1u64 << 33) | u32::MAX as u64,
                     },
                 );
                 totals.absorb(stats);
             }
+            self.checkpoint
+                .store(epoch as u32, seq + 1, base, cur.plan_hash());
             if let Some(jitter_us) = stage_jitter {
                 // Drain micros accumulated since the previous sampled slot
                 // (socket flushes happen inside and between broadcasts, so
@@ -285,11 +508,18 @@ impl BroadcastEngine {
                 trace::record_stage(seq, [jitter_us, encode_us, enqueue_us, drain_us]);
             }
             m.active_clients.set(transport.active_clients() as i64);
-            slots_sent = seq + 1;
+            slots_sent = seq + 1 - start_seq;
         }
         // A batching transport may hold undelivered frames; their stats
-        // arrive with the final flush.
-        let tail = transport.finish();
+        // arrive with the final flush. A *killed* broker vanishes
+        // mid-stream instead: no flush, no teardown — the transport stays
+        // live for the restart harness to sever connections and hand to a
+        // resumed engine (a crashed process never runs its shutdown path).
+        let tail = if killed {
+            DeliveryStats::default()
+        } else {
+            transport.finish()
+        };
         record_delivery(m, &tail);
         totals.absorb(tail);
         m.active_clients.set(transport.active_clients() as i64);
@@ -298,7 +528,7 @@ impl BroadcastEngine {
         let elapsed = start.elapsed();
         EngineReport {
             slots_sent,
-            major_cycles: slots_sent / self.plan.max_period() as u64,
+            major_cycles: slots_sent / self.plans[0].max_period() as u64,
             frames_delivered: totals.delivered,
             frames_dropped: totals.dropped,
             clients_disconnected: totals.disconnected,
@@ -384,6 +614,7 @@ mod tests {
                 bdisk_sched::Slot::Empty | bdisk_sched::Slot::Repair(_) => {
                     assert!(frame.payload.is_empty())
                 }
+                bdisk_sched::Slot::EpochFence => unreachable!("single-plan runs air no fences"),
             }
             bytes += frame.wire_len() as u64;
         }

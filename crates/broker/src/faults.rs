@@ -142,6 +142,15 @@ pub struct FaultPlan {
     pub kill: f64,
     /// Per-slot probability the engine oversleeps its slot deadline.
     pub overrun: f64,
+    /// Deterministic workload-drift cadence: every this-many slots the
+    /// client fleet rotates its hot set one phase (0 = no drift). Not a
+    /// random fault — part of the schedule so adaptive and control runs
+    /// drift identically.
+    pub drift_every_slots: u64,
+    /// Deterministic broker crash: the engine stops dead at this slot seq
+    /// (0 = never), leaving its checkpoint for a restarted engine to
+    /// resume from.
+    pub broker_kill_slot: u64,
 }
 
 impl FaultPlan {
@@ -155,6 +164,8 @@ impl FaultPlan {
             max_delay_slots: 4,
             kill: 0.0,
             overrun: 0.0,
+            drift_every_slots: 0,
+            broker_kill_slot: 0,
         }
     }
 
@@ -649,6 +660,8 @@ mod tests {
             max_delay_slots: 6,
             kill: 0.01,
             overrun: 0.02,
+            drift_every_slots: 0,
+            broker_kill_slot: 0,
         };
         for seq in 0..2_000u64 {
             assert_eq!(plan.channel_fault(seq), plan.channel_fault(seq));

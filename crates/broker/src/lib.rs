@@ -59,14 +59,15 @@ pub mod transport;
 pub use mini_mio::raise_nofile_limit;
 
 pub use bus::{BusSubscription, BusTuning, InMemoryBus};
-pub use client::{LiveClient, LiveClientResult};
-pub use engine::{BroadcastEngine, EngineConfig, EngineReport};
+pub use client::{ClientEpoch, DriftBook, LiveClient, LiveClientResult};
+pub use engine::{BroadcastEngine, EngineCheckpoint, EngineConfig, EngineReport, EngineResume};
 pub use faults::{crc32, ChannelFault, FaultCounts, FaultInjector, FaultPlan};
 pub use fleet::{FleetReport, TunerFleet, TunerStats};
 pub use metrics::{aggregate, LiveReport};
 pub use obs::register_metrics;
 pub use tcp_evented::EventedTcpTransport;
 pub use tcp_threaded::{
-    ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport, TcpTransportConfig,
+    backoff_delay, ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport,
+    TcpTransportConfig, MAX_FRAME_LEN,
 };
 pub use transport::{Backpressure, DeliveryStats, Frame, FrameError, PagePayloads, Transport};

@@ -433,6 +433,42 @@ pub(crate) fn repair() -> &'static RepairMetrics {
     })
 }
 
+/// Epoch / hot-swap metrics: where the plan clock stands, how many swaps
+/// the engine has executed, and how much stale-epoch traffic clients are
+/// discarding (nonzero only around a swap or a rejoin).
+pub(crate) struct EpochMetrics {
+    /// `bd_plan_epoch`
+    pub plan_epoch: &'static Gauge,
+    /// `bd_epoch_swaps_total`
+    pub swaps: &'static Counter,
+    /// `bd_epoch_fences_total`
+    pub fences: &'static Counter,
+    /// `bd_stale_epoch_frames_total`
+    pub stale_frames: &'static Counter,
+}
+
+pub(crate) fn epoch_metrics() -> &'static EpochMetrics {
+    static M: OnceLock<EpochMetrics> = OnceLock::new();
+    M.get_or_init(|| EpochMetrics {
+        plan_epoch: registry::gauge(
+            "bd_plan_epoch",
+            "Plan epoch currently on the air (0 until the first hot swap)",
+        ),
+        swaps: registry::counter(
+            "bd_epoch_swaps_total",
+            "Plan hot-swaps executed by the engine at cycle boundaries",
+        ),
+        fences: registry::counter(
+            "bd_epoch_fences_total",
+            "Epoch-fence marker ticks aired (announce + refresh)",
+        ),
+        stale_frames: registry::counter(
+            "bd_stale_epoch_frames_total",
+            "Frames discarded by live clients for carrying a non-current plan epoch",
+        ),
+    })
+}
+
 /// Eagerly registers every broker metric (engine, bus, TCP, client, fault
 /// injection, loss recovery) so a scrape of `/metrics` shows the full
 /// inventory before traffic arrives. Idempotent; call when starting a
@@ -452,5 +488,6 @@ pub fn register_metrics() {
     let _ = slow_consumer_conn(0);
     let _ = recovery();
     let _ = repair();
+    let _ = epoch_metrics();
     let _ = crate::faults::metrics();
 }

@@ -225,6 +225,9 @@ pub struct EventedTcpTransport {
     slow_lag: [&'static bdisk_obs::registry::Gauge; SLOW_CONSUMER_TOP_K],
     /// Cached `bd_slow_consumer_conn{rank}` gauges, parallel to `slow_lag`.
     slow_conn: [&'static bdisk_obs::registry::Gauge; SLOW_CONSUMER_TOP_K],
+    /// Encoded greeting frame enqueued to every new connection before any
+    /// broadcast traffic (the epoch hello fence).
+    hello: Option<Arc<[u8]>>,
 }
 
 impl EventedTcpTransport {
@@ -265,6 +268,7 @@ impl EventedTcpTransport {
             channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
             slow_lag: std::array::from_fn(crate::obs::slow_consumer_lag),
             slow_conn: std::array::from_fn(crate::obs::slow_consumer_conn),
+            hello: None,
         })
     }
 
@@ -349,6 +353,7 @@ impl EventedTcpTransport {
             cfg,
             read_scratch,
             upstream_bytes,
+            hello,
             ..
         } = self;
         match poll.poll(events, timeout) {
@@ -377,10 +382,16 @@ impl EventedTcpTransport {
                     }
                     let id = *next_conn_id;
                     *next_conn_id += 1;
+                    let mut backlog = VecDeque::with_capacity(cfg.queue_capacity);
+                    // The greeting rides the normal backlog, so it reaches
+                    // the socket ahead of any broadcast frame.
+                    if let Some(hello) = hello {
+                        backlog.push_back(Arc::clone(hello));
+                    }
                     slab[idx] = Some(EvConn {
                         id,
                         stream,
-                        backlog: VecDeque::with_capacity(cfg.queue_capacity),
+                        backlog,
                         cursor: 0,
                         armed: false,
                     });
@@ -603,6 +614,10 @@ impl Transport for EventedTcpTransport {
 
     fn active_clients(&self) -> usize {
         self.live
+    }
+
+    fn set_hello(&mut self, hello: Option<Frame>) {
+        self.hello = hello.map(|f| f.encode_shared());
     }
 
     fn finish(&mut self) -> DeliveryStats {

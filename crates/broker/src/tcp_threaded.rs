@@ -115,6 +115,15 @@ struct Conn {
     writer: JoinHandle<()>,
 }
 
+/// Upper bound on one wire frame's body length. The length prefix is
+/// attacker-visible plaintext (it sits outside the CRC-protected body), so
+/// a reader must never trust it as an allocation size: a single forged
+/// 32-bit prefix could otherwise demand a 4 GiB buffer. Real frames are a
+/// 22-byte header plus one page or repair symbol, so 16 MiB is generous
+/// headroom for any plausible page size while keeping a hostile prefix
+/// harmless.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 /// Broadcast server over loopback TCP.
 pub struct TcpTransport {
     addr: SocketAddr,
@@ -130,6 +139,9 @@ pub struct TcpTransport {
     faults: FaultSwitchboard,
     /// Per-channel fan-out counters, cached off the registry.
     channel_frames: crate::obs::ChannelCounters,
+    /// Encoded greeting frame enqueued to every new connection before any
+    /// broadcast traffic (the epoch hello fence).
+    hello: Option<Arc<[u8]>>,
 }
 
 impl TcpTransport {
@@ -173,6 +185,7 @@ impl TcpTransport {
             accept_thread: Some(accept_thread),
             faults: FaultSwitchboard::new(),
             channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
+            hello: None,
         })
     }
 
@@ -236,6 +249,10 @@ impl TcpTransport {
             });
             let id = self.next_conn_id;
             self.next_conn_id += 1;
+            if let Some(hello) = &self.hello {
+                // Fresh bounded channel, capacity > 0: this cannot fail.
+                let _ = tx.try_send(Arc::clone(hello));
+            }
             self.conns.push(Conn { id, tx, writer });
             m.accepted.inc();
         }
@@ -260,6 +277,24 @@ impl TcpTransport {
             }
             std::thread::sleep((deadline - now).min(Duration::from_millis(1)));
         }
+    }
+
+    /// Severs every live connection at once — send channels close, each
+    /// writer drains its backlog and hangs up — while the listener keeps
+    /// accepting. From the fleet's side this is exactly a broker crash:
+    /// every socket dies mid-stream and reconnect backoff kicks in. (The
+    /// listener standing back up instantly models a restarted broker
+    /// rebinding its well-known port; keeping the socket avoids fighting
+    /// TIME_WAIT for the same port inside one test process.) Returns how
+    /// many connections were severed.
+    pub fn disconnect_all(&mut self) -> usize {
+        let severed = self.conns.len();
+        for conn in self.conns.drain(..) {
+            drop(conn.tx);
+            self.graveyard.push(conn.writer);
+        }
+        crate::obs::tcp().connections.set(0);
+        severed
     }
 
     /// Fans one encoded wire frame out to every connection.
@@ -373,6 +408,10 @@ impl Transport for TcpTransport {
         self.conns.len()
     }
 
+    fn set_hello(&mut self, hello: Option<Frame>) {
+        self.hello = hello.map(|f| f.encode_shared());
+    }
+
     fn finish(&mut self) -> DeliveryStats {
         for conn in self.conns.drain(..) {
             drop(conn.tx);
@@ -434,6 +473,15 @@ impl TcpFrameReader {
                 };
             }
             let len = u32::from_le_bytes(len_buf) as usize;
+            if len > MAX_FRAME_LEN {
+                // The prefix is unauthenticated: never let it size an
+                // allocation. A bound violation means a hostile or
+                // desynchronized peer, not line noise — hang up.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds bound {MAX_FRAME_LEN}"),
+                ));
+            }
             let mut body = vec![0u8; len];
             match self.stream.read_exact(&mut body) {
                 Ok(()) => {}
@@ -495,6 +543,20 @@ impl Default for ReconnectPolicy {
     }
 }
 
+/// The backoff before retry `attempt` (1-based; attempt 0 is immediate and
+/// never calls this): `base_delay * 2^(attempt-1)` capped at `max_delay`,
+/// then jittered into `[50%, 100%]` of that by one draw from `rng`. Seeded
+/// jitter keeps schedules replayable and desynchronized across a fleet;
+/// the cap holds *after* jitter because jitter only ever shrinks the delay.
+pub fn backoff_delay(policy: &ReconnectPolicy, attempt: u32, rng: &mut SplitMix) -> Duration {
+    debug_assert!(attempt > 0, "attempt 0 connects immediately");
+    let exp = policy
+        .base_delay
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(policy.max_delay);
+    exp.mul_f64(0.5 + 0.5 * rng.next_f64())
+}
+
 /// A self-healing client feed: wraps [`TcpFrameReader`] and, when the
 /// connection dies mid-broadcast, reconnects with capped exponential
 /// backoff + jitter and resumes from whatever slot the server broadcasts
@@ -552,15 +614,7 @@ impl TcpClientFeed {
     fn attempt_connect(&mut self) -> Option<TcpFrameReader> {
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
-                let exp = self
-                    .policy
-                    .base_delay
-                    .saturating_mul(1u32 << (attempt - 1).min(16))
-                    .min(self.policy.max_delay);
-                // Jitter in [50%, 100%] of the backoff, seeded: replayable
-                // and never synchronized across a client fleet.
-                let jittered = exp.mul_f64(0.5 + 0.5 * self.rng.next_f64());
-                std::thread::sleep(jittered);
+                std::thread::sleep(backoff_delay(&self.policy, attempt, &mut self.rng));
             }
             if let Ok(reader) = TcpFrameReader::connect(self.addr) {
                 return Some(reader);
@@ -748,6 +802,77 @@ mod tests {
             "shutdown joins took {elapsed:?} (write_timeout is 200ms)"
         );
         drop(stalled);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_allocated() {
+        // A hostile peer (here: a raw socket posing as the server) sends a
+        // forged length prefix claiming a multi-gigabyte frame. The reader
+        // must refuse it outright instead of trusting the unauthenticated
+        // prefix as an allocation size.
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let evil = (u32::MAX - 7).to_le_bytes();
+            stream.write_all(&evil).unwrap();
+            // Keep the socket open: the reader must fail on the prefix
+            // alone, not on a downstream EOF.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut reader = TcpFrameReader::connect(addr).unwrap();
+        let err = reader.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("exceeds bound"),
+            "unexpected error: {err}"
+        );
+        server.join().unwrap();
+
+        // A length exactly at the bound is still read (and then rejected
+        // only by frame decoding, not by the allocation guard).
+        assert!(MAX_FRAME_LEN < u32::MAX as usize);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic_per_seed() {
+        let policy = ReconnectPolicy {
+            max_attempts: 32,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            seed: 0xB0FF,
+        };
+        // Determinism: the same seed replays the same schedule exactly.
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = SplitMix::new(seed);
+            (1..32)
+                .map(|a| backoff_delay(&policy, a, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(
+            schedule(7),
+            schedule(8),
+            "different seeds must jitter apart"
+        );
+
+        // The cap holds for every attempt — including ones whose shift
+        // would overflow without the `.min(16)` clamp — and jitter keeps
+        // each delay within [50%, 100%] of the capped exponential.
+        let mut rng = SplitMix::new(policy.seed);
+        for attempt in 1..64u32 {
+            let d = backoff_delay(&policy, attempt, &mut rng);
+            assert!(d <= policy.max_delay, "attempt {attempt}: {d:?} over cap");
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(policy.max_delay);
+            assert!(
+                d >= exp.mul_f64(0.5),
+                "attempt {attempt}: {d:?} under floor"
+            );
+        }
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn steady_state_broadcast_allocates_nothing() {
             seq,
             channel: 0,
             slot: Slot::Repair(RepairId(seq as u32 % 4)),
+            epoch: 0,
             payload: Arc::clone(&symbol),
         });
     }
@@ -120,6 +121,7 @@ fn steady_state_broadcast_allocates_nothing() {
             seq,
             channel: 0,
             slot: Slot::Repair(RepairId(seq as u32 % 4)),
+            epoch: 0,
             payload: Arc::clone(&symbol),
         });
     }

@@ -55,6 +55,8 @@ fn evented_chaos_fleet_of_256_completes_with_gaps_recovered() {
         max_delay_slots: 4,
         kill: 0.00002,
         overrun: 0.0,
+        drift_every_slots: 0,
+        broker_kill_slot: 0,
     });
     let addr = transport.local_addr();
 

@@ -182,6 +182,8 @@ proptest! {
             max_delay_slots: max_delay,
             kill: 0.02,
             overrun: 0.02,
+            drift_every_slots: 0,
+            broker_kill_slot: 0,
         };
         for seq in 0..frames as u64 {
             prop_assert_eq!(plan.channel_fault(seq), plan.channel_fault(seq));

@@ -55,6 +55,8 @@ fn chaos_fleet_completes_under_seeded_faults() {
         max_delay_slots: 4,
         kill: 0.0001,
         overrun: 0.0,
+        drift_every_slots: 0,
+        broker_kill_slot: 0,
     });
     let addr = transport.local_addr();
 

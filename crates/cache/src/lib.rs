@@ -91,6 +91,17 @@ pub trait CachePolicy: Send {
 
     /// Human-readable policy name (for reports).
     fn name(&self) -> &'static str;
+
+    /// Re-scores every resident page under a *new* policy context — the
+    /// broadcast plan changed (hot-swap) and page probabilities, disk
+    /// assignments, and broadcast frequencies moved with it. Residency is
+    /// preserved: the cache keeps exactly the pages it had, but future
+    /// eviction decisions rank them under the new context. The default is
+    /// a no-op, which is correct for history-only policies (LRU, LRU-K,
+    /// 2Q) whose ordering never consults the context.
+    fn rescore(&mut self, ctx: &PolicyContext) {
+        let _ = ctx;
+    }
 }
 
 /// Which replacement policy to run (config-level selector).

@@ -34,7 +34,7 @@ use bdisk_obs::registry::{self, Histogram, POW2_BOUNDS};
 use bdisk_sched::PageId;
 
 use crate::chain::LruChain;
-use crate::CachePolicy;
+use crate::{CachePolicy, PolicyContext};
 
 /// `bd_lix_chain_len` — the length of the chain a LIX/L victim search
 /// walked past, recorded once per chain per replacement. The distribution
@@ -237,6 +237,42 @@ impl CachePolicy for LixPolicy {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn rescore(&mut self, ctx: &PolicyContext) {
+        // A hot-swapped plan moves pages between disks and changes disk
+        // frequencies. Estimator state (p, t) is the client's *observed*
+        // access history — it survives the swap untouched; only the
+        // disk partition and the frequency denominators are replaced.
+        if let Some(&bad) = ctx
+            .page_disk
+            .iter()
+            .find(|&&d| d as usize >= ctx.disk_freqs.len())
+        {
+            panic!("page assigned to nonexistent disk {bad}");
+        }
+        self.page_disk = ctx.page_disk.clone();
+        self.disk_freqs = if self.name == "L" {
+            vec![1.0; ctx.disk_freqs.len()]
+        } else {
+            ctx.disk_freqs.iter().map(|&f| f as f64).collect()
+        };
+        // Re-bucket residents into their (possibly new) disk chains,
+        // restoring recency order: most recently accessed at the front,
+        // ties broken by page id for determinism.
+        let mut residents: Vec<(f64, PageId)> = self.meta.iter().map(|(&p, m)| (m.t, p)).collect();
+        residents.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("access times are never NaN")
+                .then(b.1.cmp(&a.1))
+        });
+        self.chains = (0..self.disk_freqs.len())
+            .map(|_| LruChain::new())
+            .collect();
+        for (_, page) in residents {
+            let disk = self.page_disk[page.index()] as usize;
+            self.chains[disk].push_front(page);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +436,35 @@ mod tests {
         assert_eq!(victim, g, "victim must be g");
         assert_eq!(lix.chain_len(0), 6); // Disk1Q shrank
         assert_eq!(lix.chain_len(1), 5); // Disk2Q grew
+    }
+
+    #[test]
+    fn rescore_rebuckets_chains_and_keeps_recency() {
+        let mut lix = two_disk_lix(4);
+        lix.insert(PageId(0), 0.0); // fast disk
+        lix.insert(PageId(7), 1.0); // slow disk
+        lix.insert(PageId(1), 2.0); // fast disk
+        lix.on_hit(PageId(0), 3.0); // page 0 now most recent
+        assert_eq!(lix.chain_len(0), 2);
+        // New plan: pages 0..5 move to the slow disk and 5..10 to the fast
+        // one; frequencies swap too.
+        let ctx = PolicyContext {
+            probs: vec![0.0; 10],
+            page_disk: (0..10u16).map(|p| if p < 5 { 1 } else { 0 }).collect(),
+            disk_freqs: vec![4, 1],
+            alpha: 0.25,
+        };
+        lix.rescore(&ctx);
+        assert_eq!(lix.len(), 3, "residency preserved");
+        assert_eq!(lix.chain_pages(1), vec![PageId(0), PageId(1)]);
+        assert_eq!(lix.chain_pages(0), vec![PageId(7)]);
+        // Estimator state survives the swap.
+        assert!(lix.estimator_state(PageId(0)).unwrap().0 > 0.0);
+        assert_eq!(lix.estimator_state(PageId(0)).unwrap().1, 3.0);
+        // The protocol keeps working after the swap.
+        lix.on_hit(PageId(7), 5.0);
+        lix.insert(PageId(8), 6.0);
+        assert_eq!(lix.len(), 4);
     }
 
     #[test]

@@ -141,6 +141,10 @@ impl CachePolicy for ObservedPolicy {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
+
+    fn rescore(&mut self, ctx: &crate::PolicyContext) {
+        self.inner.rescore(ctx)
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use bdisk_sched::PageId;
 
-use crate::CachePolicy;
+use crate::{CachePolicy, PolicyContext};
 
 /// Evicts the resident page with the smallest fixed per-page value.
 ///
@@ -64,6 +64,24 @@ impl StaticValuePolicy {
             name,
         }
     }
+
+    /// Replaces the per-page value vector, keeping residency: the same
+    /// pages stay cached, but are re-ranked under `values` so future
+    /// evictions follow the new ordering (plan hot-swap support).
+    pub fn reset_values(&mut self, values: &[f64]) {
+        let residents: Vec<u32> = self
+            .resident
+            .iter()
+            .map(|&r| self.page_of_rank[r as usize])
+            .collect();
+        let fresh = Self::new(self.capacity, values, self.name);
+        self.rank = fresh.rank;
+        self.page_of_rank = fresh.page_of_rank;
+        self.resident = residents
+            .into_iter()
+            .map(|p| self.rank[p as usize])
+            .collect();
+    }
 }
 
 impl CachePolicy for StaticValuePolicy {
@@ -103,6 +121,24 @@ impl CachePolicy for StaticValuePolicy {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn rescore(&mut self, ctx: &PolicyContext) {
+        // The value vector is derived from the context the same way
+        // `build_policy_raw` derives it at construction.
+        match self.name {
+            "P" => self.reset_values(&ctx.probs),
+            "PIX" => {
+                let values: Vec<f64> = ctx
+                    .probs
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &pr)| pr / ctx.page_freq(PageId(p as u32)))
+                    .collect();
+                self.reset_values(&values);
+            }
+            _ => {}
+        }
+    }
 }
 
 /// The idealized `P` policy: evict the lowest access probability.
@@ -137,6 +173,9 @@ impl CachePolicy for PPolicy {
     }
     fn name(&self) -> &'static str {
         "P"
+    }
+    fn rescore(&mut self, ctx: &PolicyContext) {
+        self.0.rescore(ctx)
     }
 }
 
@@ -186,6 +225,9 @@ impl CachePolicy for PixPolicy {
     }
     fn name(&self) -> &'static str {
         "PIX"
+    }
+    fn rescore(&mut self, ctx: &PolicyContext) {
+        self.0.rescore(ctx)
     }
 }
 
@@ -286,6 +328,41 @@ mod tests {
     #[should_panic(expected = "must align")]
     fn pix_rejects_mismatched_inputs() {
         let _ = PixPolicy::new(1, &[0.5], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rescore_keeps_residents_and_reorders_evictions() {
+        use crate::PolicyContext;
+        // Under the old probs, page 2 is coldest; after rescore page 0 is.
+        let mut p = PPolicy::new(2, &[0.5, 0.3, 0.2]);
+        p.insert(PageId(0), 0.0);
+        p.insert(PageId(2), 1.0);
+        let ctx = PolicyContext {
+            probs: vec![0.1, 0.4, 0.5],
+            page_disk: vec![0, 0, 0],
+            disk_freqs: vec![1],
+            alpha: 0.25,
+        };
+        p.rescore(&ctx);
+        // Residency preserved across the rescore.
+        assert!(p.contains(PageId(0)) && p.contains(PageId(2)));
+        assert_eq!(p.len(), 2);
+        // The next eviction follows the *new* ranking: page 0 is coldest.
+        assert_eq!(p.insert(PageId(1), 2.0), Some(PageId(0)));
+
+        // PIX rescoring folds the new frequencies in: page 0 hot but
+        // frequent (pix 0.1), page 2 cooler but rare (pix 0.4).
+        let mut pix = StaticValuePolicy::new(2, &[0.9, 0.05, 0.05], "PIX");
+        pix.insert(PageId(0), 0.0);
+        pix.insert(PageId(2), 1.0);
+        let ctx = PolicyContext {
+            probs: vec![0.5, 0.1, 0.4],
+            page_disk: vec![0, 0, 1],
+            disk_freqs: vec![5, 1],
+            alpha: 0.25,
+        };
+        pix.rescore(&ctx);
+        assert_eq!(pix.insert(PageId(1), 2.0), Some(PageId(0)));
     }
 
     #[test]

@@ -100,7 +100,7 @@ fn run_stream(group: usize) {
                     }
                 }
             }
-            Slot::Empty => {}
+            Slot::Empty | Slot::EpochFence => {}
         }
     }
 

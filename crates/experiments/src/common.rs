@@ -169,6 +169,19 @@ pub fn print_table(title: &str, x_name: &str, xs: &[String], series: &[(String, 
 /// (default `results/`, overridden by `--out`; created on demand). The
 /// first line records the base seed so any run can be replayed exactly.
 pub fn write_csv(file: &str, x_name: &str, xs: &[String], series: &[(String, Vec<f64>)]) {
+    write_csv_with_comments(file, x_name, xs, series, &[]);
+}
+
+/// [`write_csv`] with extra `#`-comment header lines after the base seed —
+/// experiment-specific replay keys (fault-schedule seed, plan epoch, ...)
+/// that belong with the data they reproduce.
+pub fn write_csv_with_comments(
+    file: &str,
+    x_name: &str,
+    xs: &[String],
+    series: &[(String, Vec<f64>)],
+    comments: &[String],
+) {
     let ctx = context();
     let dir = ctx.out_dir.as_path();
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -177,6 +190,9 @@ pub fn write_csv(file: &str, x_name: &str, xs: &[String], series: &[(String, Vec
     }
     let mut out = String::new();
     out.push_str(&format!("# base_seed={}\n", ctx.base_seed));
+    for comment in comments {
+        out.push_str(&format!("# {comment}\n"));
+    }
     out.push_str(x_name);
     for (name, _) in series {
         out.push(',');

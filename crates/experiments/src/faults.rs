@@ -454,7 +454,19 @@ pub fn run(scale: Scale, opts: &LiveOptions) {
         &xs,
         &table,
     );
-    common::write_csv("faults.csv", "loss", &xs, &series);
+    // The replay keys ride in the header: the erasure schedule is a pure
+    // function of fault_seed, and the whole sweep runs under the engine's
+    // initial plan epoch (no hot swaps here — `repro drift` exercises those).
+    common::write_csv_with_comments(
+        "faults.csv",
+        "loss",
+        &xs,
+        &series,
+        &[
+            format!("fault_seed={}", fault_seed()),
+            "plan_epoch=0".to_string(),
+        ],
+    );
 
     let chaos = chaos(scale, opts);
 

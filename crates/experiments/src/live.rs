@@ -434,7 +434,7 @@ pub fn trace(scale: Scale, opts: &LiveOptions) {
         let (csv, total, dropped, counts) = tailer.join().expect("tailer must not panic");
 
         println!("\nevent totals over {} collected events:", total);
-        for kind in 0..11u8 {
+        for kind in 0..12u8 {
             if counts[kind as usize] > 0 {
                 let name = bdisk_obs::EventKind::from_u8(kind)
                     .map(|k| k.name())

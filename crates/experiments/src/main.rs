@@ -45,6 +45,7 @@
 //!            bit-exact conservation check, timeline.csv + waterfall.csv
 //!   faults   loss sweep + TCP chaos run under seeded fault injection
 //!   coding   coded repair slots: rate x loss sweep + coded live parity
+//!   drift    epoch hot-swap under workload drift, with broker restart
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
@@ -58,6 +59,7 @@ mod bench;
 mod channels;
 mod coding;
 mod common;
+mod drift;
 mod extensions;
 mod faults;
 mod figures;
@@ -220,12 +222,13 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions, clients_list: Optio
         "timeline" => timeline::run(scale, live_opts),
         "faults" => faults::run(scale, live_opts),
         "coding" => coding::run(scale, live_opts),
+        "drift" => drift::run(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size, clients_list),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "channels", "live", "timeline", "faults", "coding",
+                "index", "channels", "live", "timeline", "faults", "coding", "drift",
             ] {
                 run_one(e, scale, live_opts, clients_list);
             }

@@ -26,6 +26,7 @@ pub fn figure3() {
                 bdisk_sched::Slot::Page(p) => ((b'A' + p.0 as u8) as char).to_string(),
                 bdisk_sched::Slot::Empty => "-".into(),
                 bdisk_sched::Slot::Repair(_) => "+".into(),
+                bdisk_sched::Slot::EpochFence => "|".into(),
             })
             .collect();
         println!("minor cycle {}: {}", m + 1, rendered.join(" "));

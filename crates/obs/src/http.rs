@@ -11,6 +11,10 @@
 //!   JSONL, ending with a `{"summary":...}` line of per-phase percentiles
 //!   (p50/p99/p999) over the returned request spans.
 //!
+//! On `/events` and `/trace` an absent `since=` reads as 0 (the full
+//! ring); a present-but-malformed value (non-numeric, negative, overflow)
+//! is a 400 naming the bad text, never silently treated as 0.
+//!
 //! The server is deliberately tiny: one accept thread, one short-lived
 //! handler thread per connection, `Connection: close` on every response.
 //! It exists to be scraped by `curl`/Prometheus during a live run, not to
@@ -145,33 +149,48 @@ fn handle_connection(stream: TcpStream) {
             let body = render_jsonl();
             respond(&mut stream, 200, "application/json; charset=utf-8", &body);
         }
-        "/events" => {
-            let body = render_event_batch_json(&journal().since(since_param(query)));
-            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
-        }
-        "/trace" => {
-            let body = render_span_batch(&spans().since(since_param(query)));
-            respond(&mut stream, 200, "application/json; charset=utf-8", &body);
-        }
+        "/events" => match since_param(query) {
+            Ok(since) => {
+                let body = render_event_batch_json(&journal().since(since));
+                respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+            }
+            Err(bad) => respond_bad_since(&mut stream, bad),
+        },
+        "/trace" => match since_param(query) {
+            Ok(since) => {
+                let body = render_span_batch(&spans().since(since));
+                respond(&mut stream, 200, "application/json; charset=utf-8", &body);
+            }
+            Err(bad) => respond_bad_since(&mut stream, bad),
+        },
         _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
 }
 
-/// Parses `since=SEQ` out of a query string; malformed or absent values
-/// read as 0 (the full ring), so a sloppy scraper still gets an answer.
-fn since_param(query: Option<&str>) -> u64 {
-    query
-        .and_then(|q| {
-            q.split('&')
-                .find_map(|kv| kv.strip_prefix("since="))
-                .and_then(|v| v.parse::<u64>().ok())
-        })
-        .unwrap_or(0)
+/// Parses `since=SEQ` out of a query string. An *absent* parameter (no
+/// query, no `since=` key) reads as 0 — the full ring — so a bare scrape
+/// still gets an answer. A *present but malformed* value (non-numeric,
+/// negative, overflow) is an error carrying the offending text: silently
+/// reading it as 0 used to hand a buggy scraper the whole ring and hide
+/// its cursor bug.
+fn since_param(query: Option<&str>) -> Result<u64, String> {
+    let Some(raw) = query.and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("since=")))
+    else {
+        return Ok(0);
+    };
+    raw.parse::<u64>().map_err(|_| raw.to_string())
+}
+
+/// 400 response for a malformed `since=` cursor, echoing the bad value.
+fn respond_bad_since(stream: &mut TcpStream, bad: String) {
+    let body = format!("bad since parameter: {bad:?} is not a u64\n");
+    respond(stream, 400, "text/plain; charset=utf-8", &body);
 }
 
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Error",
@@ -279,26 +298,54 @@ mod tests {
     }
 
     #[test]
-    fn malformed_since_values_read_as_zero() {
+    fn absent_since_defaults_and_malformed_since_is_rejected() {
         let _g = crate::test_switch_guard();
-        assert_eq!(since_param(None), 0);
-        assert_eq!(since_param(Some("since=17")), 17);
-        assert_eq!(since_param(Some("since=")), 0);
-        assert_eq!(since_param(Some("since=banana")), 0);
-        assert_eq!(since_param(Some("since=-3")), 0);
-        assert_eq!(since_param(Some("since=1e3")), 0);
-        assert_eq!(since_param(Some("other=5")), 0);
-        assert_eq!(since_param(Some("a=1&since=8&b=2")), 8);
+        // Absent: no query, no since= key, other keys only → 0 (full ring).
+        assert_eq!(since_param(None), Ok(0));
+        assert_eq!(since_param(Some("")), Ok(0));
+        assert_eq!(since_param(Some("other=5")), Ok(0));
+        // Well-formed values parse, including amid other keys.
+        assert_eq!(since_param(Some("since=17")), Ok(17));
+        assert_eq!(since_param(Some("a=1&since=8&b=2")), Ok(8));
+        assert_eq!(
+            since_param(Some(&format!("since={}", u64::MAX))),
+            Ok(u64::MAX)
+        );
+        // Present but malformed: empty, non-numeric, negative, float
+        // notation, and u64 overflow are all errors carrying the raw text.
+        assert_eq!(since_param(Some("since=")), Err(String::new()));
+        assert_eq!(since_param(Some("since=banana")), Err("banana".into()));
+        assert_eq!(since_param(Some("since=-3")), Err("-3".into()));
+        assert_eq!(since_param(Some("since=1e3")), Err("1e3".into()));
+        assert_eq!(
+            since_param(Some("since=18446744073709551616")),
+            Err("18446744073709551616".into())
+        );
 
-        // End to end: a malformed cursor returns the whole ring, not 4xx.
+        // End to end: malformed cursors are 400 on both journal routes; an
+        // absent cursor still serves the whole ring.
         crate::set_tracing_enabled(true);
         crate::journal::event(crate::journal::EventKind::SlotTick, 5, 6);
         crate::set_tracing_enabled(false);
         let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
-        let (status, body) = get(server.addr(), "/events?since=banana");
+        let addr = server.addr();
+        for target in [
+            "/events?since=banana",
+            "/events?since=-3",
+            "/events?since=99999999999999999999",
+            "/trace?since=1e3",
+        ] {
+            let (status, body) = get(addr, target);
+            assert_eq!(status, 400, "{target} should 400");
+            assert!(body.starts_with("bad since parameter:"), "{body}");
+        }
+        let (status, body) = get(addr, "/events");
         assert_eq!(status, 200);
         assert!(body.starts_with("{\"dropped\":"), "{body}");
         assert!(body.contains("\"next_seq\":"), "{body}");
+        // The server survives the 400s and still serves /trace.
+        let (status, _) = get(addr, "/trace?since=0");
+        assert_eq!(status, 200);
         server.stop();
     }
 

@@ -56,6 +56,9 @@ pub enum EventKind {
     /// A TCP client feed reconnected after losing its connection
     /// (`a` = feed id, `b` = connect attempts this outage).
     Reconnect = 10,
+    /// A receiver adopted a new broadcast-plan epoch at a fence
+    /// (`a` = new epoch id, `b` = the epoch's slot-clock base).
+    EpochSwap = 11,
 }
 
 impl EventKind {
@@ -73,6 +76,7 @@ impl EventKind {
             EventKind::FrameGap => "frame_gap",
             EventKind::Recovery => "recovery",
             EventKind::Reconnect => "reconnect",
+            EventKind::EpochSwap => "epoch_swap",
         }
     }
 
@@ -90,6 +94,7 @@ impl EventKind {
             8 => EventKind::FrameGap,
             9 => EventKind::Recovery,
             10 => EventKind::Reconnect,
+            11 => EventKind::EpochSwap,
             _ => return None,
         })
     }
@@ -335,9 +340,11 @@ mod tests {
         assert_eq!(EventKind::FrameGap.name(), "frame_gap");
         assert_eq!(EventKind::Recovery.name(), "recovery");
         assert_eq!(EventKind::Reconnect.name(), "reconnect");
+        assert_eq!(EventKind::EpochSwap.name(), "epoch_swap");
         assert_eq!(EventKind::from_u8(4), Some(EventKind::CacheAdmit));
         assert_eq!(EventKind::from_u8(7), Some(EventKind::FaultInjected));
         assert_eq!(EventKind::from_u8(10), Some(EventKind::Reconnect));
+        assert_eq!(EventKind::from_u8(11), Some(EventKind::EpochSwap));
         assert_eq!(EventKind::from_u8(200), None);
     }
 }

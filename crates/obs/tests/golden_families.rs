@@ -34,6 +34,8 @@ const GOLDEN_FAMILIES: &[&str] = &[
     "bd_engine_frames_dropped_total",
     "bd_engine_max_client_lag",
     "bd_engine_slots_total",
+    "bd_epoch_fences_total",
+    "bd_epoch_swaps_total",
     "bd_fanout_frames_by_channel_total",
     "bd_fault_injected_by_channel_total",
     "bd_fault_injected_total",
@@ -41,6 +43,7 @@ const GOLDEN_FAMILIES: &[&str] = &[
     "bd_frames_corrupt_total",
     "bd_lix_chain_len",
     "bd_partial_writes_total",
+    "bd_plan_epoch",
     "bd_poll_wakeups_total",
     "bd_reconnects_total",
     "bd_recovery_coded_total",
@@ -60,6 +63,7 @@ const GOLDEN_FAMILIES: &[&str] = &[
     "bd_stage_encode_us",
     "bd_stage_enqueue_us",
     "bd_stage_jitter_us",
+    "bd_stale_epoch_frames_total",
     "bd_tcp_accepted_total",
     "bd_tcp_bytes_total",
     "bd_tcp_coalesce_batch",

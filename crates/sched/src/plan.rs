@@ -145,6 +145,12 @@ pub struct BroadcastPlan {
     disk_freqs: Vec<u64>,
     /// Repair-slot coding, when enabled (see [`BroadcastPlan::with_coding`]).
     coding: Option<CodingConfig>,
+    /// Plan epoch: which generation of the server's reconfiguration loop
+    /// this plan belongs to. Epoch 0 is the original, never-swapped plan;
+    /// the live engine only hot-swaps to a plan with a *strictly larger*
+    /// epoch, and the wire carries the epoch so tuners can tell plans
+    /// apart (see `bdisk-broker`).
+    epoch: u32,
 }
 
 impl BroadcastPlan {
@@ -205,6 +211,7 @@ impl BroadcastPlan {
             page_disk,
             disk_freqs: layout.freqs().to_vec(),
             coding: None,
+            epoch: 0,
         })
     }
 
@@ -226,7 +233,66 @@ impl BroadcastPlan {
             disk_freqs,
             programs: vec![program],
             coding: None,
+            epoch: 0,
         }
+    }
+
+    /// Tags the plan with a reconfiguration epoch (builder-style). Epoch 0
+    /// is the default and means "the original plan"; the live engine
+    /// hot-swaps only to strictly larger epochs.
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The plan's reconfiguration epoch (0 = original, never swapped).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// A structural fingerprint of the plan: a 64-bit hash folding every
+    /// channel's slot sequence, the page↔channel assignment, the disk
+    /// frequencies, the coding config, and the epoch. Two plans hash equal
+    /// iff a client driving one would see the identical slot feed under
+    /// the other — the broker checkpoints this so a restarted engine can
+    /// refuse to resume a checkpoint against a different plan book.
+    pub fn plan_hash(&self) -> u64 {
+        #[inline]
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(self.epoch as u64 ^ 0xB0AD_CA57);
+        let mut fold = |v: u64| h = mix(h ^ mix(v));
+        for prog in &self.programs {
+            fold(prog.period() as u64);
+            for s in prog.slots() {
+                fold(match s {
+                    Slot::Page(p) => p.0 as u64,
+                    Slot::Empty => u64::MAX,
+                    Slot::Repair(r) => (1u64 << 32) | r.0 as u64,
+                    Slot::EpochFence => 1u64 << 33,
+                });
+            }
+        }
+        for (&ch, &local) in self.page_channel.iter().zip(&self.page_local) {
+            fold(((ch as u64) << 32) | local as u64);
+        }
+        for &f in &self.disk_freqs {
+            fold(f);
+        }
+        if let Some(c) = &self.coding {
+            fold(c.rate.to_bits());
+            fold(c.group as u64);
+            fold(match c.codec {
+                CodecKind::Xor => 1,
+                CodecKind::Lt => 2,
+            });
+            fold(c.seed);
+        }
+        h
     }
 
     /// Adds coded repair slots to every channel, per `cfg`.
@@ -961,6 +1027,26 @@ mod tests {
             saturated < lossy,
             "saturated {saturated} !< uncoded {lossy}"
         );
+    }
+
+    #[test]
+    fn epoch_tags_and_hash_distinguish_plans() {
+        let layout = d_small();
+        let plan = BroadcastPlan::generate(&layout, 2).unwrap();
+        assert_eq!(plan.epoch(), 0);
+        let e3 = plan.clone().with_epoch(3);
+        assert_eq!(e3.epoch(), 3);
+        // Same structure, same epoch → same hash; epoch, coding, or layout
+        // changes move it.
+        assert_eq!(plan.plan_hash(), plan.clone().plan_hash());
+        assert_ne!(plan.plan_hash(), e3.plan_hash());
+        let coded = plan
+            .clone()
+            .with_coding(CodingConfig::xor(0.1, 4, 9))
+            .unwrap();
+        assert_ne!(plan.plan_hash(), coded.plan_hash());
+        let other = BroadcastPlan::generate(&layout, 1).unwrap();
+        assert_ne!(plan.plan_hash(), other.plan_hash());
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub enum Slot {
     /// The slot carries an erasure-coded repair symbol (a deterministic
     /// combination of recently aired pages; see `bdisk-code`).
     Repair(RepairId),
+    /// An out-of-band plan-epoch fence marker. Never part of a program's
+    /// periodic slot vector: the live engine airs fence frames *in
+    /// addition to* a tick's data frames to announce which plan epoch is
+    /// (or is about to be) on the air, so tuners can re-map page-to-slot
+    /// arrivals across a hot swap. The fence's epoch and slot-clock base
+    /// ride in the wire frame, not in this marker.
+    EpochFence,
 }
 
 /// A periodic broadcast program.
@@ -106,7 +113,7 @@ impl BroadcastProgram {
             .iter()
             .filter_map(|s| match s {
                 Slot::Page(p) => Some(p.index() + 1),
-                Slot::Empty | Slot::Repair(_) => None,
+                Slot::Empty | Slot::Repair(_) | Slot::EpochFence => None,
             })
             .max()
             .ok_or(SchedError::EmptyProgram)?;
@@ -119,6 +126,9 @@ impl BroadcastProgram {
                 Slot::Page(p) => page_slots[p.index()].push(i as u32),
                 Slot::Empty => empty_slots += 1,
                 Slot::Repair(_) => repair_slots += 1,
+                Slot::EpochFence => {
+                    panic!("EpochFence is an out-of-band marker, not a program slot")
+                }
             }
         }
         for (p, ps) in page_slots.iter().enumerate() {
@@ -332,6 +342,7 @@ impl BroadcastProgram {
                 Slot::Page(p) => out.push_str(&format!("p{}", p.0)),
                 Slot::Empty => out.push('-'),
                 Slot::Repair(_) => out.push('+'),
+                Slot::EpochFence => out.push('|'),
             }
         }
         out

@@ -219,6 +219,21 @@ impl ClientCore {
         &mut *self.policy
     }
 
+    /// Re-scores the cache under a new policy context — the broadcast plan
+    /// hot-swapped and page probabilities/disks/frequencies moved with it.
+    /// Residency is preserved; only future eviction ranking changes. See
+    /// [`CachePolicy::rescore`].
+    pub fn rescore(&mut self, ctx: &PolicyContext) {
+        self.policy.rescore(ctx);
+    }
+
+    /// Replaces the logical→physical page mapping mid-run (workload
+    /// drift). Consumes no random draws: the logical request stream
+    /// continues bit-identically, only its physical destinations move.
+    pub fn set_mapping(&mut self, mapping: Mapping) {
+        self.generator.set_mapping(mapping);
+    }
+
     /// The measurements collected so far.
     pub fn measurements(&self) -> &Measurements {
         &self.measurements

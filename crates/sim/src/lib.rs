@@ -57,6 +57,7 @@ pub mod runner;
 pub mod volatile;
 
 pub use bdisk_cache::PolicyKind;
+pub use bdisk_workload::Mapping;
 pub use config::{SimConfig, SimError};
 pub use core::ClientCore;
 pub use metrics::{AccessLocation, Measurements, SimOutcome};

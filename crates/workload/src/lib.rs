@@ -65,6 +65,19 @@ impl AccessGenerator {
     pub fn mapping(&self) -> &Mapping {
         &self.mapping
     }
+
+    /// Replaces the logical→physical mapping mid-stream (workload drift:
+    /// the hot set moves while the access *distribution* stays put). The
+    /// alias table is untouched, so the swap consumes no random draws and
+    /// the logical request stream continues bit-identically.
+    pub fn set_mapping(&mut self, mapping: Mapping) {
+        assert_eq!(
+            mapping.len(),
+            self.mapping.len(),
+            "drift mapping must cover the same pages"
+        );
+        self.mapping = mapping;
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,25 @@ impl Mapping {
         }
     }
 
+    /// This mapping with every physical destination rotated forward by
+    /// `by` pages: `l2p'[i] = (l2p[i] + by) mod n`. Composing rotations
+    /// models a *drifting* hot set — the client's hottest logical pages
+    /// slide through the server's broadcast order while the relative
+    /// perturbation (offset, noise) of the base mapping is preserved.
+    pub fn rotated(&self, by: usize) -> Self {
+        let n = self.len();
+        let l2p: Vec<u32> = self
+            .l2p
+            .iter()
+            .map(|&p| ((p as usize + by) % n) as u32)
+            .collect();
+        let mut p2l = vec![0u32; n];
+        for (l, &p) in l2p.iter().enumerate() {
+            p2l[p as usize] = l as u32;
+        }
+        Self { l2p, p2l }
+    }
+
     /// Number of pages.
     pub fn len(&self) -> usize {
         self.l2p.len()
@@ -234,6 +253,20 @@ mod tests {
         // no-ops), so 15% noise cannot move more than ~2x 15% of pages
         // (each swap moves two pages).
         assert!(lo <= 2 * 150 + 60, "moved {lo}");
+    }
+
+    #[test]
+    fn rotated_composes_and_stays_bijective() {
+        let m = Mapping::with_offset(10, 3);
+        let r = m.rotated(4);
+        assert_bijective(&r);
+        for l in 0..10 {
+            assert_eq!(r.to_physical(l).0, (m.to_physical(l).0 + 4) % 10);
+        }
+        // Rotating by n is the identity on the rotation.
+        assert_eq!(m.rotated(10), m);
+        // Two rotations compose additively.
+        assert_eq!(m.rotated(3).rotated(4), m.rotated(7));
     }
 
     #[test]
