@@ -1,0 +1,603 @@
+//! The slot arbiter: the layer between "what the plan schedules" and
+//! "what actually goes on the air".
+//!
+//! A push-only engine replays its [`bdisk_sched::BroadcastPlan`] verbatim.
+//! With pull enabled, each tick's scheduled slot is routed through a
+//! [`SlotArbiter`] first, which may substitute an on-demand
+//! [`Slot::Pull`] airing serviced from a queue of upstream
+//! [`PullRequest`]s:
+//!
+//! * **Padding fill** — `Slot::Empty` padding is free bandwidth; the
+//!   arbiter always prefers servicing the pull queue over airing dead
+//!   air. This never perturbs push traffic at all.
+//! * **Fixed-ratio stealing** ([`PullMode::FixedRatio`]) — additionally,
+//!   a fixed fraction of scheduled *data* slots may be displaced by pull
+//!   airings, paced by a per-channel credit accumulator.
+//! * **Adaptive stealing** ([`PullMode::Adaptive`]) — the steal ratio
+//!   scales with current queue depth, so a quiet backchannel costs
+//!   nothing and a storm of cold-page misses is worked off quickly.
+//!
+//! Repair and fence slots are never displaced, and stealing disables
+//! itself entirely on coded plans (displacing an airing would silently
+//! break the coverage windows the decoder XORs against). With
+//! [`PullMode::Off`] the arbiter is the identity function — the engine's
+//! output is byte-identical to a pull-less broker, pinned by proptest in
+//! `tests/pull_equivalence.rs`.
+//!
+//! Queue discipline is FIFO over pages with per-page waiter lists
+//! (duplicate requests for a page in flight coalesce into one airing).
+//! Two rules keep the queue honest against the periodic schedule:
+//!
+//! * **Look-back drop at submit** — if the page's periodic broadcast
+//!   already aired at or after the request's `min_seq`, the client has
+//!   it; the request is stale (a race with the downstream feed) and is
+//!   dropped.
+//! * **Cancellation on push airing** — when a scheduled airing of a
+//!   queued page actually goes out (not stolen), every waiter eligible
+//!   to receive it (`min_seq <= seq`) is satisfied by the push and
+//!   leaves the queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use bdisk_sched::{BroadcastPlan, ChannelId, PageId, Slot};
+
+use crate::obs;
+use crate::transport::PullRequest;
+
+/// How aggressively pull traffic competes with the push schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PullMode {
+    /// No pull at all: the arbiter is bypassed and the wire output is
+    /// byte-identical to a pull-less engine.
+    Off,
+    /// Service the pull queue from `Slot::Empty` padding only; scheduled
+    /// data slots are never displaced.
+    PaddingFill,
+    /// Padding fill, plus displace up to this fraction of scheduled data
+    /// slots (0.0..1.0) with pull airings, paced by a credit accumulator.
+    FixedRatio(f64),
+    /// Padding fill, plus steal at a ratio that scales linearly with
+    /// queue depth: `max_ratio · min(1, depth / depth_target)`. Idle
+    /// backchannels cost nothing; deep queues are worked off at up to
+    /// `max_ratio`.
+    Adaptive {
+        /// Steal ratio when the queue is at or beyond `depth_target`.
+        max_ratio: f64,
+        /// Queue depth (waiters) at which stealing reaches `max_ratio`.
+        depth_target: usize,
+    },
+}
+
+/// Configuration for the engine's pull path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PullConfig {
+    /// Arbitration mode.
+    pub mode: PullMode,
+    /// Cap on queued waiters across all channels; requests beyond it are
+    /// rejected (and counted) rather than buffered without bound.
+    pub max_queue: usize,
+}
+
+impl Default for PullConfig {
+    fn default() -> Self {
+        Self {
+            mode: PullMode::Off,
+            max_queue: 4096,
+        }
+    }
+}
+
+/// Aggregate arbiter accounting, reported through `EngineReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PullStats {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests dropped: unknown page, stale (periodic schedule already
+    /// satisfied them), or queue full.
+    pub rejected: u64,
+    /// Waiters satisfied by a scheduled push airing of their page before
+    /// any pull slot was spent on them.
+    pub satisfied_by_push: u64,
+    /// Pull airings substituted into the broadcast (padding + stolen).
+    pub pull_slots: u64,
+    /// Pull airings that filled empty padding slots.
+    pub padding_slots: u64,
+    /// Pull airings that displaced scheduled data slots.
+    pub stolen_slots: u64,
+    /// Worst single-request wait from enqueue to airing, in slots.
+    pub max_wait: u64,
+}
+
+/// Per-user pull service accounting — the "fair to users, not items"
+/// view: each user's own waits, independent of which pages they share
+/// with other users.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UserPullStats {
+    /// Requests of this user serviced by a pull airing.
+    pub served: u64,
+    /// Total slots this user's serviced requests waited in the queue.
+    pub total_wait: u64,
+    /// Worst single-request wait for this user, in slots.
+    pub max_wait: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    user: u32,
+    min_seq: u64,
+    enqueued_at: u64,
+}
+
+#[derive(Debug)]
+struct PullEntry {
+    page: PageId,
+    waiters: Vec<Waiter>,
+}
+
+/// The slot arbiter. One per engine run; see the module docs for the
+/// arbitration rules.
+#[derive(Debug)]
+pub struct SlotArbiter {
+    mode: PullMode,
+    max_queue: usize,
+    /// Stealing is disabled wholesale on coded plans: displacing an
+    /// airing would corrupt the repair symbols' coverage windows.
+    allow_steal: bool,
+    queues: Vec<VecDeque<PullEntry>>,
+    credit: Vec<f64>,
+    /// Total waiters across all channels.
+    depth: usize,
+    stats: PullStats,
+    users: HashMap<u32, UserPullStats>,
+}
+
+impl SlotArbiter {
+    /// An arbiter for a `channels`-wide broadcast under `cfg`.
+    pub fn new(cfg: PullConfig, channels: usize) -> Self {
+        Self {
+            mode: cfg.mode,
+            max_queue: cfg.max_queue,
+            allow_steal: !matches!(cfg.mode, PullMode::Off | PullMode::PaddingFill),
+            queues: (0..channels).map(|_| VecDeque::new()).collect(),
+            credit: vec![0.0; channels],
+            depth: 0,
+            stats: PullStats::default(),
+            users: HashMap::new(),
+        }
+    }
+
+    /// Whether any pull servicing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.mode != PullMode::Off
+    }
+
+    /// Waiters currently queued, across all channels.
+    pub fn queue_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Aggregate accounting so far.
+    pub fn stats(&self) -> PullStats {
+        self.stats
+    }
+
+    /// Per-user service accounting so far.
+    pub fn user_stats(&self) -> &HashMap<u32, UserPullStats> {
+        &self.users
+    }
+
+    /// Adapts the arbiter to a plan hot-swap: queued requests are
+    /// dropped (their pages may not even exist under the new plan;
+    /// clients recover via the periodic schedule or by re-requesting),
+    /// steal credit resets, and stealing is disabled when the incoming
+    /// plan carries coded repair slots.
+    pub fn on_plan_change(&mut self, coded: bool) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.credit.iter_mut().for_each(|c| *c = 0.0);
+        self.depth = 0;
+        self.allow_steal = !coded && !matches!(self.mode, PullMode::Off | PullMode::PaddingFill);
+        obs::pull().queue_depth.set(0);
+    }
+
+    /// Enqueues one upstream request. `base` is the current plan's
+    /// slot-clock base and `last_aired` the most recent slot seq already
+    /// on the air — the look-back horizon for the stale-request drop.
+    pub fn submit(&mut self, req: PullRequest, plan: &BroadcastPlan, base: u64, last_aired: u64) {
+        if self.mode == PullMode::Off {
+            return;
+        }
+        let m = obs::pull();
+        if req.page.index() >= plan.num_pages() {
+            self.stats.rejected += 1;
+            m.rejected.inc();
+            return;
+        }
+        // Look-back drop: the first periodic airing the requester was
+        // eligible for (at or after its min_seq) has already gone out —
+        // the downstream feed satisfied this request while it was in
+        // flight upstream.
+        let local_min = req.min_seq.saturating_sub(base) as f64;
+        let arrival = plan.next_arrival(req.page, local_min) + base as f64;
+        if arrival <= last_aired as f64 {
+            self.stats.rejected += 1;
+            m.rejected.inc();
+            return;
+        }
+        if self.depth >= self.max_queue {
+            self.stats.rejected += 1;
+            m.rejected.inc();
+            return;
+        }
+        let channel = plan.channel_of(req.page);
+        let waiter = Waiter {
+            user: req.user,
+            min_seq: req.min_seq,
+            enqueued_at: last_aired,
+        };
+        let q = &mut self.queues[channel.index()];
+        match q.iter_mut().find(|e| e.page == req.page) {
+            Some(entry) => entry.waiters.push(waiter),
+            None => q.push_back(PullEntry {
+                page: req.page,
+                waiters: vec![waiter],
+            }),
+        }
+        self.depth += 1;
+        self.stats.requests += 1;
+        m.requests.inc();
+        m.queue_depth.set(self.depth as i64);
+    }
+
+    /// Decides what actually airs on `channel` at slot `seq`, given the
+    /// plan's scheduled `push` slot. Returns either `push` unchanged or
+    /// a [`Slot::Pull`] substitution.
+    pub fn arbitrate(&mut self, push: Slot, channel: ChannelId, seq: u64) -> Slot {
+        if self.mode == PullMode::Off {
+            return push;
+        }
+        match push {
+            Slot::Empty => match self.serve(channel, seq, false) {
+                Some(page) => Slot::Pull(page),
+                None => Slot::Empty,
+            },
+            Slot::Page(page) => {
+                if self.allow_steal && self.depth > 0 {
+                    let ratio = self.steal_ratio();
+                    let c = &mut self.credit[channel.index()];
+                    *c = (*c + ratio).min(1.0);
+                    if *c >= 1.0 {
+                        if let Some(pulled) = self.serve(channel, seq, true) {
+                            self.credit[channel.index()] -= 1.0;
+                            return Slot::Pull(pulled);
+                        }
+                    }
+                }
+                self.cancel_on_push(channel, page, seq);
+                Slot::Page(page)
+            }
+            // Repair symbols and fences are never displaced: coded
+            // coverage windows and epoch hand-off depend on them airing
+            // exactly as scheduled.
+            other => other,
+        }
+    }
+
+    /// Current steal ratio (slots per data slot).
+    fn steal_ratio(&self) -> f64 {
+        match self.mode {
+            PullMode::FixedRatio(r) => r,
+            PullMode::Adaptive {
+                max_ratio,
+                depth_target,
+            } => max_ratio * (self.depth as f64 / depth_target.max(1) as f64).min(1.0),
+            PullMode::Off | PullMode::PaddingFill => 0.0,
+        }
+    }
+
+    /// Services the first queue entry with an eligible waiter on
+    /// `channel` (FIFO over pages), completing every waiter that can
+    /// receive slot `seq`. Entries whose waiters are all still inside a
+    /// retune penalty window are skipped, not starved: they stay in
+    /// place and become eligible once `seq` reaches their `min_seq`.
+    fn serve(&mut self, channel: ChannelId, seq: u64, stolen: bool) -> Option<PageId> {
+        let q = &mut self.queues[channel.index()];
+        let idx = q
+            .iter()
+            .position(|e| e.waiters.iter().any(|w| w.min_seq <= seq))?;
+        let m = obs::pull();
+        let page = q[idx].page;
+        let mut completed = 0usize;
+        let entry = &mut q[idx];
+        let mut kept = Vec::with_capacity(entry.waiters.len());
+        for w in entry.waiters.drain(..) {
+            if w.min_seq > seq {
+                kept.push(w);
+                continue;
+            }
+            completed += 1;
+            let wait = seq.saturating_sub(w.enqueued_at);
+            self.stats.max_wait = self.stats.max_wait.max(wait);
+            m.wait.record(wait);
+            m.user_max_wait.set_max(wait as i64);
+            let u = self.users.entry(w.user).or_default();
+            u.served += 1;
+            u.total_wait += wait;
+            u.max_wait = u.max_wait.max(wait);
+        }
+        entry.waiters = kept;
+        if entry.waiters.is_empty() {
+            q.remove(idx);
+        }
+        self.depth -= completed;
+        self.stats.pull_slots += 1;
+        m.slots.inc();
+        if stolen {
+            self.stats.stolen_slots += 1;
+            m.stolen_slots.inc();
+        } else {
+            self.stats.padding_slots += 1;
+            m.padding_slots.inc();
+        }
+        m.queue_depth.set(self.depth as i64);
+        Some(page)
+    }
+
+    /// A scheduled airing of `page` is actually going out on `channel`
+    /// at `seq`: every waiter eligible to receive it is satisfied by the
+    /// push and leaves the queue.
+    fn cancel_on_push(&mut self, channel: ChannelId, page: PageId, seq: u64) {
+        let q = &mut self.queues[channel.index()];
+        let Some(idx) = q.iter().position(|e| e.page == page) else {
+            return;
+        };
+        let entry = &mut q[idx];
+        let before = entry.waiters.len();
+        entry.waiters.retain(|w| w.min_seq > seq);
+        let cancelled = before - entry.waiters.len();
+        if entry.waiters.is_empty() {
+            q.remove(idx);
+        }
+        if cancelled > 0 {
+            self.depth -= cancelled;
+            self.stats.satisfied_by_push += cancelled as u64;
+            obs::pull().queue_depth.set(self.depth as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk_sched::{BroadcastProgram, PageId};
+
+    /// Plan: single channel `A B - A C -` → pages A(0) hot, B(1), C(2),
+    /// padding at offsets 2 and 5.
+    fn plan() -> BroadcastPlan {
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(1)),
+            Slot::Empty,
+            Slot::Page(PageId(0)),
+            Slot::Page(PageId(2)),
+            Slot::Empty,
+        ];
+        BroadcastPlan::single(BroadcastProgram::from_slots(slots, None, vec![]).unwrap())
+    }
+
+    fn req(user: u32, page: u32, min_seq: u64) -> PullRequest {
+        PullRequest {
+            user,
+            page: PageId(page),
+            min_seq,
+        }
+    }
+
+    fn padding_arbiter() -> SlotArbiter {
+        SlotArbiter::new(
+            PullConfig {
+                mode: PullMode::PaddingFill,
+                max_queue: 64,
+            },
+            1,
+        )
+    }
+
+    /// Runs the arbiter over the plan's feed, returning the first
+    /// `n` emitted slots.
+    fn feed(a: &mut SlotArbiter, p: &BroadcastPlan, from: u64, n: u64) -> Vec<Slot> {
+        (from..from + n)
+            .map(|seq| a.arbitrate(p.slot_at(ChannelId(0), seq), ChannelId(0), seq))
+            .collect()
+    }
+
+    #[test]
+    fn padding_fill_serves_at_next_empty_slot() {
+        let p = plan();
+        let mut a = padding_arbiter();
+        // Miss for C at seq 0 → first padding slot is seq 2.
+        a.submit(req(1, 2, 1), &p, 0, 0);
+        let out = feed(&mut a, &p, 1, 4);
+        assert_eq!(out[1], Slot::Pull(PageId(2))); // seq 2
+        assert_eq!(out[0], p.slot_at(ChannelId(0), 1)); // untouched
+        assert_eq!(a.queue_depth(), 0);
+        assert_eq!(a.stats().padding_slots, 1);
+        assert_eq!(a.stats().max_wait, 2);
+    }
+
+    #[test]
+    fn push_airing_cancels_eligible_waiters() {
+        let p = plan();
+        let mut a = padding_arbiter();
+        // Request for B (airs periodically at seq 1, 7, ...) submitted
+        // after seq 1: the next push airing at seq 7 satisfies it before
+        // any padding slot does... except padding at 2 and 5 come first.
+        // Use page A (airs at 3): request at seq 1 with min_seq 2 —
+        // padding at 2 could serve it, but suppose the queue is behind
+        // C. FIFO: C first (submitted earlier).
+        a.submit(req(1, 2, 1), &p, 0, 0); // C
+        a.submit(req(2, 0, 2), &p, 0, 1); // A, eligible from 2
+        assert_eq!(a.queue_depth(), 2);
+        let out = feed(&mut a, &p, 2, 2);
+        // seq 2 (padding): FIFO serves C. seq 3: scheduled push of A
+        // goes out and cancels A's waiter.
+        assert_eq!(out[0], Slot::Pull(PageId(2)));
+        assert_eq!(out[1], Slot::Page(PageId(0)));
+        assert_eq!(a.queue_depth(), 0);
+        assert_eq!(a.stats().satisfied_by_push, 1);
+    }
+
+    #[test]
+    fn waiters_in_penalty_window_are_skipped_not_starved() {
+        let p = plan();
+        let mut a = padding_arbiter();
+        // Retuning client: cannot receive before seq 11.
+        a.submit(req(1, 2, 11), &p, 0, 0);
+        // Seqs 1..=10 hold padding (2, 5, 8) and scheduled C airings
+        // (4, 10) — all inside the penalty window, so none serve and
+        // none cancel: the waiter is skipped, not starved or burned.
+        let out = feed(&mut a, &p, 1, 10);
+        assert!(out.iter().all(|s| !matches!(s, Slot::Pull(_))));
+        assert_eq!(a.queue_depth(), 1);
+        assert_eq!(a.stats().satisfied_by_push, 0);
+        // Padding at seq 11 (offset 5 of cycle 1) finally serves it.
+        let out = feed(&mut a, &p, 11, 1);
+        assert_eq!(out[0], Slot::Pull(PageId(2))); // seq 11
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce_into_one_airing() {
+        let p = plan();
+        let mut a = padding_arbiter();
+        a.submit(req(1, 2, 1), &p, 0, 0);
+        a.submit(req(2, 2, 1), &p, 0, 0);
+        a.submit(req(3, 2, 1), &p, 0, 0);
+        assert_eq!(a.queue_depth(), 3);
+        let out = feed(&mut a, &p, 1, 5);
+        // One pull airing satisfies all three waiters; the second
+        // padding slot (seq 5) stays empty.
+        assert_eq!(out[1], Slot::Pull(PageId(2)));
+        assert_eq!(out[4], Slot::Empty);
+        assert_eq!(a.stats().pull_slots, 1);
+        assert_eq!(a.queue_depth(), 0);
+        assert_eq!(a.user_stats().len(), 3);
+    }
+
+    #[test]
+    fn stale_requests_are_dropped_at_submit() {
+        let p = plan();
+        let mut a = padding_arbiter();
+        // B aired at seq 1; a request eligible from seq 0 arriving after
+        // seq 1 went out is stale — the client already has the page.
+        a.submit(req(1, 1, 0), &p, 0, 3);
+        assert_eq!(a.queue_depth(), 0);
+        assert_eq!(a.stats().rejected, 1);
+        // But a request whose eligibility starts after that airing
+        // (retune penalty) is NOT stale: its next airing (seq 7) is
+        // still ahead.
+        a.submit(req(1, 1, 2), &p, 0, 3);
+        assert_eq!(a.queue_depth(), 1);
+    }
+
+    #[test]
+    fn unknown_pages_and_overflow_are_rejected() {
+        let p = plan();
+        let mut a = SlotArbiter::new(
+            PullConfig {
+                mode: PullMode::PaddingFill,
+                max_queue: 2,
+            },
+            1,
+        );
+        a.submit(req(1, 99, 1), &p, 0, 0); // no such page
+        assert_eq!(a.stats().rejected, 1);
+        a.submit(req(1, 2, 1), &p, 0, 0);
+        a.submit(req(2, 2, 1), &p, 0, 0);
+        a.submit(req(3, 2, 1), &p, 0, 0); // over max_queue
+        assert_eq!(a.queue_depth(), 2);
+        assert_eq!(a.stats().rejected, 2);
+    }
+
+    #[test]
+    fn fixed_ratio_steals_data_slots_at_the_configured_pace() {
+        let p = plan();
+        let mut a = SlotArbiter::new(
+            PullConfig {
+                mode: PullMode::FixedRatio(0.5),
+                max_queue: 64,
+            },
+            1,
+        );
+        // Keep the queue saturated: staggered eligibility means each
+        // airing of C completes only some waiters, so the entry persists.
+        for u in 0..12 {
+            a.submit(req(u, 2, u as u64 + 1), &p, 0, 0);
+        }
+        let out = feed(&mut a, &p, 1, 12); // two cycles
+        let stolen = a.stats().stolen_slots;
+        let padding = a.stats().padding_slots;
+        assert!(stolen >= 2, "ratio 0.5 over 8 data slots must steal ≥2");
+        assert!(padding >= 2, "padding still fills first");
+        // Data slots displaced show up as Pull in place of Page.
+        let pulls = out.iter().filter(|s| matches!(s, Slot::Pull(_))).count();
+        assert_eq!(pulls as u64, stolen + padding);
+    }
+
+    #[test]
+    fn adaptive_steals_nothing_when_queue_is_empty() {
+        let p = plan();
+        let mut a = SlotArbiter::new(
+            PullConfig {
+                mode: PullMode::Adaptive {
+                    max_ratio: 0.5,
+                    depth_target: 4,
+                },
+                max_queue: 64,
+            },
+            1,
+        );
+        let out = feed(&mut a, &p, 0, 12);
+        assert_eq!(a.stats().pull_slots, 0);
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(*s, p.slot_at(ChannelId(0), i as u64), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn off_mode_is_the_identity() {
+        let p = plan();
+        let mut a = SlotArbiter::new(PullConfig::default(), 1);
+        assert!(!a.enabled());
+        a.submit(req(1, 2, 1), &p, 0, 0); // ignored entirely
+        assert_eq!(a.queue_depth(), 0);
+        let out = feed(&mut a, &p, 0, 12);
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(*s, p.slot_at(ChannelId(0), i as u64), "slot {i}");
+        }
+        assert_eq!(a.stats(), PullStats::default());
+    }
+
+    #[test]
+    fn plan_change_clears_the_queue_and_disables_steal_on_coded() {
+        let p = plan();
+        let mut a = SlotArbiter::new(
+            PullConfig {
+                mode: PullMode::FixedRatio(0.5),
+                max_queue: 64,
+            },
+            1,
+        );
+        a.submit(req(1, 2, 1), &p, 0, 0);
+        assert_eq!(a.queue_depth(), 1);
+        a.on_plan_change(true);
+        assert_eq!(a.queue_depth(), 0);
+        // Coded plan: data slots are never displaced even at ratio 0.5.
+        for u in 0..12 {
+            a.submit(req(u, 2, 1), &p, 0, 0);
+        }
+        feed(&mut a, &p, 1, 12);
+        assert_eq!(a.stats().stolen_slots, 0);
+        assert!(a.stats().padding_slots > 0);
+    }
+}

@@ -35,7 +35,7 @@ use bdisk_sim::{
 };
 
 use crate::bus::BusSubscription;
-use crate::transport::Frame;
+use crate::transport::{Frame, PullRequest};
 
 /// One plan epoch as a client sees it: the plan itself plus the policy
 /// context (physical page probabilities, page→disk map, disk frequencies)
@@ -197,6 +197,12 @@ pub struct LiveClient {
     trace_id: u64,
     /// Sampled wait-attribution spans, in completion order.
     spans: Vec<Span>,
+    /// When `Some(user)`, every miss that goes pending also queues an
+    /// upstream [`PullRequest`] under that user id (drained by the feed
+    /// via [`LiveClient::drain_pull_requests`]). `None` = push-only.
+    pull_user: Option<u32>,
+    /// Requests queued since the last drain.
+    pull_outbox: Vec<PullRequest>,
 }
 
 impl LiveClient {
@@ -268,6 +274,8 @@ impl LiveClient {
             frames_seen: 0,
             trace_id: seed,
             spans: Vec::new(),
+            pull_user: None,
+            pull_outbox: Vec::new(),
         })
     }
 
@@ -293,6 +301,22 @@ impl LiveClient {
         assert!(every > 0, "bucket width must be nonzero");
         self.bucket_every = every;
         self
+    }
+
+    /// Arms the upstream backchannel: every miss that goes pending also
+    /// queues a [`PullRequest`] under `user`, with `min_seq` set to the
+    /// earliest slot this tuner could actually receive (the retune
+    /// penalty boundary on a cross-channel miss). The feed is expected to
+    /// [`drain_pull_requests`](LiveClient::drain_pull_requests) after each
+    /// frame and relay them upstream.
+    pub fn with_pull_requests(mut self, user: u32) -> Self {
+        self.pull_user = Some(user);
+        self
+    }
+
+    /// Moves every pull request queued since the last drain into `out`.
+    pub fn drain_pull_requests(&mut self, out: &mut Vec<PullRequest>) {
+        out.append(&mut self.pull_outbox);
     }
 
     /// Plan epoch currently adopted.
@@ -321,6 +345,21 @@ impl LiveClient {
     fn arrival(&self, page: PageId, t: f64) -> f64 {
         let base = self.base as f64;
         base + self.plan.next_arrival(page, (t - base).max(0.0))
+    }
+
+    /// Predicted service slot of a pull request issued at `requested_at`
+    /// under an uncontended padding-fill arbiter: the first padding slot
+    /// on the page's home channel the tuner can hear. The request reaches
+    /// the broker on the tick it was issued, so service starts the tick
+    /// after; a retune pushes the bound to the penalty boundary. `None`
+    /// when the channel's program has no padding.
+    fn pull_arrival(&self, page: PageId, requested_at: f64, min_seq: u64) -> Option<f64> {
+        let home = self.plan.channel_of(page);
+        let lb = (requested_at.ceil() + 1.0).max(min_seq as f64);
+        let base = self.base as f64;
+        self.plan
+            .next_padding_arrival(home, (lb - base).max(0.0))
+            .map(|a| a + base)
     }
 
     /// Adopts plan epoch `epoch` with its slot clock starting at `base`.
@@ -543,7 +582,11 @@ impl LiveClient {
                             }
                         }
                     }
-                    Slot::Empty => {}
+                    // A pull airing substitutes a padding slot on coded
+                    // plans (the arbiter never steals data slots there),
+                    // so the decode window sees exactly what a push-only
+                    // feed would: nothing.
+                    Slot::Empty | Slot::Pull(_) => {}
                     Slot::EpochFence => unreachable!("fences are handled before the coded path"),
                 }
                 let ev = state.window.evictions();
@@ -587,7 +630,10 @@ impl LiveClient {
         }
 
         if let Some((page, requested_at)) = self.pending {
-            if slot != Slot::Page(page) || seq < self.min_receive_seq {
+            // An on-demand airing delivers the page exactly like a
+            // scheduled one — same payload, same receive-time rule.
+            let delivers = slot == Slot::Page(page) || slot == Slot::Pull(page);
+            if !delivers || seq < self.min_receive_seq {
                 return false; // still waiting for the page
             }
             self.pending = None;
@@ -651,16 +697,25 @@ impl LiveClient {
                 // arithmetic — identical to the simulator's anchors.
                 self.pending_trace = if traced {
                     let no_switch = self.arrival(page, requested_at);
-                    let expected = if min_seq == 0 {
+                    let mut expected = if min_seq == 0 {
                         no_switch
                     } else {
                         self.arrival(page, requested_at.floor() + 1.0 + self.switch_slots)
                     };
+                    if self.pull_user.is_some() {
+                        // With the backchannel armed the expected arrival
+                        // is the earlier of the periodic airing and the
+                        // pull service (padding-fill prediction) — same
+                        // arithmetic as the simulator's pull mirror.
+                        if let Some(pa) = self.pull_arrival(page, requested_at, min_seq) {
+                            expected = expected.min(pa);
+                        }
+                    }
                     Some((no_switch, expected))
                 } else {
                     None
                 };
-                if slot == Slot::Page(page) && seq >= min_seq {
+                if (slot == Slot::Page(page) || slot == Slot::Pull(page)) && seq >= min_seq {
                     // The slot currently on the air is the page we need.
                     if self.receive(page, requested_at, t) {
                         return true;
@@ -668,6 +723,17 @@ impl LiveClient {
                 } else {
                     self.min_receive_seq = min_seq;
                     self.pending = Some((page, requested_at));
+                    if let Some(user) = self.pull_user {
+                        // Ask the broker for the page. `min_seq` tells the
+                        // arbiter the earliest slot this tuner can hear
+                        // (now, or past the retune penalty), so an airing
+                        // we'd forfeit is never burned on us.
+                        self.pull_outbox.push(PullRequest {
+                            user,
+                            page,
+                            min_seq: (requested_at.ceil() as u64).max(min_seq),
+                        });
+                    }
                     break;
                 }
             }

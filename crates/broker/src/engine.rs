@@ -12,8 +12,9 @@ use bdisk_obs::journal::{event, EventKind};
 use bdisk_obs::trace;
 use bdisk_sched::{BroadcastPlan, BroadcastProgram, ChannelId, Slot};
 
+use crate::arbiter::{PullConfig, PullMode, PullStats, SlotArbiter};
 use crate::faults::{FaultPlan, FAULT_CODE_OVERRUN};
-use crate::transport::{DeliveryStats, Frame, PagePayloads, Transport, REPAIR_FLAG};
+use crate::transport::{DeliveryStats, Frame, PagePayloads, PullRequest, Transport, REPAIR_FLAG};
 
 /// Per-channel repair-symbol payloads, precomputed once per run: channel
 /// `c`'s entry `r` is the XOR of the covered pages' payloads for repair
@@ -164,6 +165,8 @@ pub struct EngineReport {
     pub elapsed: Duration,
     /// Broadcast rate actually achieved.
     pub slots_per_sec: f64,
+    /// Slot-arbiter accounting (all zero on push-only runs).
+    pub pull: PullStats,
 }
 
 /// Feeds one broadcast's delivery accounting into the engine counters.
@@ -200,6 +203,7 @@ pub struct BroadcastEngine {
     swap_every_cycles: u64,
     fence_lead: u64,
     cfg: EngineConfig,
+    pull: PullConfig,
     checkpoint: Arc<EngineCheckpoint>,
 }
 
@@ -238,6 +242,7 @@ impl BroadcastEngine {
             swap_every_cycles,
             fence_lead: DEFAULT_FENCE_LEAD,
             cfg,
+            pull: PullConfig::default(),
             checkpoint: Arc::new(EngineCheckpoint::default()),
         }
     }
@@ -245,6 +250,18 @@ impl BroadcastEngine {
     /// Overrides the announce-fence lead (slots before a swap boundary).
     pub fn with_fence_lead(mut self, fence_lead: u64) -> Self {
         self.fence_lead = fence_lead;
+        self
+    }
+
+    /// Enables hybrid push/pull: each tick the scheduled slot is routed
+    /// through a [`SlotArbiter`] that may substitute on-demand
+    /// [`Slot::Pull`] airings serviced from the transport's upstream
+    /// request queue. [`PullMode::Off`] (the default) bypasses the
+    /// arbiter entirely — the wire output is byte-identical to a
+    /// pull-less engine, and the transport's request path is never
+    /// polled.
+    pub fn with_pull(mut self, pull: PullConfig) -> Self {
+        self.pull = pull;
         self
     }
 
@@ -335,6 +352,15 @@ impl BroadcastEngine {
         let mut cur = &self.plans[epoch];
         let mut next_boundary = (epoch + 1 < self.plans.len())
             .then(|| base + self.swap_every_cycles * cur.max_period() as u64);
+        // The slot arbiter only exists when pull is on: push-only runs
+        // take the exact pre-pull code path (no request polling, no
+        // per-slot arbitration) and stay byte-identical on the wire.
+        let mut arbiter = (self.pull.mode != PullMode::Off).then(|| {
+            let mut a = SlotArbiter::new(self.pull, channels);
+            a.on_plan_change(cur.coding().is_some());
+            a
+        });
+        let mut req_buf: Vec<PullRequest> = Vec::new();
         em.plan_epoch.set(epoch as i64);
         self.checkpoint
             .store(epoch as u32, start_seq, base, cur.plan_hash());
@@ -387,6 +413,21 @@ impl BroadcastEngine {
                 em.swaps.inc();
                 event(EventKind::EpochSwap, epoch as u64, base);
                 transport.set_hello(Some(Frame::fence(seq, 0, epoch as u32, base)));
+                // Queued pull requests may reference pages that moved (or
+                // vanished) under the new plan; drop them — clients
+                // recover via the periodic schedule or by re-requesting.
+                if let Some(a) = arbiter.as_mut() {
+                    a.on_plan_change(cur.coding().is_some());
+                }
+            }
+            // Drain the upstream backchannel into the arbiter before
+            // deciding this tick's slots. `seq - 1` is the look-back
+            // horizon: everything up to the previous tick is on the air.
+            if let Some(a) = arbiter.as_mut() {
+                transport.take_requests(&mut req_buf);
+                for r in req_buf.drain(..) {
+                    a.submit(r, cur, base, seq.saturating_sub(1));
+                }
             }
             if !self.cfg.slot_duration.is_zero() {
                 let deadline = start + self.cfg.slot_duration * (seq - start_seq) as u32;
@@ -449,7 +490,11 @@ impl BroadcastEngine {
             m.slots.inc();
             let repair = &repair_by_epoch[epoch];
             for (c, counter) in by_channel.iter().enumerate() {
-                let slot = cur.slot_at(ChannelId(c as u16), seq - base);
+                let scheduled = cur.slot_at(ChannelId(c as u16), seq - base);
+                let slot = match arbiter.as_mut() {
+                    Some(a) => a.arbitrate(scheduled, ChannelId(c as u16), seq),
+                    None => scheduled,
+                };
                 let encode_start = stage_jitter.is_some().then(Instant::now);
                 let frame = match (slot, repair) {
                     (Slot::Repair(r), Some(tables)) => {
@@ -489,6 +534,8 @@ impl BroadcastEngine {
                         // Never produced by a plan (fences are out of
                         // band), but the match stays total.
                         Slot::EpochFence => (1u64 << 33) | u32::MAX as u64,
+                        // On-demand airing: same tag space as plan_hash.
+                        Slot::Pull(page) => (1u64 << 34) | page.0 as u64,
                     },
                 );
                 totals.absorb(stats);
@@ -541,6 +588,7 @@ impl BroadcastEngine {
             } else {
                 f64::INFINITY
             },
+            pull: arbiter.map(|a| a.stats()).unwrap_or_default(),
         }
     }
 }
@@ -615,6 +663,7 @@ mod tests {
                     assert!(frame.payload.is_empty())
                 }
                 bdisk_sched::Slot::EpochFence => unreachable!("single-plan runs air no fences"),
+                bdisk_sched::Slot::Pull(_) => unreachable!("pull is off by default"),
             }
             bytes += frame.wire_len() as u64;
         }

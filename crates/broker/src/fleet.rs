@@ -18,14 +18,32 @@
 //! ceiling, and driving full client cores would measure the clients
 //! instead.
 
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bdisk_sched::PageId;
 use mini_mio::{Events, Interest, Poll, Token};
 
 use crate::transport::{body_crc_ok, LEN_PREFIX};
+use crate::upstream::encode_request;
+
+/// Upstream-request behaviour for a requester fleet
+/// ([`TunerFleet::launch_requesters`]): each tuner writes one pull
+/// request up its own connection after every `every` intact frames it
+/// receives, cycling through `pages` distinct pages. The cadence is
+/// frame-driven rather than timer-driven so request volume is
+/// deterministic per frames broadcast — what a fan-out bench wants when
+/// it asserts on totals.
+#[derive(Debug, Clone, Copy)]
+pub struct RequesterConfig {
+    /// Send one request per `every` intact frames received (must be ≥ 1).
+    pub every: u64,
+    /// Requested pages cycle over `0..pages` (must be ≥ 1), offset by the
+    /// tuner's index so a fleet spreads its requests across pages.
+    pub pages: u32,
+}
 
 /// What one tuner saw over its connection's lifetime.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,6 +58,8 @@ pub struct TunerStats {
     pub gaps: u64,
     /// Highest frame sequence number seen, if any frame arrived.
     pub last_seq: Option<u64>,
+    /// Upstream pull requests written (requester fleets only).
+    pub requests: u64,
 }
 
 /// Aggregate report for a completed fleet.
@@ -74,6 +94,11 @@ impl FleetReport {
     pub fn min_frames(&self) -> u64 {
         self.tuners.iter().map(|t| t.frames).min().unwrap_or(0)
     }
+
+    /// Upstream pull requests written across the whole fleet.
+    pub fn total_requests(&self) -> u64 {
+        self.tuners.iter().map(|t| t.requests).sum()
+    }
 }
 
 /// Per-tuner reassembly state inside the drainer.
@@ -83,6 +108,11 @@ struct Tuner {
     pending: Vec<u8>,
     stats: TunerStats,
     open: bool,
+    /// Upstream request cadence, when this is a requester fleet.
+    requester: Option<RequesterConfig>,
+    /// Encoded request bytes not yet accepted by the (nonblocking)
+    /// socket. Flushed opportunistically on every drain turn.
+    outbox: Vec<u8>,
 }
 
 impl TunerStats {
@@ -135,6 +165,40 @@ impl Tuner {
             }
         }
     }
+
+    /// Enqueues any requests the frame count now owes (one per `every`
+    /// frames) and flushes the outbox as far as the socket will take it.
+    /// `user` is the tuner's fleet index — the identity the broker's
+    /// arbiter sees.
+    fn pump_requests(&mut self, user: u32) {
+        let Some(cfg) = self.requester else { return };
+        let due = self.stats.frames / cfg.every.max(1);
+        while self.stats.requests < due {
+            let page = PageId((user + self.stats.requests as u32) % cfg.pages.max(1));
+            let min_seq = self.stats.last_seq.map_or(0, |s| s + 1);
+            self.outbox
+                .extend_from_slice(&encode_request(user, page, min_seq));
+            self.stats.requests += 1;
+        }
+        // Nonblocking flush: a full socket buffer just leaves the bytes
+        // queued; the next readable turn (frames keep arriving) retries.
+        while !self.outbox.is_empty() {
+            match self.stream.write(&self.outbox) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.outbox.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // A write error means the connection is dying; the read
+                // side will observe and retire it.
+                Err(_) => {
+                    self.outbox.clear();
+                    break;
+                }
+            }
+        }
+    }
 }
 
 /// A fleet of concurrent broadcast tuners drained by one thread.
@@ -159,7 +223,23 @@ impl TunerFleet {
     pub fn launch(addr: SocketAddr, n: usize) -> io::Result<TunerFleet> {
         let handle = std::thread::Builder::new()
             .name("tuner-fleet".into())
-            .spawn(move || drain_fleet(addr, n))?;
+            .spawn(move || drain_fleet(addr, n, None))?;
+        Ok(TunerFleet { handle })
+    }
+
+    /// Like [`TunerFleet::launch`], but every tuner also exercises the
+    /// upstream backchannel: one pull request per
+    /// [`RequesterConfig::every`] intact frames received, written up the
+    /// same connection the broadcast arrives on. Tuner `i` identifies
+    /// itself as user `i`.
+    pub fn launch_requesters(
+        addr: SocketAddr,
+        n: usize,
+        cfg: RequesterConfig,
+    ) -> io::Result<TunerFleet> {
+        let handle = std::thread::Builder::new()
+            .name("tuner-fleet".into())
+            .spawn(move || drain_fleet(addr, n, Some(cfg)))?;
         Ok(TunerFleet { handle })
     }
 
@@ -190,7 +270,11 @@ fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
     }
 }
 
-fn drain_fleet(addr: SocketAddr, n: usize) -> io::Result<FleetReport> {
+fn drain_fleet(
+    addr: SocketAddr,
+    n: usize,
+    requester: Option<RequesterConfig>,
+) -> io::Result<FleetReport> {
     let mut poll = Poll::new()?;
     let mut events = Events::with_capacity(1024);
     let mut tuners: Vec<Tuner> = Vec::with_capacity(n);
@@ -205,6 +289,8 @@ fn drain_fleet(addr: SocketAddr, n: usize) -> io::Result<FleetReport> {
             pending: Vec::new(),
             stats: TunerStats::default(),
             open: true,
+            requester,
+            outbox: Vec::new(),
         });
         open += 1;
         // Interleave connecting with draining: frames already broadcast
@@ -275,6 +361,9 @@ fn drain_once(
                 }
             }
         }
+        if tuner.open {
+            tuner.pump_requests(idx as u32);
+        }
     }
     Ok(())
 }
@@ -315,6 +404,40 @@ mod tests {
         assert_eq!(report.tuners_with_gaps(), 0);
         let wire_len = payloads.frame(0, Slot::Page(PageId(0))).wire_len() as u64;
         assert_eq!(report.total_bytes(), slots * 32 * wire_len);
+    }
+
+    #[test]
+    fn requester_fleet_requests_reach_the_server() {
+        let mut transport = EventedTcpTransport::bind(TcpTransportConfig {
+            queue_capacity: 4096,
+            ..TcpTransportConfig::default()
+        })
+        .unwrap();
+        let addr = transport.local_addr();
+        let n = 8usize;
+        let cfg = RequesterConfig { every: 4, pages: 8 };
+        let fleet = TunerFleet::launch_requesters(addr, n, cfg).unwrap();
+        assert!(transport.wait_for_clients(n, Duration::from_secs(10)));
+        let payloads = PagePayloads::generate(8, 256);
+        let slots = 64u64;
+        for seq in 0..slots {
+            transport.broadcast(payloads.frame(seq, Slot::Page(PageId(seq as u32 % 8))));
+        }
+        // One request per tuner per 4 frames, surfacing as the tuners
+        // digest the broadcast.
+        let expected = n as u64 * (slots / cfg.every);
+        let mut requests = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while (requests.len() as u64) < expected && std::time::Instant::now() < deadline {
+            transport.take_requests(&mut requests);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(requests.len() as u64, expected);
+        assert!(requests.iter().all(|r| r.user < n as u32 && r.page.0 < 8));
+        transport.finish();
+        let report = fleet.join().unwrap();
+        assert_eq!(report.total_requests(), expected);
+        assert_eq!(report.min_frames(), slots);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod bus;
 pub mod client;
 pub mod engine;
@@ -53,16 +54,18 @@ pub mod obs;
 pub mod tcp_evented;
 pub mod tcp_threaded;
 pub mod transport;
+pub mod upstream;
 
 // A 10k-tuner loopback fleet needs ~2 descriptors per connection, which
 // outgrows default `ulimit -n`; benches raise it through this re-export.
 pub use mini_mio::raise_nofile_limit;
 
+pub use arbiter::{PullConfig, PullMode, PullStats, SlotArbiter, UserPullStats};
 pub use bus::{BusSubscription, BusTuning, InMemoryBus};
 pub use client::{ClientEpoch, DriftBook, LiveClient, LiveClientResult};
 pub use engine::{BroadcastEngine, EngineCheckpoint, EngineConfig, EngineReport, EngineResume};
 pub use faults::{crc32, ChannelFault, FaultCounts, FaultInjector, FaultPlan};
-pub use fleet::{FleetReport, TunerFleet, TunerStats};
+pub use fleet::{FleetReport, RequesterConfig, TunerFleet, TunerStats};
 pub use metrics::{aggregate, LiveReport};
 pub use obs::register_metrics;
 pub use tcp_evented::EventedTcpTransport;
@@ -70,4 +73,7 @@ pub use tcp_threaded::{
     backoff_delay, ReconnectPolicy, TcpClientFeed, TcpFrameReader, TcpTransport,
     TcpTransportConfig, MAX_FRAME_LEN,
 };
-pub use transport::{Backpressure, DeliveryStats, Frame, FrameError, PagePayloads, Transport};
+pub use transport::{
+    Backpressure, DeliveryStats, Frame, FrameError, PagePayloads, PullRequest, Transport,
+};
+pub use upstream::{encode_request, UpstreamParser};

@@ -469,6 +469,69 @@ pub(crate) fn epoch_metrics() -> &'static EpochMetrics {
     })
 }
 
+/// Hybrid push/pull metrics: the upstream request stream, the slot
+/// arbiter's queue and service decisions, and user-perceived fairness
+/// (per-user wait, not per-item — the "Be Fair to Users" objective).
+pub(crate) struct PullMetrics {
+    /// `bd_pull_requests_total`
+    pub requests: &'static Counter,
+    /// `bd_pull_requests_rejected_total`
+    pub rejected: &'static Counter,
+    /// `bd_pull_slots_total`
+    pub slots: &'static Counter,
+    /// `bd_pull_padding_slots_total`
+    pub padding_slots: &'static Counter,
+    /// `bd_pull_stolen_slots_total`
+    pub stolen_slots: &'static Counter,
+    /// `bd_pull_queue_depth`
+    pub queue_depth: &'static Gauge,
+    /// `bd_pull_wait_slots`
+    pub wait: &'static Histogram,
+    /// `bd_pull_user_max_wait_slots`
+    pub user_max_wait: &'static Gauge,
+}
+
+pub(crate) fn pull() -> &'static PullMetrics {
+    static M: OnceLock<PullMetrics> = OnceLock::new();
+    M.get_or_init(|| PullMetrics {
+        requests: registry::counter(
+            "bd_pull_requests_total",
+            "Upstream pull requests accepted into the slot arbiter's queue",
+        ),
+        rejected: registry::counter(
+            "bd_pull_requests_rejected_total",
+            "Upstream pull requests dropped (bad page, full queue, or already \
+             satisfied by the periodic schedule)",
+        ),
+        slots: registry::counter(
+            "bd_pull_slots_total",
+            "On-demand pull airings substituted into the broadcast",
+        ),
+        padding_slots: registry::counter(
+            "bd_pull_padding_slots_total",
+            "Pull airings that filled empty padding slots (free bandwidth)",
+        ),
+        stolen_slots: registry::counter(
+            "bd_pull_stolen_slots_total",
+            "Pull airings that displaced a scheduled push slot (fixed-ratio or \
+             adaptive stealing)",
+        ),
+        queue_depth: registry::gauge(
+            "bd_pull_queue_depth",
+            "Pull requests currently waiting in the slot arbiter (all channels)",
+        ),
+        wait: registry::histogram(
+            "bd_pull_wait_slots",
+            "Slots a pull request waited in the arbiter queue before its page aired",
+            registry::RESPONSE_BOUNDS,
+        ),
+        user_max_wait: registry::gauge(
+            "bd_pull_user_max_wait_slots",
+            "Worst single-request pull wait observed for any user (slots)",
+        ),
+    })
+}
+
 /// Eagerly registers every broker metric (engine, bus, TCP, client, fault
 /// injection, loss recovery) so a scrape of `/metrics` shows the full
 /// inventory before traffic arrives. Idempotent; call when starting a
@@ -489,5 +552,6 @@ pub fn register_metrics() {
     let _ = recovery();
     let _ = repair();
     let _ = epoch_metrics();
+    let _ = pull();
     let _ = crate::faults::metrics();
 }

@@ -50,7 +50,8 @@ use mini_mio::{Events, Interest, Poll, Token};
 
 use crate::faults::{encode_corrupted, FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame};
 use crate::tcp_threaded::TcpTransportConfig;
-use crate::transport::{Backpressure, DeliveryStats, Frame, Transport};
+use crate::transport::{Backpressure, DeliveryStats, Frame, PullRequest, Transport};
+use crate::upstream::UpstreamParser;
 
 /// Poll token reserved for the listening socket (connection tokens are
 /// slab indices, which can never reach this).
@@ -64,6 +65,11 @@ const SLOW_CONSUMER_TOP_K: usize = 4;
 /// stack-allocated `IoSlice` array (IOV_MAX is far larger).
 const MAX_BATCH: usize = 64;
 
+/// Cap on parsed-but-undrained upstream requests held by the transport.
+/// The engine drains every tick; this only bounds memory if it stops
+/// draining (or a pull-disabled run faces request-writing clients).
+const MAX_PENDING_REQUESTS: usize = 65_536;
+
 /// Per-connection state: all of it. The backlog holds refcounts to shared
 /// wire frames; `cursor` is how many bytes of the front buffer have
 /// already reached the socket.
@@ -76,6 +82,11 @@ struct EvConn {
     /// `WRITABLE` interest is currently registered (flush hit
     /// `WouldBlock`); the writable event resumes the drain.
     armed: bool,
+    /// Reassembles this connection's upstream byte stream into pull
+    /// requests. Readable events drain the socket through this parser
+    /// (instead of discarding the bytes) — garbage from a push-only
+    /// client is skipped and counted, never a reason to disconnect.
+    upstream: UpstreamParser,
 }
 
 /// Removes the connection at `idx` from the slab: deregisters it, shuts
@@ -217,6 +228,10 @@ pub struct EventedTcpTransport {
     /// Total client-to-server bytes drained (the upstream channel of the
     /// asymmetric link — tiny by design).
     upstream_bytes: u64,
+    /// Pull requests parsed off connections, awaiting `take_requests`.
+    pending_requests: Vec<PullRequest>,
+    /// Requests discarded because `pending_requests` hit its cap.
+    requests_dropped: u64,
     /// Per-channel fault choke points (default plan + overrides).
     faults: FaultSwitchboard,
     /// Per-channel fan-out counters, cached off the registry.
@@ -264,6 +279,8 @@ impl EventedTcpTransport {
             flush_every,
             read_scratch: vec![0u8; 4096].into_boxed_slice(),
             upstream_bytes: 0,
+            pending_requests: Vec::new(),
+            requests_dropped: 0,
             faults: FaultSwitchboard::new(),
             channel_frames: crate::obs::ChannelCounters::new(crate::obs::fanout_by_channel),
             slow_lag: std::array::from_fn(crate::obs::slow_consumer_lag),
@@ -280,6 +297,21 @@ impl EventedTcpTransport {
     /// Client-to-server bytes drained off connection sockets so far.
     pub fn upstream_bytes(&self) -> u64 {
         self.upstream_bytes
+    }
+
+    /// Upstream bytes rejected by the request parsers (garbage, corrupt
+    /// records, overflow discards) across all live connections.
+    pub fn upstream_rejected_bytes(&self) -> u64 {
+        self.slab
+            .iter()
+            .flatten()
+            .map(|c| c.upstream.rejected_bytes())
+            .sum()
+    }
+
+    /// Requests discarded at the transport's pending cap so far.
+    pub fn requests_dropped(&self) -> u64 {
+        self.requests_dropped
     }
 
     /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
@@ -353,6 +385,8 @@ impl EventedTcpTransport {
             cfg,
             read_scratch,
             upstream_bytes,
+            pending_requests,
+            requests_dropped,
             hello,
             ..
         } = self;
@@ -394,6 +428,7 @@ impl EventedTcpTransport {
                         backlog,
                         cursor: 0,
                         armed: false,
+                        upstream: UpstreamParser::new(),
                     });
                     *live += 1;
                     tcp_m.accepted.inc();
@@ -407,15 +442,21 @@ impl EventedTcpTransport {
             let mut dead = false;
             if ev.is_readable() {
                 if let Some(conn) = slab[idx].as_mut() {
-                    // Drain the upstream direction; EOF or error means the
-                    // tuner hung up.
+                    // Drain the upstream direction explicitly: every byte
+                    // read goes through the connection's request parser
+                    // (valid records become pull requests; everything
+                    // else is skipped and counted — never fatal). EOF or
+                    // a socket error means the tuner hung up.
                     loop {
                         match conn.stream.read(read_scratch) {
                             Ok(0) => {
                                 dead = true;
                                 break;
                             }
-                            Ok(n) => *upstream_bytes += n as u64,
+                            Ok(n) => {
+                                *upstream_bytes += n as u64;
+                                conn.upstream.feed(&read_scratch[..n], pending_requests);
+                            }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                             Err(_) => {
@@ -423,6 +464,11 @@ impl EventedTcpTransport {
                                 break;
                             }
                         }
+                    }
+                    if pending_requests.len() > MAX_PENDING_REQUESTS {
+                        let excess = pending_requests.len() - MAX_PENDING_REQUESTS;
+                        *requests_dropped += excess as u64;
+                        pending_requests.truncate(MAX_PENDING_REQUESTS);
                     }
                 }
             }
@@ -614,6 +660,14 @@ impl Transport for EventedTcpTransport {
 
     fn active_clients(&self) -> usize {
         self.live
+    }
+
+    fn take_requests(&mut self, out: &mut Vec<PullRequest>) {
+        // Run one event-loop turn first so requests written since the
+        // last broadcast are parsed before the engine arbitrates.
+        let mut stats = DeliveryStats::default();
+        self.pump(Some(Duration::ZERO), &mut stats);
+        out.append(&mut self.pending_requests);
     }
 
     fn set_hello(&mut self, hello: Option<Frame>) {
@@ -821,6 +875,66 @@ mod tests {
             backpressure: Backpressure::Block,
             ..TcpTransportConfig::default()
         });
+    }
+
+    #[test]
+    fn upstream_requests_reach_take_requests() {
+        let mut transport = EventedTcpTransport::bind(cfg()).unwrap();
+        let addr = transport.local_addr();
+        let mut reader = TcpFrameReader::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        reader.send_request(7, PageId(42), 100).unwrap();
+        reader.send_request(7, PageId(43), 101).unwrap();
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while out.len() < 2 && Instant::now() < deadline {
+            transport.take_requests(&mut out);
+        }
+        assert_eq!(
+            out,
+            vec![
+                PullRequest {
+                    user: 7,
+                    page: PageId(42),
+                    min_seq: 100
+                },
+                PullRequest {
+                    user: 7,
+                    page: PageId(43),
+                    min_seq: 101
+                },
+            ]
+        );
+        assert!(transport.upstream_bytes() >= 48);
+        assert_eq!(transport.upstream_rejected_bytes(), 0);
+    }
+
+    /// The legacy-client pin: a push-only tuner that writes garbage
+    /// upstream keeps its broadcast subscription — the bytes are counted
+    /// and rejected, the connection lives, and frames still flow down.
+    #[test]
+    fn garbage_upstream_bytes_never_kill_the_connection() {
+        let mut transport = EventedTcpTransport::bind(cfg()).unwrap();
+        let addr = transport.local_addr();
+        let mut legacy = std::net::TcpStream::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        legacy.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        legacy.write_all(&[0xFF; 1000]).unwrap();
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while transport.upstream_bytes() < 1018 && Instant::now() < deadline {
+            transport.take_requests(&mut out);
+        }
+        assert!(out.is_empty(), "garbage parsed as requests: {out:?}");
+        assert_eq!(transport.active_clients(), 1, "garbage killed the conn");
+        assert!(transport.upstream_rejected_bytes() > 0);
+        // The broadcast still reaches the noisy client.
+        let payloads = PagePayloads::generate(2, 16);
+        transport.broadcast(payloads.frame(0, Slot::Page(PageId(1))));
+        transport.finish();
+        let mut reader = TcpFrameReader::from_stream(legacy).unwrap();
+        let frame = reader.recv().unwrap().expect("frame delivered");
+        assert_eq!(frame.slot, Slot::Page(PageId(1)));
     }
 
     #[test]

@@ -38,12 +38,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bdisk_obs::journal::{event, EventKind};
+use bdisk_sched::PageId;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use mini_mio::{Events, Interest, Poll, Token};
 
 use crate::faults::{
     encode_corrupted, FaultCounts, FaultPlan, FaultSwitchboard, InjectedFrame, SplitMix,
 };
-use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, Transport};
+use crate::transport::{Backpressure, DeliveryStats, Frame, FrameError, PullRequest, Transport};
+use crate::upstream::{encode_request, UpstreamParser};
 
 /// TCP transport tuning knobs.
 #[derive(Debug, Clone)]
@@ -113,6 +116,16 @@ struct Conn {
     id: u64,
     tx: Sender<Arc<[u8]>>,
     writer: JoinHandle<()>,
+    /// A `try_clone` of the socket for the upstream direction. The
+    /// original moved into the writer thread; this clone shares the open
+    /// file description, so it stays **blocking** (`O_NONBLOCK` is shared
+    /// and flipping it would break the blocking writer). Reads happen
+    /// only on epoll readiness, where a single read cannot block.
+    reader: Option<TcpStream>,
+    /// `reader` is currently registered with the request poll.
+    registered: bool,
+    /// Reassembles this connection's upstream bytes into pull requests.
+    upstream: UpstreamParser,
 }
 
 /// Upper bound on one wire frame's body length. The length prefix is
@@ -133,6 +146,13 @@ pub struct TcpTransport {
     next_conn_id: u64,
     /// Writers of evicted connections, joined at finish.
     graveyard: Vec<JoinHandle<()>>,
+    /// Readiness poll over connection reader clones, created on the first
+    /// `take_requests` call (push-only runs never pay for it).
+    req_poll: Option<Poll>,
+    /// Reusable event buffer for `req_poll`.
+    req_events: Events,
+    /// Reusable buffer for draining upstream bytes.
+    req_scratch: Box<[u8]>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     /// Per-channel fault choke points (default plan + overrides).
@@ -181,6 +201,9 @@ impl TcpTransport {
             conns: Vec::new(),
             next_conn_id: 0,
             graveyard: Vec::new(),
+            req_poll: None,
+            req_events: Events::with_capacity(256),
+            req_scratch: vec![0u8; 4096].into_boxed_slice(),
             stop,
             accept_thread: Some(accept_thread),
             faults: FaultSwitchboard::new(),
@@ -192,6 +215,21 @@ impl TcpTransport {
     /// The address clients connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Retires an evicted connection: deregisters its reader clone from
+    /// the request poll (closing the clone alone would NOT remove the
+    /// registration — the writer thread's fd keeps the description open,
+    /// and a stale registration would report readiness forever), closes
+    /// the send channel, and parks the writer for the shutdown join.
+    fn retire(req_poll: &Option<Poll>, graveyard: &mut Vec<JoinHandle<()>>, conn: Conn) {
+        if conn.registered {
+            if let (Some(poll), Some(reader)) = (req_poll.as_ref(), conn.reader.as_ref()) {
+                let _ = poll.deregister(reader);
+            }
+        }
+        drop(conn.tx);
+        graveyard.push(conn.writer);
     }
 
     /// Installs (or, with [`FaultPlan::is_none`], removes) the fault plan
@@ -223,6 +261,9 @@ impl TcpTransport {
             // Bound every blocking write so a stalled peer cannot wedge
             // this writer thread (and the shutdown join behind it).
             let _ = stream.set_write_timeout(self.cfg.write_timeout);
+            // The upstream direction reads from a clone of the socket;
+            // the original moves into the writer thread below.
+            let reader = stream.try_clone().ok();
             let (tx, rx) = bounded::<Arc<[u8]>>(self.cfg.queue_capacity);
             let max_coalesce = self.cfg.max_coalesce;
             let writer = std::thread::spawn(move || {
@@ -253,7 +294,14 @@ impl TcpTransport {
                 // Fresh bounded channel, capacity > 0: this cannot fail.
                 let _ = tx.try_send(Arc::clone(hello));
             }
-            self.conns.push(Conn { id, tx, writer });
+            self.conns.push(Conn {
+                id,
+                tx,
+                writer,
+                reader,
+                registered: false,
+                upstream: UpstreamParser::new(),
+            });
             m.accepted.inc();
         }
         m.connections.set(self.conns.len() as i64);
@@ -290,8 +338,7 @@ impl TcpTransport {
     pub fn disconnect_all(&mut self) -> usize {
         let severed = self.conns.len();
         for conn in self.conns.drain(..) {
-            drop(conn.tx);
-            self.graveyard.push(conn.writer);
+            Self::retire(&self.req_poll, &mut self.graveyard, conn);
         }
         crate::obs::tcp().connections.set(0);
         severed
@@ -325,8 +372,7 @@ impl TcpTransport {
                         stats.disconnected += 1;
                         event(EventKind::Disconnect, i as u64, 1);
                         let conn = self.conns.swap_remove(i);
-                        drop(conn.tx);
-                        self.graveyard.push(conn.writer);
+                        Self::retire(&self.req_poll, &mut self.graveyard, conn);
                     }
                 },
                 Err(TrySendError::Disconnected(_)) => {
@@ -334,7 +380,7 @@ impl TcpTransport {
                     stats.disconnected += 1;
                     event(EventKind::Disconnect, i as u64, 0);
                     let conn = self.conns.swap_remove(i);
-                    self.graveyard.push(conn.writer);
+                    Self::retire(&self.req_poll, &mut self.graveyard, conn);
                 }
             }
         }
@@ -363,8 +409,7 @@ impl Transport for TcpTransport {
                             stats.disconnected += 1;
                             event(EventKind::Disconnect, self.conns[i].id, 1);
                             let conn = self.conns.swap_remove(i);
-                            drop(conn.tx);
-                            self.graveyard.push(conn.writer);
+                            Self::retire(&self.req_poll, &mut self.graveyard, conn);
                         } else {
                             i += 1;
                         }
@@ -408,14 +453,79 @@ impl Transport for TcpTransport {
         self.conns.len()
     }
 
+    fn take_requests(&mut self, out: &mut Vec<PullRequest>) {
+        self.poll_accept();
+        if self.req_poll.is_none() {
+            self.req_poll = Poll::new().ok();
+        }
+        let Self {
+            req_poll,
+            req_events,
+            req_scratch,
+            conns,
+            ..
+        } = self;
+        let Some(poll) = req_poll.as_mut() else {
+            return;
+        };
+        // Register any connection not yet watched. Tokens are connection
+        // ids (stable across `swap_remove`), not vector indices.
+        for conn in conns.iter_mut() {
+            if !conn.registered {
+                if let Some(reader) = conn.reader.as_ref() {
+                    match poll.register(reader, Token(conn.id as usize), Interest::READABLE) {
+                        Ok(()) => conn.registered = true,
+                        Err(_) => conn.reader = None,
+                    }
+                }
+            }
+        }
+        // One poll pass, one read per ready connection. The reader clones
+        // are *blocking* sockets, but a single read on a level-triggered
+        // readable socket never blocks; any bytes left over re-signal on
+        // the next call (the engine drains every tick).
+        if !matches!(poll.poll(req_events, Some(Duration::ZERO)), Ok(n) if n > 0) {
+            return;
+        }
+        for ev in req_events.iter() {
+            let id = ev.token().0 as u64;
+            let Some(conn) = conns.iter_mut().find(|c| c.id == id) else {
+                continue;
+            };
+            let Some(reader) = conn.reader.as_ref() else {
+                continue;
+            };
+            let mut r: &TcpStream = reader;
+            match r.read(req_scratch) {
+                Ok(n) if n > 0 => conn.upstream.feed(&req_scratch[..n], out),
+                Ok(_) => {
+                    // EOF: the peer shut down its write side. Stop
+                    // watching; the writer thread handles the hangup.
+                    let _ = poll.deregister(reader);
+                    conn.registered = false;
+                    conn.reader = None;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => {
+                    let _ = poll.deregister(reader);
+                    conn.registered = false;
+                    conn.reader = None;
+                }
+            }
+        }
+    }
+
     fn set_hello(&mut self, hello: Option<Frame>) {
         self.hello = hello.map(|f| f.encode_shared());
     }
 
     fn finish(&mut self) -> DeliveryStats {
         for conn in self.conns.drain(..) {
-            drop(conn.tx);
-            self.graveyard.push(conn.writer);
+            Self::retire(&self.req_poll, &mut self.graveyard, conn);
         }
         for writer in self.graveyard.drain(..) {
             let _ = writer.join();
@@ -452,6 +562,12 @@ impl TcpFrameReader {
     /// Connects to a broadcast server.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected socket (e.g. one that has been writing
+    /// raw upstream bytes and now wants the framed downstream view).
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         Ok(Self { stream, corrupt: 0 })
     }
@@ -459,6 +575,14 @@ impl TcpFrameReader {
     /// Frames discarded so far because their CRC failed.
     pub fn corrupt_frames(&self) -> u64 {
         self.corrupt
+    }
+
+    /// Writes one upstream pull-request record to the broker: "air `page`
+    /// for `user`, who can receive from slot `min_seq` on". Fire-and-
+    /// forget — the broker never replies on the backchannel; the answer,
+    /// if any, is a `Slot::Pull` frame on the broadcast itself.
+    pub fn send_request(&mut self, user: u32, page: PageId, min_seq: u64) -> io::Result<()> {
+        self.stream.write_all(&encode_request(user, page, min_seq))
     }
 
     /// Reads the next intact frame, silently skipping CRC failures;
@@ -873,6 +997,59 @@ mod tests {
                 "attempt {attempt}: {d:?} under floor"
             );
         }
+    }
+
+    #[test]
+    fn upstream_requests_reach_take_requests() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
+        let addr = transport.local_addr();
+        let mut reader = TcpFrameReader::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        reader.send_request(3, PageId(9), 50).unwrap();
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while out.is_empty() && Instant::now() < deadline {
+            transport.take_requests(&mut out);
+        }
+        assert_eq!(
+            out,
+            vec![PullRequest {
+                user: 3,
+                page: PageId(9),
+                min_seq: 50
+            }]
+        );
+        // The downstream direction is unaffected: broadcast still flows.
+        let payloads = PagePayloads::generate(2, 16);
+        let stats = transport.broadcast(payloads.frame(0, Slot::Page(PageId(1))));
+        assert_eq!(stats.delivered, 1);
+        transport.finish();
+        let frame = reader.recv().unwrap().expect("frame delivered");
+        assert_eq!(frame.slot, Slot::Page(PageId(1)));
+    }
+
+    /// Garbage upstream bytes on the threaded path: rejected by the
+    /// parser, never a disconnect — mirror of the evented pin.
+    #[test]
+    fn garbage_upstream_bytes_never_kill_the_connection() {
+        let mut transport = TcpTransport::bind(TcpTransportConfig::default()).unwrap();
+        let addr = transport.local_addr();
+        let mut legacy = TcpStream::connect(addr).unwrap();
+        assert!(transport.wait_for_clients(1, Duration::from_secs(5)));
+        legacy.write_all(&[0xAB; 512]).unwrap();
+        // Then a valid record after the noise: resync must find it.
+        legacy
+            .write_all(&crate::upstream::encode_request(1, PageId(2), 3))
+            .unwrap();
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while out.is_empty() && Instant::now() < deadline {
+            transport.take_requests(&mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].page, PageId(2));
+        assert_eq!(transport.active_clients(), 1, "garbage killed the conn");
+        drop(legacy);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub const FENCE_SENTINEL: u32 = 0xFFFF_FFFE;
 /// limited to `0..2^15` on the wire.
 pub const CHANNEL_V3_FLAG: u16 = 0x8000;
 
+/// Channel-field flag marking an on-demand pull airing ([`Slot::Pull`]):
+/// the page field carries the page id unchanged, so a pull frame is
+/// byte-identical to the equivalent push frame except for this one
+/// (CRC-bound) bit. Composes with [`CHANNEL_V3_FLAG`]; with both flags
+/// reserved, real channel ids are limited to `0..2^14` on the wire.
+/// Push-only runs never set this bit, keeping them byte-identical to
+/// pre-pull brokers.
+pub const CHANNEL_PULL_FLAG: u16 = 0x4000;
+
 /// Bytes of frame header following the length prefix:
 /// 8 (seq) + 2 (channel) + 4 (page) + 4 (crc). Wire format v2: the frame
 /// carries the broadcast channel it was aired on.
@@ -209,17 +218,27 @@ impl Frame {
                 REPAIR_FLAG | r.0
             }
             Slot::EpochFence => FENCE_SENTINEL,
+            Slot::Pull(p) => {
+                debug_assert!(
+                    p.0 & REPAIR_FLAG == 0,
+                    "page id {} overflows the 31-bit wire page space",
+                    p.0
+                );
+                p.0
+            }
         };
-        let chan = if v3 {
-            debug_assert!(
-                self.channel & CHANNEL_V3_FLAG == 0,
-                "channel {} overflows the 15-bit v3 channel space",
-                self.channel
-            );
-            self.channel | CHANNEL_V3_FLAG
-        } else {
+        debug_assert!(
+            self.channel & (CHANNEL_V3_FLAG | CHANNEL_PULL_FLAG) == 0,
+            "channel {} overflows the 14-bit wire channel space",
             self.channel
-        };
+        );
+        let mut chan = self.channel;
+        if v3 {
+            chan |= CHANNEL_V3_FLAG;
+        }
+        if matches!(self.slot, Slot::Pull(_)) {
+            chan |= CHANNEL_PULL_FLAG;
+        }
         let mut buf = Vec::with_capacity(self.wire_len());
         buf.extend_from_slice(&len.to_le_bytes());
         buf.extend_from_slice(&self.seq.to_le_bytes());
@@ -267,7 +286,8 @@ impl Frame {
         let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
         let chan_raw = u16::from_le_bytes(body[8..10].try_into().unwrap());
         let v3 = chan_raw & CHANNEL_V3_FLAG != 0;
-        let channel = chan_raw & !CHANNEL_V3_FLAG;
+        let pull = chan_raw & CHANNEL_PULL_FLAG != 0;
+        let channel = chan_raw & !(CHANNEL_V3_FLAG | CHANNEL_PULL_FLAG);
         if v3 && body.len() < HEADER_LEN_V3 {
             return Err(FrameError::Truncated);
         }
@@ -278,7 +298,11 @@ impl Frame {
             0
         };
         let page = u32::from_le_bytes(body[10..14].try_into().unwrap());
-        let slot = if v3 && page == FENCE_SENTINEL {
+        let slot = if pull {
+            // The pull flag overrides the page-field sentinel space: a
+            // pull airing always carries a plain page id.
+            Slot::Pull(PageId(page))
+        } else if v3 && page == FENCE_SENTINEL {
             Slot::EpochFence
         } else if page == EMPTY_SENTINEL {
             Slot::Empty
@@ -370,7 +394,9 @@ impl PagePayloads {
     /// `engine::RepairTables`), which this type knows nothing about.
     pub fn frame_on(&self, seq: u64, channel: u16, slot: Slot) -> Frame {
         let payload = match slot {
-            Slot::Page(p) => Arc::clone(&self.pages[p.index()]),
+            // A pull airing carries the same shared payload as a push
+            // airing of the page — only the channel-field flag differs.
+            Slot::Page(p) | Slot::Pull(p) => Arc::clone(&self.pages[p.index()]),
             // EpochFence never comes from a program slot (fences carry
             // their base in a payload built by `Frame::fence`), but an
             // empty payload keeps the match total.
@@ -390,6 +416,24 @@ impl PagePayloads {
     pub fn page(&self, page: PageId) -> &Arc<[u8]> {
         &self.pages[page.index()]
     }
+}
+
+/// A client→server pull request: the client missed `page` in its cache
+/// and asks the broker to air it on demand instead of waiting out the
+/// periodic schedule. Parsed from the upstream byte stream by
+/// [`crate::upstream::UpstreamParser`] and queued by the slot arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullRequest {
+    /// Client-chosen user id, for per-user fairness accounting.
+    pub user: u32,
+    /// The page being requested.
+    pub page: PageId,
+    /// The earliest slot seq at which the requester can receive the page
+    /// (its current frame seq, raised by any retune penalty in flight).
+    /// The arbiter never services the request before this instant, and
+    /// drops it when the periodic schedule already aired the page at or
+    /// after it.
+    pub min_seq: u64,
 }
 
 /// What to do when a client's send buffer is full — i.e. the client is
@@ -485,6 +529,13 @@ pub trait Transport: Send {
     /// for the next refresh fence. `None` (the default, and the epoch-0
     /// state) sends nothing, keeping pre-epoch runs byte-identical.
     fn set_hello(&mut self, _hello: Option<Frame>) {}
+
+    /// Drains every upstream [`PullRequest`] received since the last call
+    /// into `out` (appending; arrival order preserved). The engine polls
+    /// this once per tick when pull arbitration is enabled and never
+    /// otherwise, so push-only runs pay nothing. The default is the
+    /// downstream-only transport: no requests, `out` untouched.
+    fn take_requests(&mut self, _out: &mut Vec<PullRequest>) {}
 }
 
 #[cfg(test)]
@@ -558,6 +609,62 @@ mod tests {
         let r = Frame::bare(3, Slot::Repair(RepairId(0x7FFF_FFFE)));
         let decoded = Frame::decode(&r.encode()[LEN_PREFIX..]).unwrap();
         assert_eq!(decoded.slot, Slot::Repair(RepairId(0x7FFF_FFFE)));
+    }
+
+    #[test]
+    fn pull_frame_round_trips_on_v2_and_v3() {
+        let payloads = PagePayloads::generate(8, 16);
+        // Epoch 0: a pull frame is v2-sized — same header as a push frame.
+        let mut f = payloads.frame_on(31, 2, Slot::Page(PageId(5)));
+        f.slot = Slot::Pull(PageId(5));
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), LEN_PREFIX + HEADER_LEN + 16);
+        let decoded = Frame::decode(&bytes[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.slot, Slot::Pull(PageId(5)));
+        assert_eq!(decoded.channel, 2);
+        assert_eq!(decoded.epoch, 0);
+        assert_eq!(decoded.payload, f.payload);
+        // Nonzero epoch: pull composes with the v3 flag.
+        let f3 = f.clone().with_epoch(9);
+        let decoded = Frame::decode(&f3.encode()[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.slot, Slot::Pull(PageId(5)));
+        assert_eq!(decoded.epoch, 9);
+        assert_eq!(decoded.channel, 2);
+    }
+
+    #[test]
+    fn pull_differs_from_push_by_exactly_one_wire_bit() {
+        let payloads = PagePayloads::generate(8, 16);
+        let push = payloads.frame_on(31, 2, Slot::Page(PageId(5)));
+        let mut pull = push.clone();
+        pull.slot = Slot::Pull(PageId(5));
+        let pb = push.encode();
+        let lb = pull.encode();
+        assert_eq!(pb.len(), lb.len());
+        let diff: u32 = pb
+            .iter()
+            .zip(&lb)
+            .enumerate()
+            // The CRC field re-binds the flag; exclude it from the count.
+            .filter(|&(i, _)| !(LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4).contains(&i))
+            .map(|(_, (a, b))| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1, "pull flag must be the only non-CRC difference");
+        assert_ne!(
+            &pb[LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4],
+            &lb[LEN_PREFIX + CRC_OFFSET..LEN_PREFIX + CRC_OFFSET + 4],
+            "the pull flag must be CRC-bound"
+        );
+    }
+
+    #[test]
+    fn pull_flag_overrides_page_sentinels() {
+        // A pull airing of a page whose id happens to have the repair
+        // high bit clear is the normal case; the decode path must check
+        // the pull flag before any page-field sentinel.
+        let f = Frame::bare_on(7, 1, Slot::Pull(PageId(0)));
+        let decoded = Frame::decode(&f.encode()[LEN_PREFIX..]).unwrap();
+        assert_eq!(decoded.slot, Slot::Pull(PageId(0)));
     }
 
     #[test]

@@ -130,7 +130,7 @@ proptest! {
                         window.push_heard(seq, p, payload_of(p));
                     }
                 }
-                Slot::Empty | Slot::EpochFence => {}
+                Slot::Empty | Slot::EpochFence | Slot::Pull(_) => {}
                 Slot::Repair(id) => {
                     if erased { continue; }
                     let Some((covers, sym)) = compose(&plan, &code, ch, id, seq) else {
@@ -207,7 +207,7 @@ proptest! {
                         window.push_heard(seq, p, payload_of(p));
                     }
                 }
-                Slot::Empty | Slot::EpochFence => {}
+                Slot::Empty | Slot::EpochFence | Slot::Pull(_) => {}
                 Slot::Repair(id) => {
                     let Some((covers, sym)) = compose(&plan, &code, ch, id, seq) else {
                         continue;
@@ -264,7 +264,7 @@ fn single_loss_recovery_wait_bounded_by_group_span() {
                     window.push_heard(seq, p, payload_of(p));
                 }
             }
-            Slot::Empty | Slot::EpochFence => {}
+            Slot::Empty | Slot::EpochFence | Slot::Pull(_) => {}
             Slot::Repair(id) => {
                 let covers = code.covered_seqs(id, seq).unwrap();
                 let mut sym = vec![0u8; PAGE_SIZE];

@@ -100,7 +100,7 @@ fn run_stream(group: usize) {
                     }
                 }
             }
-            Slot::Empty | Slot::EpochFence => {}
+            Slot::Empty | Slot::EpochFence | Slot::Pull(_) => {}
         }
     }
 

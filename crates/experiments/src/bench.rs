@@ -5,7 +5,7 @@
 //! current directory, so the repo carries its own perf trajectory across
 //! PRs: re-run `repro bench` on the same machine class and diff the JSON.
 //!
-//! * `BENCH_broker.json` (`bdisk-bench-broker/v3`) — TCP fan-out
+//! * `BENCH_broker.json` (`bdisk-bench-broker/v4`) — TCP fan-out
 //!   throughput over real loopback sockets for **both** transports
 //!   (`threaded`: one writer thread per connection; `evented`: the
 //!   single-threaded epoll loop), each fleet point drained by a
@@ -16,7 +16,11 @@
 //!   the fleet-mode point the threaded transport cannot reach. The
 //!   historical lossless-bus rows (`bus_fanout`), the metrics on/off
 //!   overhead comparison, and the span-tracing off vs 1-in-64 sampling
-//!   pair ride along.
+//!   pair ride along. The `pull_fanout` row is the hybrid push/pull
+//!   stress point: a 1k+ requester fleet floods the upstream backchannel
+//!   while the pull-enabled engine arbitrates every slot — the cost of
+//!   the request drain + slot arbiter under saturation, tracked next to
+//!   the pull-less rows it must stay comparable to.
 //! * `BENCH_sim.json` — wall-clock of a Δ-sweep of the discrete-event
 //!   simulator at the paper's D5 configuration.
 //!
@@ -33,8 +37,8 @@ use std::time::{Duration, Instant};
 
 use bdisk_broker::{
     raise_nofile_limit, Backpressure, BroadcastEngine, BusTuning, EngineConfig, EngineReport,
-    EventedTcpTransport, FleetReport, InMemoryBus, TcpTransport, TcpTransportConfig, Transport,
-    TunerFleet,
+    EventedTcpTransport, FleetReport, InMemoryBus, PullConfig, PullMode, RequesterConfig,
+    TcpTransport, TcpTransportConfig, Transport, TunerFleet,
 };
 use bdisk_cache::PolicyKind;
 use bdisk_sched::{BroadcastProgram, DiskLayout};
@@ -211,6 +215,7 @@ struct FleetSummary {
     crc_errors: u64,
     tuners_with_gaps: u64,
     min_frames: u64,
+    requests: u64,
 }
 
 impl FleetSummary {
@@ -222,6 +227,7 @@ impl FleetSummary {
             crc_errors: report.total_crc_errors(),
             tuners_with_gaps: report.tuners_with_gaps() as u64,
             min_frames: report.min_frames(),
+            requests: report.total_requests(),
         }
     }
 
@@ -229,13 +235,14 @@ impl FleetSummary {
     fn to_line(self) -> String {
         format!(
             "FLEET tuners={} frames={} bytes={} crc_errors={} \
-             tuners_with_gaps={} min_frames={}",
+             tuners_with_gaps={} min_frames={} requests={}",
             self.tuners,
             self.frames,
             self.bytes,
             self.crc_errors,
             self.tuners_with_gaps,
-            self.min_frames
+            self.min_frames,
+            self.requests
         )
     }
 
@@ -255,6 +262,7 @@ impl FleetSummary {
             crc_errors: field("crc_errors")?,
             tuners_with_gaps: field("tuners_with_gaps")?,
             min_frames: field("min_frames")?,
+            requests: field("requests")?,
         })
     }
 }
@@ -272,25 +280,39 @@ enum BenchFleet {
 
 impl BenchFleet {
     fn launch(addr: std::net::SocketAddr, clients: usize) -> BenchFleet {
+        BenchFleet::launch_with(addr, clients, None)
+    }
+
+    fn launch_with(
+        addr: std::net::SocketAddr,
+        clients: usize,
+        requester: Option<RequesterConfig>,
+    ) -> BenchFleet {
         // In-process budget: two fds per tuner + listener/epoll/stdio slack.
         // `raise_nofile_limit` clamps to the hard cap, so even when the
         // answer is "child process", this raise covers the server ends.
         let want = 2 * clients as u64 + 512;
         let got = raise_nofile_limit(want).unwrap_or(0);
         if got >= want {
-            return BenchFleet::InProcess(
-                TunerFleet::launch(addr, clients).expect("launch tuner fleet"),
-            );
+            let fleet = match requester {
+                Some(cfg) => TunerFleet::launch_requesters(addr, clients, cfg),
+                None => TunerFleet::launch(addr, clients),
+            };
+            return BenchFleet::InProcess(fleet.expect("launch tuner fleet"));
         }
         println!(
             "  (fd limit {got} < {want}: running the {clients}-tuner fleet \
              in a child process)"
         );
         let exe = std::env::current_exe().expect("bench binary path");
-        let child = std::process::Command::new(exe)
-            .arg("__tuner-fleet")
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("__tuner-fleet")
             .arg(addr.to_string())
-            .arg(clients.to_string())
+            .arg(clients.to_string());
+        if let Some(cfg) = requester {
+            cmd.arg(cfg.every.to_string()).arg(cfg.pages.to_string());
+        }
+        let child = cmd
             .stdout(std::process::Stdio::piped())
             .spawn()
             .expect("spawn tuner-fleet child");
@@ -319,16 +341,30 @@ impl BenchFleet {
     }
 }
 
-/// Hidden child mode (`repro __tuner-fleet <addr> <clients>`): runs a
-/// [`TunerFleet`] against an already-listening bench server and prints a
-/// one-line [`FleetSummary`] on stdout. Exists so a 10k-tuner fleet can
-/// spend its own process's `RLIMIT_NOFILE` budget (see [`BenchFleet`]).
+/// Hidden child mode (`repro __tuner-fleet <addr> <clients> [<every>
+/// <pages>]`): runs a [`TunerFleet`] against an already-listening bench
+/// server and prints a one-line [`FleetSummary`] on stdout. Exists so a
+/// 10k-tuner fleet can spend its own process's `RLIMIT_NOFILE` budget
+/// (see [`BenchFleet`]). With the optional `<every> <pages>` pair the
+/// tuners also run requester mode: every tuner fires an upstream pull
+/// request each `every` frames, cycling over `pages` pages.
 pub fn tuner_fleet_child(args: &[String]) {
-    let usage = "usage: repro __tuner-fleet <addr> <clients>";
+    let usage = "usage: repro __tuner-fleet <addr> <clients> [<every> <pages>]";
     let addr: std::net::SocketAddr = args.first().expect(usage).parse().expect(usage);
     let clients: usize = args.get(1).expect(usage).parse().expect(usage);
+    let requester = match (args.get(2), args.get(3)) {
+        (Some(every), Some(pages)) => Some(RequesterConfig {
+            every: every.parse().expect(usage),
+            pages: pages.parse().expect(usage),
+        }),
+        _ => None,
+    };
     let _ = raise_nofile_limit(clients as u64 + 512);
-    let fleet = TunerFleet::launch(addr, clients).expect("child: launch tuner fleet");
+    let fleet = match requester {
+        Some(cfg) => TunerFleet::launch_requesters(addr, clients, cfg),
+        None => TunerFleet::launch(addr, clients),
+    }
+    .expect("child: launch tuner fleet");
     let report = fleet.join().expect("child: tuner fleet failed");
     println!("{}", FleetSummary::from_report(&report).to_line());
 }
@@ -448,6 +484,91 @@ fn tcp_fanout_rows(
     (rows, hit_10k)
 }
 
+/// Requester fleet size for the tracked pull fan-out point: always past
+/// the 1k-tuner mark the hybrid push/pull acceptance asks for.
+fn pull_clients(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 2048,
+        Scale::Quick => 1024,
+    }
+}
+
+/// Upstream request cadence for the pull stress point: every tuner fires
+/// one pull request per this many received frames, so a 1k fleet floods
+/// the backchannel with ~64 requests per broadcast slot — far past the
+/// arbiter's service capacity, which is the regime worth pricing.
+const PULL_REQUEST_EVERY: u64 = 16;
+
+/// One pull-enabled fan-out measurement: a requester [`TunerFleet`]
+/// floods the upstream backchannel while the evented engine arbitrates
+/// every slot through the [`bdisk_broker::SlotArbiter`]. Losslessness is
+/// unchanged from the push-only points — pull airings replace slots
+/// one-for-one, so every tuner still sees every slot, CRC-intact — and
+/// the point additionally must show real backchannel traffic end to end.
+fn pull_fanout_point(clients: usize, slots: u64, page_size: usize) -> (EngineReport, FleetSummary) {
+    let layout = DiskLayout::with_delta(&DISKS, DELTA).expect("bench layout is valid");
+    let mut transport =
+        EventedTcpTransport::bind(tcp_point_config(slots)).expect("bind evented transport");
+    let fleet = BenchFleet::launch_with(
+        transport.local_addr(),
+        clients,
+        Some(RequesterConfig {
+            every: PULL_REQUEST_EVERY,
+            pages: layout.total_pages() as u32,
+        }),
+    );
+    assert!(
+        transport.wait_for_clients(clients, Duration::from_secs(120)),
+        "pull bench fleet of {clients} requesters failed to connect"
+    );
+    let program = BroadcastProgram::generate(&layout).expect("bench program is valid");
+    let engine = BroadcastEngine::new(
+        program,
+        EngineConfig {
+            max_slots: slots,
+            stop_when_no_clients: false,
+            page_size,
+            ..EngineConfig::default()
+        },
+    )
+    .with_pull(PullConfig {
+        mode: PullMode::Adaptive {
+            max_ratio: 0.25,
+            depth_target: clients,
+        },
+        ..PullConfig::default()
+    });
+    let report = engine.run(&mut transport);
+    drop(transport);
+    let fleet = fleet.join();
+    assert_eq!(report.slots_sent, slots);
+    assert_eq!(
+        report.frames_delivered,
+        slots * clients as u64,
+        "lossless pull bench dropped or disconnected ({clients} requesters)"
+    );
+    assert_eq!(fleet.tuners, clients as u64);
+    assert_eq!(
+        fleet.min_frames, slots,
+        "a requester tuner missed frames ({clients} requesters)"
+    );
+    assert_eq!(fleet.crc_errors, 0, "a pull frame failed its CRC");
+    assert_eq!(fleet.tuners_with_gaps, 0);
+    assert!(
+        fleet.requests > 0,
+        "requester fleet never sent an upstream request"
+    );
+    assert!(
+        report.pull.requests > 0,
+        "engine never drained an upstream request"
+    );
+    assert!(
+        report.pull.pull_slots > 0,
+        "arbiter never aired a pull slot under a flooded backchannel"
+    );
+    (report, fleet)
+}
+
 /// Runs both benchmarks and writes the tracked JSON files.
 pub fn run(scale: Scale, page_size: usize, clients_list: Option<&[usize]>) {
     let mode = match scale {
@@ -492,6 +613,55 @@ pub fn run(scale: Scale, page_size: usize, clients_list: Option<&[usize]>) {
     println!("\n=== bench: TCP fan-out (lossless-by-capacity, PageSize {page_size}) ===");
     let (tcp_rows, hit_10k) = tcp_fanout_rows(scale, page_size, clients_list);
     assert!(!tcp_rows.is_empty(), "TCP fan-out produced no rows");
+
+    // --- pull fan-out: the hybrid push/pull stress point. A requester
+    // fleet past the 1k mark floods the upstream backchannel while the
+    // evented engine routes every slot through the arbiter; the row
+    // prices the request drain + arbitration against the pull-less
+    // evented rows above.
+    let pull_clients = pull_clients(scale);
+    let pull_slots = tcp_slots(scale, pull_clients);
+    println!(
+        "\n=== bench: pull fan-out (evented, {pull_clients} requesters × \
+         {pull_slots} slots, 1 request / {PULL_REQUEST_EVERY} frames) ==="
+    );
+    let ((pull_report, pull_fleet), pull_spread) = median_point(
+        || pull_fanout_point(pull_clients, pull_slots, page_size),
+        |(report, _)| report.slots_per_sec,
+    );
+    let pull_mb_per_sec =
+        pull_report.bytes_sent as f64 / 1e6 / pull_report.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "  {pull_clients:>8} requesters × {pull_slots:>5} slots: {:>9.0} slots/sec  \
+         ({:>8.1} MB/s, spread {:.1}%)\n  upstream: {} sent, {} drained, {} pull slots \
+         aired ({} stolen + {} padding), {} rejected",
+        pull_report.slots_per_sec,
+        pull_mb_per_sec,
+        pull_spread * 100.0,
+        pull_fleet.requests,
+        pull_report.pull.requests,
+        pull_report.pull.pull_slots,
+        pull_report.pull.stolen_slots,
+        pull_report.pull.padding_slots,
+        pull_report.pull.rejected,
+    );
+    let pull_row = format!(
+        "    {{\"transport\": \"evented\", \"clients\": {pull_clients}, \
+         \"slots\": {pull_slots}, \"slots_per_sec\": {:.1}, \"mb_per_sec\": \
+         {pull_mb_per_sec:.2}, \"frames_delivered\": {}, \"elapsed_sec\": {:.4}, \
+         \"spread\": {pull_spread:.4}, \"requests_sent\": {}, \"requests_drained\": {}, \
+         \"pull_slots\": {}, \"stolen_slots\": {}, \"padding_slots\": {}, \
+         \"rejected\": {}}}",
+        pull_report.slots_per_sec,
+        pull_report.frames_delivered,
+        pull_report.elapsed.as_secs_f64(),
+        pull_fleet.requests,
+        pull_report.pull.requests,
+        pull_report.pull.pull_slots,
+        pull_report.pull.stolen_slots,
+        pull_report.pull.padding_slots,
+        pull_report.pull.rejected,
+    );
 
     // --- observability overhead: the tracked operating point with metric
     // recording off vs on (the default). The delta is the price of the
@@ -556,12 +726,13 @@ pub fn run(scale: Scale, page_size: usize, clients_list: Option<&[usize]>) {
     );
 
     let broker_json = format!(
-        "{{\n  \"schema\": \"bdisk-bench-broker/v3\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"bdisk-bench-broker/v4\",\n  \"mode\": \"{mode}\",\n  \
          \"operating_point\": {{\n    \"disks\": [{}], \"delta\": {DELTA}, \
          \"slots\": {slots}, \"capacity\": {CAPACITY}, \"page_size\": {page_size}, \
          \"backpressure\": \"block\", \"batch\": {}, \"shards\": {}, \
          \"repeats\": {FANOUT_REPEATS}\n  }},\n  \
          \"fanout\": [\n{}\n  ],\n  \
+         \"pull_fanout\": [\n{pull_row}\n  ],\n  \
          \"bus_fanout\": [\n{}\n  ],\n  \
          \"observability\": {{\n    \"clients\": {obs_clients}, \"slots\": {slots}, \
          \"metrics_off_slots_per_sec\": {:.1}, \"metrics_on_slots_per_sec\": {:.1}, \
@@ -648,7 +819,7 @@ fn validate_broker(
     let v = json::parse(text).expect("BENCH_broker.json must parse");
     assert_eq!(
         v.get("schema").and_then(json::Value::as_str),
-        Some("bdisk-bench-broker/v3"),
+        Some("bdisk-bench-broker/v4"),
         "broker bench schema tag"
     );
     let op = v.get("operating_point").expect("operating_point object");
@@ -710,6 +881,39 @@ fn validate_broker(
             evented_10k,
             "full-mode fanout must carry an evented >=10k-client row"
         );
+    }
+    let pull_fanout = v
+        .get("pull_fanout")
+        .and_then(json::Value::as_array)
+        .expect("pull_fanout array");
+    assert_eq!(pull_fanout.len(), 1, "one tracked pull fan-out row");
+    for row in pull_fanout {
+        assert_eq!(
+            row.get("transport").and_then(json::Value::as_str),
+            Some("evented"),
+            "pull fan-out runs on the evented transport"
+        );
+        let clients = row
+            .get("clients")
+            .and_then(json::Value::as_f64)
+            .expect("pull_fanout row needs clients");
+        assert!(
+            clients >= 1000.0,
+            "pull fan-out must keep the 1k+ requester point"
+        );
+        for key in ["slots", "slots_per_sec", "elapsed_sec", "spread"] {
+            assert!(
+                row.get(key).and_then(json::Value::as_f64).is_some(),
+                "pull_fanout row needs {key}"
+            );
+        }
+        for key in ["requests_sent", "requests_drained", "pull_slots"] {
+            let n = row
+                .get(key)
+                .and_then(json::Value::as_f64)
+                .unwrap_or_else(|| panic!("pull_fanout row needs {key}"));
+            assert!(n > 0.0, "pull_fanout.{key} must witness real traffic");
+        }
     }
     let bus_fanout = v
         .get("bus_fanout")

@@ -129,6 +129,7 @@ pub fn base_config(scale: Scale) -> SimConfig {
         page_size: 64,
         channels: 1,
         switch_slots: 0.0,
+        pull: false,
     }
 }
 

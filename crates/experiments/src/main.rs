@@ -46,6 +46,7 @@
 //!   faults   loss sweep + TCP chaos run under seeded fault injection
 //!   coding   coded repair slots: rate x loss sweep + coded live parity
 //!   drift    epoch hot-swap under workload drift, with broker restart
+//!   pull     hybrid push/pull slot arbiter: skew x mode sweep + parity
 //!   bench    perf harness: writes BENCH_broker.json / BENCH_sim.json
 //!   all      everything above, in paper order
 //! ```
@@ -64,6 +65,7 @@ mod extensions;
 mod faults;
 mod figures;
 mod live;
+mod pull;
 mod table1;
 mod timeline;
 mod worked_examples;
@@ -223,12 +225,13 @@ fn run_one(exp: &str, scale: Scale, live_opts: &LiveOptions, clients_list: Optio
         "faults" => faults::run(scale, live_opts),
         "coding" => coding::run(scale, live_opts),
         "drift" => drift::run(scale, live_opts),
+        "pull" => pull::run(scale, live_opts),
         "bench" => bench::run(scale, live_opts.page_size, clients_list),
         "all" => {
             for e in [
                 "table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "prefetch", "policies", "design", "updates",
-                "index", "channels", "live", "timeline", "faults", "coding", "drift",
+                "index", "channels", "live", "timeline", "faults", "coding", "drift", "pull",
             ] {
                 run_one(e, scale, live_opts, clients_list);
             }

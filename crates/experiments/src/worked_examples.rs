@@ -27,6 +27,7 @@ pub fn figure3() {
                 bdisk_sched::Slot::Empty => "-".into(),
                 bdisk_sched::Slot::Repair(_) => "+".into(),
                 bdisk_sched::Slot::EpochFence => "|".into(),
+                bdisk_sched::Slot::Pull(p) => format!("<{}", p.0),
             })
             .collect();
         println!("minor cycle {}: {}", m + 1, rendered.join(" "));

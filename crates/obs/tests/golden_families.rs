@@ -45,6 +45,14 @@ const GOLDEN_FAMILIES: &[&str] = &[
     "bd_partial_writes_total",
     "bd_plan_epoch",
     "bd_poll_wakeups_total",
+    "bd_pull_padding_slots_total",
+    "bd_pull_queue_depth",
+    "bd_pull_requests_rejected_total",
+    "bd_pull_requests_total",
+    "bd_pull_slots_total",
+    "bd_pull_stolen_slots_total",
+    "bd_pull_user_max_wait_slots",
+    "bd_pull_wait_slots",
     "bd_reconnects_total",
     "bd_recovery_coded_total",
     "bd_recovery_periodic_total",

@@ -274,6 +274,7 @@ impl BroadcastPlan {
                     Slot::Empty => u64::MAX,
                     Slot::Repair(r) => (1u64 << 32) | r.0 as u64,
                     Slot::EpochFence => 1u64 << 33,
+                    Slot::Pull(p) => (1u64 << 34) | p.0 as u64,
                 });
             }
         }
@@ -468,6 +469,18 @@ impl BroadcastPlan {
     pub fn next_arrival(&self, page: PageId, t: f64) -> f64 {
         let ch = self.page_channel[page.index()] as usize;
         self.programs[ch].next_arrival(PageId(self.page_local[page.index()]), t)
+    }
+
+    /// The absolute time (slot start) of the next empty padding slot on
+    /// `channel` at or after time `t`, or `None` if the channel's program
+    /// has no padding.
+    ///
+    /// A padding-fill pull arbiter services a queued request for a page at
+    /// the first padding slot of the page's home channel once the request
+    /// is eligible; this query is the simulator-side mirror of that
+    /// decision (see `bdisk-broker`'s `SlotArbiter`).
+    pub fn next_padding_arrival(&self, channel: ChannelId, t: f64) -> Option<f64> {
+        self.programs[channel.index()].next_empty_arrival(t)
     }
 
     /// Analytic expected delay (broadcast units) of a request stream with

@@ -73,6 +73,13 @@ pub enum Slot {
     /// arrivals across a hot swap. The fence's epoch and slot-clock base
     /// ride in the wire frame, not in this marker.
     EpochFence,
+    /// An on-demand airing of `page` serviced from the server's pull
+    /// queue rather than the periodic schedule. Like [`Slot::EpochFence`],
+    /// never part of a program's periodic slot vector: the slot arbiter
+    /// substitutes `Pull` frames for padding (and, in the stealing modes,
+    /// for scheduled data slots) at air time, so the periodic arithmetic
+    /// in [`BroadcastProgram::next_arrival`] stays valid for push traffic.
+    Pull(PageId),
 }
 
 /// A periodic broadcast program.
@@ -87,6 +94,10 @@ pub struct BroadcastProgram {
     disk_freqs: Vec<u64>,
     /// Number of empty (padding) slots per period.
     empty_slots: usize,
+    /// Sorted slot offsets (within one period) of the empty padding slots;
+    /// the pull arbiter fills these first, and the simulator mirror uses
+    /// them to predict when a queued pull request goes on the air.
+    empty_starts: Vec<u32>,
     /// Number of coded repair slots per period.
     repair_slots: usize,
 }
@@ -113,21 +124,28 @@ impl BroadcastProgram {
             .iter()
             .filter_map(|s| match s {
                 Slot::Page(p) => Some(p.index() + 1),
-                Slot::Empty | Slot::Repair(_) | Slot::EpochFence => None,
+                Slot::Empty | Slot::Repair(_) | Slot::EpochFence | Slot::Pull(_) => None,
             })
             .max()
             .ok_or(SchedError::EmptyProgram)?;
 
         let mut page_slots = vec![Vec::new(); num_pages];
         let mut empty_slots = 0;
+        let mut empty_starts = Vec::new();
         let mut repair_slots = 0;
         for (i, s) in slots.iter().enumerate() {
             match s {
                 Slot::Page(p) => page_slots[p.index()].push(i as u32),
-                Slot::Empty => empty_slots += 1,
+                Slot::Empty => {
+                    empty_slots += 1;
+                    empty_starts.push(i as u32);
+                }
                 Slot::Repair(_) => repair_slots += 1,
                 Slot::EpochFence => {
                     panic!("EpochFence is an out-of-band marker, not a program slot")
+                }
+                Slot::Pull(_) => {
+                    panic!("Pull is substituted at air time, not a program slot")
                 }
             }
         }
@@ -149,6 +167,7 @@ impl BroadcastProgram {
             page_disk,
             disk_freqs,
             empty_slots,
+            empty_starts,
             repair_slots,
         })
     }
@@ -286,6 +305,35 @@ impl BroadcastProgram {
         }
     }
 
+    /// Sorted slot offsets (within one period) of the empty padding slots.
+    pub fn empty_starts(&self) -> &[u32] {
+        &self.empty_starts
+    }
+
+    /// The absolute time (slot start) of the next empty padding slot at or
+    /// after time `t`, or `None` if the program has no padding.
+    ///
+    /// This is the earliest instant a padding-fill pull arbiter can put a
+    /// queued page on the air: the simulator's pull mirror and the live
+    /// arbiter both derive a request's service slot from it, which is what
+    /// keeps live-vs-sim parity bit-exact with pull enabled.
+    pub fn next_empty_arrival(&self, t: f64) -> Option<f64> {
+        debug_assert!(t >= 0.0);
+        if self.empty_starts.is_empty() {
+            return None;
+        }
+        let period = self.period() as f64;
+        let starts = &self.empty_starts;
+        let cycle = (t / period).floor();
+        let phase = t - cycle * period;
+        let idx = starts.partition_point(|&s| (s as f64) < phase);
+        Some(if idx < starts.len() {
+            cycle * period + starts[idx] as f64
+        } else {
+            (cycle + 1.0) * period + starts[0] as f64
+        })
+    }
+
     /// The coverage window of a repair slot at period offset `offset`: the
     /// period offsets of the most recent airing of each of the last
     /// `group` **distinct** coded pages aired before `offset` (cyclically),
@@ -343,6 +391,7 @@ impl BroadcastProgram {
                 Slot::Empty => out.push('-'),
                 Slot::Repair(_) => out.push('+'),
                 Slot::EpochFence => out.push('|'),
+                Slot::Pull(p) => out.push_str(&format!("<{}", p.0)),
             }
         }
         out
@@ -475,6 +524,27 @@ mod tests {
         assert_eq!(p.empty_slots(), 2);
         assert_eq!(p.waste(), 0.5);
         assert_eq!(p.num_pages(), 1);
+    }
+
+    #[test]
+    fn next_empty_arrival_walks_padding_slots() {
+        // A - A - : padding at offsets 1 and 3.
+        let slots = vec![
+            Slot::Page(PageId(0)),
+            Slot::Empty,
+            Slot::Page(PageId(0)),
+            Slot::Empty,
+        ];
+        let p = BroadcastProgram::from_slots(slots, None, vec![]).unwrap();
+        assert_eq!(p.empty_starts(), &[1, 3]);
+        assert_eq!(p.next_empty_arrival(0.0), Some(1.0));
+        assert_eq!(p.next_empty_arrival(1.0), Some(1.0));
+        assert_eq!(p.next_empty_arrival(1.5), Some(3.0));
+        assert_eq!(p.next_empty_arrival(3.5), Some(5.0)); // wraps
+        assert_eq!(p.next_empty_arrival(1001.0), Some(1001.0));
+        // No padding → no pull opportunity.
+        let dense = abac();
+        assert_eq!(dense.next_empty_arrival(7.0), None);
     }
 
     #[test]

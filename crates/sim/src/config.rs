@@ -57,6 +57,16 @@ pub struct SimConfig {
     /// channel starts at `⌊t⌋ + 1 + switch_slots`. Irrelevant when
     /// `channels == 1` (the client never switches).
     pub switch_slots: f64,
+    /// Mirror of the broker's upstream backchannel in padding-fill mode
+    /// (`PullMode::PaddingFill` with the client's pull requests armed):
+    /// a cache miss also asks the server for the page, and the server
+    /// services the request at the first empty padding slot of the page's
+    /// home channel once the request is eligible. The effective arrival is
+    /// then the *earlier* of the periodic airing and the pull service —
+    /// the same arithmetic the live client and the broker's `SlotArbiter`
+    /// execute, which is what keeps a pull-enabled live run bit-identical
+    /// to its simulated twin. Off by default (the paper's pure-push model).
+    pub pull: bool,
 }
 
 impl Default for SimConfig {
@@ -78,6 +88,7 @@ impl Default for SimConfig {
             page_size: 64,
             channels: 1,
             switch_slots: 0.0,
+            pull: false,
         }
     }
 }

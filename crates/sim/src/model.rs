@@ -60,6 +60,9 @@ pub struct ClientModel {
     /// The channel the single tuner currently listens to.
     tuned: ChannelId,
     switch_slots: f64,
+    /// Padding-fill pull mirror: misses also wait on the next empty slot
+    /// of the page's home channel (see [`SimConfig::pull`]).
+    pull: bool,
     phase: Phase,
     end_time: f64,
     /// Span identity (the seed for seeded constructors, 0 otherwise).
@@ -134,6 +137,7 @@ impl ClientModel {
             plan,
             tuned: ChannelId(0),
             switch_slots: cfg.switch_slots,
+            pull: cfg.pull,
             phase: Phase::Request,
             end_time: 0.0,
             trace_id,
@@ -173,6 +177,19 @@ impl ClientModel {
             phases,
         });
     }
+
+    /// The padding-fill pull prediction: the first empty slot of the
+    /// page's home channel at or after `max(⌈t⌉ + 1, min_seq)`. A request
+    /// issued during slot `⌈t⌉` reaches the arbiter that same tick (the
+    /// lockstep drivers submit with `last_aired = ⌈t⌉`), so the earliest
+    /// slot the arbiter can grant is `⌈t⌉ + 1` — and never before the
+    /// client's own receive floor `min_seq` (the retune penalty). This is
+    /// byte-for-byte the live client's `pull_arrival` with `base = 0`.
+    fn pull_arrival(&self, page: PageId, requested_at: f64, min_seq: u64) -> Option<f64> {
+        let home = self.plan.channel_of(page);
+        let lb = (requested_at.ceil() + 1.0).max(min_seq as f64);
+        self.plan.next_padding_arrival(home, lb)
+    }
 }
 
 impl Process for ClientModel {
@@ -200,22 +217,33 @@ impl Process for ClientModel {
                     Action::Sleep(Time::new(self.core.think_delay()))
                 } else {
                     let channel = self.plan.channel_of(page);
-                    let (arrival, anchors) = if channel == self.tuned {
-                        let arrival = self.plan.next_arrival(page, t);
-                        (arrival, traced.then_some((arrival, arrival)))
+                    let (min_seq, periodic, no_switch) = if channel == self.tuned {
+                        let periodic = self.plan.next_arrival(page, t);
+                        (0u64, periodic, periodic)
                     } else {
                         // Single-tuner constraint: retuning forfeits the
-                        // slot in flight and pays the switch penalty.
+                        // slot in flight and pays the switch penalty. The
+                        // no-switch anchor is what the wait would have been
+                        // had the tuner already been on the page's channel;
+                        // the gap to the actual arrival is the switch cost.
                         self.tuned = channel;
-                        let arrival = self
-                            .plan
-                            .next_arrival(page, t.floor() + 1.0 + self.switch_slots);
-                        // The no-switch anchor is what the wait would have
-                        // been had the tuner already been on the page's
-                        // channel; the gap to `arrival` is the switch cost.
-                        let anchors = traced.then(|| (self.plan.next_arrival(page, t), arrival));
-                        (arrival, anchors)
+                        let after = t.floor() + 1.0 + self.switch_slots;
+                        (
+                            after.ceil() as u64,
+                            self.plan.next_arrival(page, after),
+                            self.plan.next_arrival(page, t),
+                        )
                     };
+                    let mut arrival = periodic;
+                    if self.pull {
+                        // Backchannel mirror: the effective arrival is the
+                        // earlier of the periodic airing and the pull
+                        // service — same arithmetic as the live client.
+                        if let Some(pa) = self.pull_arrival(page, t, min_seq) {
+                            arrival = arrival.min(pa);
+                        }
+                    }
+                    let anchors = traced.then_some((no_switch, arrival));
                     self.phase = Phase::Receive {
                         page,
                         requested_at: t,
@@ -552,6 +580,36 @@ mod tests {
         let plain = simulate_plan(&cfg, &layout, plan, 31).unwrap();
         assert_eq!(plain.mean_response_time, outcome.mean_response_time);
         assert_eq!(plain.end_time, outcome.end_time);
+    }
+
+    #[test]
+    fn pull_padding_fill_cuts_response_time() {
+        // The pull mirror only ever moves an arrival *earlier* (to a
+        // padding slot before the periodic airing), so with padding in the
+        // schedule the mean must strictly improve; with pull off the knob
+        // must be a no-op (the default-config runs above pin that path).
+        let layout = DiskLayout::with_delta(&[50, 150, 300], 3).unwrap();
+        let plan = BroadcastPlan::generate(&layout, 1).unwrap();
+        assert!(
+            plan.next_padding_arrival(ChannelId(0), 0.0).is_some(),
+            "layout must yield padding slots for this test to bite"
+        );
+        let push = simulate(&small_cfg(), &layout, 13).unwrap();
+        let pulled_cfg = SimConfig {
+            pull: true,
+            ..small_cfg()
+        };
+        let pulled = simulate(&pulled_cfg, &layout, 13).unwrap();
+        assert!(
+            pulled.mean_response_time < push.mean_response_time,
+            "pull {} vs push-only {}",
+            pulled.mean_response_time,
+            push.mean_response_time
+        );
+        // Determinism holds with the backchannel armed.
+        let again = simulate(&pulled_cfg, &layout, 13).unwrap();
+        assert_eq!(again.mean_response_time, pulled.mean_response_time);
+        assert_eq!(again.end_time, pulled.end_time);
     }
 
     #[test]
